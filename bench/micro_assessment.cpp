@@ -1,0 +1,64 @@
+// MICRO-ASSESS — §IV memory/CPU bounds: wall-clock ingest rate and
+// retained statistics entries of every assessment method under a drifting
+// access-pattern workload, swept over epsilon.
+#include <benchmark/benchmark.h>
+
+#include "assessment/assessor.hpp"
+#include "workload/request_generator.hpp"
+
+namespace {
+
+using namespace amri;
+using namespace amri::assessment;
+
+constexpr std::size_t kN = 50000;
+
+void run_assessor(benchmark::State& state, AssessorKind kind) {
+  const double epsilon = static_cast<double>(state.range(0)) / 1000.0;
+  auto gen = workload::RequestGenerator::rotating(7, 8, kN / 8, 0.7, 42);
+  std::vector<AttrMask> stream;
+  stream.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) stream.push_back(gen.next());
+
+  std::size_t table = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    AssessorParams params;
+    params.epsilon = epsilon;
+    const auto assessor = make_assessor(kind, low_bits(7), params);
+    for (const AttrMask m : stream) assessor->observe(m);
+    table = assessor->table_size();
+    bytes = assessor->approx_bytes();
+    benchmark::DoNotOptimize(assessor->results(0.1));
+  }
+  state.counters["table"] = static_cast<double>(table);
+  state.counters["stat_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kN));
+}
+
+void BM_Assess_SRIA(benchmark::State& state) {
+  run_assessor(state, AssessorKind::kSria);
+}
+void BM_Assess_CSRIA(benchmark::State& state) {
+  run_assessor(state, AssessorKind::kCsria);
+}
+void BM_Assess_DIA(benchmark::State& state) {
+  run_assessor(state, AssessorKind::kDia);
+}
+void BM_Assess_CDIA_Random(benchmark::State& state) {
+  run_assessor(state, AssessorKind::kCdiaRandom);
+}
+void BM_Assess_CDIA_HC(benchmark::State& state) {
+  run_assessor(state, AssessorKind::kCdiaHighestCount);
+}
+
+// Argument: epsilon in thousandths (50 = paper's delta of .05).
+BENCHMARK(BM_Assess_SRIA)->Arg(50);
+BENCHMARK(BM_Assess_CSRIA)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_Assess_DIA)->Arg(50);
+BENCHMARK(BM_Assess_CDIA_Random)->Arg(10)->Arg(50)->Arg(100);
+BENCHMARK(BM_Assess_CDIA_HC)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,262 @@
+// MICRO-IDX — §III claims, measured on real hardware with google-benchmark:
+//   * bit-address index maintenance is cheap and independent of how many
+//     access patterns it serves;
+//   * multi-hash access modules pay per-module insert/erase work;
+//   * probe cost: exact-pattern BAI probes touch one bucket; wildcard
+//     probes enumerate candidate buckets; module-less patterns full-scan;
+//   * migration (IC change) rehashes each stored tuple once.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "index/access_module_set.hpp"
+#include "index/bit_address_index.hpp"
+#include "index/ordered_index.hpp"
+#include "index/scan_index.hpp"
+
+namespace {
+
+using namespace amri;
+using namespace amri::index;
+
+constexpr std::size_t kTuples = 10000;
+constexpr std::int64_t kDomain = 1000;
+
+std::vector<std::unique_ptr<Tuple>> make_tuples(std::size_t n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::unique_ptr<Tuple>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto t = std::make_unique<Tuple>();
+    t->seq = i;
+    for (int a = 0; a < 3; ++a) {
+      t->values.push_back(static_cast<Value>(
+          rng.below(static_cast<std::uint64_t>(kDomain))));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+JoinAttributeSet jas3() { return JoinAttributeSet({0, 1, 2}); }
+
+std::vector<AttrMask> module_masks(std::size_t k) {
+  const AttrMask all[] = {0b001, 0b010, 0b100, 0b011, 0b101, 0b110, 0b111};
+  return {all, all + k};
+}
+
+void BM_BitAddress_Insert(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 1);
+  const auto bits = static_cast<std::uint8_t>(state.range(0));
+  for (auto _ : state) {
+    BitAddressIndex idx(jas3(), IndexConfig({bits, bits, bits}),
+                        BitMapper::hashing(3));
+    for (const auto& t : tuples) idx.insert(t.get());
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTuples));
+}
+BENCHMARK(BM_BitAddress_Insert)->Arg(2)->Arg(4);
+
+void BM_AccessModules_Insert(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 1);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    AccessModuleSet idx(jas3(), module_masks(k));
+    for (const auto& t : tuples) idx.insert(t.get());
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTuples));
+}
+BENCHMARK(BM_AccessModules_Insert)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_BitAddress_ProbeExact(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 2);
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 4}), BitMapper::hashing(3));
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(3);
+  std::vector<const Tuple*> out;
+  for (auto _ : state) {
+    const Tuple& target = *tuples[rng.below(kTuples)];
+    ProbeKey key;
+    key.mask = 0b111;
+    key.values = {target.at(0), target.at(1), target.at(2)};
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BitAddress_ProbeExact);
+
+void BM_BitAddress_ProbeWildcard(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 2);
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 4}), BitMapper::hashing(3));
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(4);
+  std::vector<const Tuple*> out;
+  const auto mask = static_cast<AttrMask>(state.range(0));
+  for (auto _ : state) {
+    const Tuple& target = *tuples[rng.below(kTuples)];
+    ProbeKey key;
+    key.mask = mask;
+    key.values = {target.at(0), target.at(1), target.at(2)};
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BitAddress_ProbeWildcard)->Arg(0b011)->Arg(0b001);
+
+void BM_AccessModules_ProbeServed(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 5);
+  AccessModuleSet idx(jas3(), module_masks(3));
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(6);
+  std::vector<const Tuple*> out;
+  for (auto _ : state) {
+    const Tuple& target = *tuples[rng.below(kTuples)];
+    ProbeKey key;
+    key.mask = 0b001;  // served by the first module
+    key.values = {target.at(0), 0, 0};
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccessModules_ProbeServed);
+
+void BM_AccessModules_ProbeFallbackScan(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 5);
+  AccessModuleSet idx(jas3(), {0b001});  // only one module
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(7);
+  std::vector<const Tuple*> out;
+  for (auto _ : state) {
+    const Tuple& target = *tuples[rng.below(kTuples)];
+    ProbeKey key;
+    key.mask = 0b100;  // no module serves this: full scan
+    key.values = {0, 0, target.at(2)};
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccessModules_ProbeFallbackScan);
+
+void BM_Scan_Probe(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 8);
+  ScanIndex idx(jas3());
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(9);
+  std::vector<const Tuple*> out;
+  for (auto _ : state) {
+    const Tuple& target = *tuples[rng.below(kTuples)];
+    ProbeKey key;
+    key.mask = 0b111;
+    key.values = {target.at(0), target.at(1), target.at(2)};
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Scan_Probe);
+
+void BM_BitAddress_Migrate(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 10);
+  BitAddressIndex idx(jas3(), IndexConfig({6, 0, 0}), BitMapper::hashing(3));
+  for (const auto& t : tuples) idx.insert(t.get());
+  const IndexConfig a({6, 0, 0});
+  const IndexConfig b({2, 2, 2});
+  bool flip = false;
+  for (auto _ : state) {
+    idx.reconfigure(flip ? a : b);
+    flip = !flip;
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTuples));
+}
+BENCHMARK(BM_BitAddress_Migrate);
+
+void BM_BitAddress_RangeProbe(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 13);
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 4}),
+                      BitMapper::ranged({{0, kDomain - 1},
+                                         {0, kDomain - 1},
+                                         {0, kDomain - 1}}));
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(14);
+  std::vector<const Tuple*> out;
+  const auto width = static_cast<Value>(state.range(0));
+  for (auto _ : state) {
+    const Value lo = static_cast<Value>(rng.below(kDomain - width));
+    RangeProbeKey key;
+    key.bind(0, lo, lo + width);
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe_range(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BitAddress_RangeProbe)->Arg(10)->Arg(100);
+
+void BM_Ordered_RangeProbe(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 13);
+  OrderedIndex idx(jas3(), 0);
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(15);
+  std::vector<const Tuple*> out;
+  const auto width = static_cast<Value>(state.range(0));
+  for (auto _ : state) {
+    const Value lo = static_cast<Value>(rng.below(kDomain - width));
+    RangeProbeKey key;
+    key.bind(0, lo, lo + width);
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe_range(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Ordered_RangeProbe)->Arg(10)->Arg(100);
+
+void BM_BitAddress_BulkLoad(benchmark::State& state) {
+  const auto tuples = make_tuples(100000, 12);
+  std::vector<const Tuple*> ptrs;
+  ptrs.reserve(tuples.size());
+  for (const auto& t : tuples) ptrs.push_back(t.get());
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads == 0 ? 1 : threads);
+  for (auto _ : state) {
+    BitAddressIndex idx(jas3(), IndexConfig({5, 5, 4}),
+                        BitMapper::hashing(3));
+    idx.bulk_load(ptrs, threads == 0 ? nullptr : &pool);
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ptrs.size()));
+}
+BENCHMARK(BM_BitAddress_BulkLoad)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_AccessModules_Retune(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 11);
+  AccessModuleSet idx(jas3(), {0b001, 0b010});
+  for (const auto& t : tuples) idx.insert(t.get());
+  bool flip = false;
+  for (auto _ : state) {
+    idx.retune(flip ? std::vector<AttrMask>{0b001, 0b010}
+                    : std::vector<AttrMask>{0b100, 0b011});
+    flip = !flip;
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTuples));
+}
+BENCHMARK(BM_AccessModules_Retune);
+
+}  // namespace
+
+BENCHMARK_MAIN();

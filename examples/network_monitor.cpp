@@ -1,0 +1,119 @@
+// Network flow monitoring with range probes: a security analyst keeps a
+// sliding window of flow records and asks interval questions ("flows to
+// ports 6000-6063 from subnet 10.x", §II's <, >, >=, <= expressions).
+//
+// Contrasts three physical designs on the same window under bursty
+// arrivals: the AMRI bit-address index with a *range* mapper (contiguous
+// cells -> interval pruning), an ordered per-attribute index, and a full
+// scan.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+#include "index/bit_address_index.hpp"
+#include "index/ordered_index.hpp"
+#include "index/scan_index.hpp"
+
+using namespace amri;
+using namespace amri::index;
+
+namespace {
+
+// Flow record: src_subnet [0,256), dst_port [0,4096), bytes [0,1<<20).
+std::vector<std::unique_ptr<Tuple>> capture_flows(std::size_t n) {
+  Rng rng(4242);
+  std::vector<std::unique_ptr<Tuple>> flows;
+  flows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto t = std::make_unique<Tuple>();
+    t->seq = i;
+    t->values = {
+        static_cast<Value>(rng.below(256)),
+        static_cast<Value>(rng.below(4096)),
+        static_cast<Value>(rng.below(1u << 20)),
+    };
+    flows.push_back(std::move(t));
+  }
+  return flows;
+}
+
+}  // namespace
+
+int main() {
+  const JoinAttributeSet jas({0, 1, 2});  // subnet, port, bytes
+  const auto flows = capture_flows(100000);
+
+  BitAddressIndex bai(jas, IndexConfig({4, 6, 2}),
+                      BitMapper::ranged({{0, 255}, {0, 4095}, {0, (1 << 20) - 1}}));
+  OrderedIndex by_port(jas, 1);
+  ScanIndex scan(jas);
+  std::cout << "indexing " << flows.size() << " flow records...\n";
+  std::vector<const Tuple*> ptrs;
+  for (const auto& f : flows) ptrs.push_back(f.get());
+  bai.bulk_load(ptrs);
+  for (const Tuple* f : ptrs) {
+    by_port.insert(f);
+    scan.insert(f);
+  }
+
+  struct Question {
+    const char* label;
+    RangeProbeKey key;
+  };
+  std::vector<Question> questions;
+  {
+    Question q1{"X11 ports from subnet 10 (port in [6000,6063], subnet=10)", {}};
+    q1.key.bind(0, 10, 10);
+    q1.key.bind(1, 600, 663);
+    questions.push_back(q1);
+    Question q2{"large transfers (bytes >= 900k)", {}};
+    q2.key.bind(2, 900000, (1 << 20) - 1);
+    questions.push_back(q2);
+    Question q3{"low ports anywhere (port <= 128)", {}};
+    q3.key.bind(1, 0, 128);
+    questions.push_back(q3);
+  }
+
+  TablePrinter table({"question", "index", "matches", "buckets",
+                      "tuples_compared"});
+  for (auto& q : questions) {
+    std::vector<const Tuple*> out;
+    auto s1 = bai.probe_range(q.key, out);
+    table.add_row({q.label, "bit-address",
+                   TablePrinter::fmt_int(static_cast<long long>(s1.matches)),
+                   TablePrinter::fmt_int(
+                       static_cast<long long>(s1.buckets_visited)),
+                   TablePrinter::fmt_int(
+                       static_cast<long long>(s1.tuples_compared))});
+    out.clear();
+    auto s2 = by_port.probe_range(q.key, out);
+    table.add_row({"", "ordered(port)",
+                   TablePrinter::fmt_int(static_cast<long long>(s2.matches)),
+                   "1",
+                   TablePrinter::fmt_int(
+                       static_cast<long long>(s2.tuples_compared))});
+    out.clear();
+    // Scan reference via the same verification predicate.
+    std::uint64_t matches = 0;
+    for (const Tuple* f : ptrs) {
+      if (q.key.matches(*f, jas)) ++matches;
+    }
+    table.add_row({"", "full scan",
+                   TablePrinter::fmt_int(static_cast<long long>(matches)),
+                   "1",
+                   TablePrinter::fmt_int(
+                       static_cast<long long>(ptrs.size()))});
+    if (s1.matches != matches || s2.matches != matches) {
+      std::cerr << "MISMATCH on '" << q.label << "'\n";
+      return 1;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nOne bit-address index served subnet-, port- and "
+               "bytes-interval questions;\nthe ordered index only prunes on "
+               "its own key (port) and degrades to a\nverified scan "
+               "elsewhere.\n";
+  return 0;
+}

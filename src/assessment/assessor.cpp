@@ -1,0 +1,55 @@
+#include "assessment/assessor.hpp"
+
+#include "assessment/cdia.hpp"
+#include "assessment/csria.hpp"
+#include "assessment/dia.hpp"
+#include "assessment/sria.hpp"
+
+namespace amri::assessment {
+
+std::string assessor_kind_name(AssessorKind kind) {
+  switch (kind) {
+    case AssessorKind::kSria: return "SRIA";
+    case AssessorKind::kCsria: return "CSRIA";
+    case AssessorKind::kDia: return "DIA";
+    case AssessorKind::kCdiaRandom: return "CDIA-random";
+    case AssessorKind::kCdiaHighestCount: return "CDIA-hc";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Assessor> make_assessor(AssessorKind kind, AttrMask universe,
+                                        const AssessorParams& params) {
+  switch (kind) {
+    case AssessorKind::kSria:
+      return std::make_unique<Sria>(universe);
+    case AssessorKind::kCsria:
+      return std::make_unique<Csria>(universe, params.epsilon);
+    case AssessorKind::kDia:
+      return std::make_unique<Dia>(universe);
+    case AssessorKind::kCdiaRandom:
+      return std::make_unique<Cdia>(universe, params.epsilon,
+                                    stats::CombinePolicy::kRandom,
+                                    params.seed);
+    case AssessorKind::kCdiaHighestCount:
+      return std::make_unique<Cdia>(universe, params.epsilon,
+                                    stats::CombinePolicy::kHighestCount,
+                                    params.seed);
+  }
+  return nullptr;
+}
+
+std::vector<index::PatternFrequency> to_pattern_frequencies(
+    const std::vector<AssessedPattern>& patterns) {
+  std::vector<index::PatternFrequency> out;
+  out.reserve(patterns.size());
+  double total = 0.0;
+  for (const AssessedPattern& p : patterns) total += p.frequency;
+  for (const AssessedPattern& p : patterns) {
+    out.push_back(index::PatternFrequency{
+        p.mask, total > 0.0 ? p.frequency / total : 0.0});
+  }
+  return out;
+}
+
+}  // namespace amri::assessment

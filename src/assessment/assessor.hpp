@@ -1,0 +1,80 @@
+// Common interface of the paper's four index-assessment methods (§IV):
+// SRIA, CSRIA, DIA, CDIA. An assessor ingests the access pattern of every
+// search request a state receives and periodically answers: which access
+// patterns are frequent enough (>= theta) to deserve index bits?
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "index/cost_model.hpp"
+
+namespace amri::assessment {
+
+/// One frequent access pattern in an assessment answer.
+struct AssessedPattern {
+  AttrMask mask = 0;
+  std::uint64_t count = 0;      ///< (possibly rolled-up) observation count
+  std::uint64_t max_error = 0;  ///< undercount bound delta, 0 for exact
+  double frequency = 0.0;       ///< count / observations
+};
+
+class Assessor {
+ public:
+  virtual ~Assessor() = default;
+
+  /// Ingest one search-request access pattern.
+  virtual void observe(AttrMask ap) = 0;
+
+  /// Frequent patterns at threshold theta, sorted by descending count.
+  virtual std::vector<AssessedPattern> results(double theta) const = 0;
+
+  /// Observations ingested so far (the |A| denominator).
+  virtual std::uint64_t observed() const = 0;
+
+  /// Live statistics entries currently retained.
+  virtual std::size_t table_size() const = 0;
+
+  /// Logical bytes of retained statistics (for MemoryTracker accounting).
+  virtual std::size_t approx_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Drop all statistics (start a fresh assessment window).
+  virtual void reset() = 0;
+
+  /// Scale all retained statistics by `factor` in (0, 1): ages the history
+  /// so new patterns can overtake old ones without a hard reset.
+  /// Frequencies are preserved; entries whose count rounds to zero drop.
+  virtual void decay(double factor) = 0;
+};
+
+enum class AssessorKind : std::uint8_t {
+  kSria = 0,
+  kCsria,
+  kDia,
+  kCdiaRandom,
+  kCdiaHighestCount,
+};
+
+std::string assessor_kind_name(AssessorKind kind);
+
+/// Parameters shared by the compressing assessors.
+struct AssessorParams {
+  double epsilon = 0.001;  ///< lossy-counting error rate
+  std::uint64_t seed = 0x5eedULL;  ///< randomness for CDIA random policy
+};
+
+/// Factory covering all four methods (five counting both CDIA policies).
+std::unique_ptr<Assessor> make_assessor(AssessorKind kind, AttrMask universe,
+                                        const AssessorParams& params = {});
+
+/// Convert an assessment answer into the cost model's frequency vector,
+/// re-normalising so the surviving patterns' frequencies sum to 1.
+std::vector<index::PatternFrequency> to_pattern_frequencies(
+    const std::vector<AssessedPattern>& patterns);
+
+}  // namespace amri::assessment

@@ -1,0 +1,18 @@
+#include "assessment/cdia.hpp"
+
+namespace amri::assessment {
+
+std::vector<AssessedPattern> Cdia::results(double theta) const {
+  std::vector<AssessedPattern> out;
+  for (const auto& r : hhh_.results(theta)) {
+    out.push_back(AssessedPattern{r.mask, r.count, r.max_error, r.frequency});
+  }
+  return out;
+}
+
+std::string Cdia::name() const {
+  return hhh_.policy() == stats::CombinePolicy::kRandom ? "CDIA-random"
+                                                        : "CDIA-hc";
+}
+
+}  // namespace amri::assessment

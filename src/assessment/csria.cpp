@@ -1,0 +1,36 @@
+#include "assessment/csria.hpp"
+
+#include <cassert>
+
+namespace amri::assessment {
+
+void Csria::observe(AttrMask ap) {
+  assert(is_subset(ap, universe_));
+  counter_.observe(ap);
+}
+
+std::vector<AssessedPattern> Csria::results(double theta) const {
+  // The paper states CSRIA "returns all access pattern statistics whose
+  // frequencies are above a preset threshold theta" (§IV-C2). Frequencies
+  // here are the *estimated* (undercounted) lossy-counting frequencies, so
+  // borderline-hot patterns whose counts were eroded by compression drop
+  // out, and sub-epsilon patterns vanish entirely — the information loss
+  // CDIA's combining repairs. (The alternative formal reading, bar at
+  // theta - epsilon over count + delta, is the classic no-false-negative
+  // guarantee; LossyCounting::results implements that form.)
+  std::vector<AssessedPattern> out;
+  const auto n = counter_.observed();
+  if (n == 0) return out;
+  // Gather with the permissive bar, then apply the strict-theta filter on
+  // estimated frequency.
+  for (const auto& item : counter_.results(0.0)) {
+    const double f =
+        static_cast<double>(item.count) / static_cast<double>(n);
+    if (f >= theta) {
+      out.push_back(AssessedPattern{item.key, item.count, item.max_error, f});
+    }
+  }
+  return out;
+}
+
+}  // namespace amri::assessment

@@ -1,0 +1,36 @@
+// DIA — Dependent Index Assessment (paper §IV-D1): counts are kept on the
+// search-benefit lattice, preserving the subset relationships between
+// access patterns. Without compression DIA retains exactly the same counts
+// as SRIA (the paper notes their experimental curves coincide); the lattice
+// structure is what CDIA's compression exploits.
+#pragma once
+
+#include "assessment/assessor.hpp"
+#include "stats/lattice.hpp"
+
+namespace amri::assessment {
+
+class Dia final : public Assessor {
+ public:
+  explicit Dia(AttrMask universe) : lattice_(universe) {}
+
+  void observe(AttrMask ap) override;
+  std::vector<AssessedPattern> results(double theta) const override;
+  std::uint64_t observed() const override {
+    return lattice_.counts().total_observed();
+  }
+  std::size_t table_size() const override { return lattice_.counts().size(); }
+  std::size_t approx_bytes() const override {
+    return lattice_.counts().approx_bytes();
+  }
+  std::string name() const override { return "DIA"; }
+  void reset() override { lattice_.counts().clear(); }
+  void decay(double factor) override { lattice_.counts().scale(factor); }
+
+  const stats::PartialLattice& lattice() const { return lattice_; }
+
+ private:
+  stats::PartialLattice lattice_;
+};
+
+}  // namespace amri::assessment

@@ -1,0 +1,123 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace amri {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view tok = argv[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    cfg.set(std::string(trim(tok.substr(0, eq))),
+            std::string(trim(tok.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+Config Config::from_text(std::string_view text) {
+  Config cfg;
+  while (!text.empty()) {
+    const auto nl = text.find('\n');
+    std::string_view line =
+        (nl == std::string_view::npos) ? text : text.substr(0, nl);
+    text = (nl == std::string_view::npos) ? std::string_view{}
+                                          : text.substr(nl + 1);
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    cfg.set(std::string(trim(line.substr(0, eq))),
+            std::string(trim(line.substr(eq + 1))));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> Config::get_string(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> Config::get_int(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  const std::string& s = it->second;
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> Config::get_double(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> Config::get_bool(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return std::nullopt;
+}
+
+std::string Config::string_or(std::string_view key, std::string fallback) const {
+  auto v = get_string(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Config::int_or(std::string_view key, std::int64_t fallback) const {
+  auto v = get_int(key);
+  return v ? *v : fallback;
+}
+
+double Config::double_or(std::string_view key, double fallback) const {
+  auto v = get_double(key);
+  return v ? *v : fallback;
+}
+
+bool Config::bool_or(std::string_view key, bool fallback) const {
+  auto v = get_bool(key);
+  return v ? *v : fallback;
+}
+
+}  // namespace amri

@@ -1,0 +1,44 @@
+// Lightweight key=value configuration used by benchmark binaries to accept
+// command-line overrides, e.g. `./fig6_assessment sim_minutes=10 seed=7`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace amri {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse argv-style "key=value" tokens; tokens without '=' are ignored.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parse newline-separated "key=value" text ('#' starts a comment).
+  static Config from_text(std::string_view text);
+
+  void set(std::string key, std::string value);
+  bool has(std::string_view key) const;
+
+  std::optional<std::string> get_string(std::string_view key) const;
+  std::optional<std::int64_t> get_int(std::string_view key) const;
+  std::optional<double> get_double(std::string_view key) const;
+  std::optional<bool> get_bool(std::string_view key) const;
+
+  std::string string_or(std::string_view key, std::string fallback) const;
+  std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
+  double double_or(std::string_view key, double fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace amri

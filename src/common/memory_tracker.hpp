@@ -1,0 +1,89 @@
+// Logical memory accounting with a hard budget. Reproduces the paper's
+// out-of-memory failure mode for index baselines: when tracked bytes exceed
+// the budget the owning experiment aborts and records the time of death.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace amri {
+
+/// Categories of tracked memory, reported separately in experiment output.
+enum class MemCategory : std::uint8_t {
+  kStateTuples = 0,   ///< tuples stored in window states
+  kIndexStructure,    ///< buckets / hash tables / key links
+  kStatistics,        ///< assessment statistics (SRIA tables, lattices)
+  kQueue,             ///< backlogged search requests & pending tuples
+  kCount
+};
+
+constexpr std::string_view mem_category_name(MemCategory c) {
+  switch (c) {
+    case MemCategory::kStateTuples: return "state_tuples";
+    case MemCategory::kIndexStructure: return "index_structure";
+    case MemCategory::kStatistics: return "statistics";
+    case MemCategory::kQueue: return "queue";
+    default: return "unknown";
+  }
+}
+
+class MemoryTracker {
+ public:
+  static constexpr std::size_t kUnlimited = 0;
+
+  MemoryTracker() = default;
+  /// budget_bytes == kUnlimited disables the budget check.
+  explicit MemoryTracker(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+  void allocate(MemCategory cat, std::size_t bytes) {
+    by_category_[index(cat)] += bytes;
+    total_ += bytes;
+    if (total_ > peak_) peak_ = total_;
+    if (budget_ != kUnlimited && total_ > budget_) exhausted_ = true;
+  }
+
+  void release(MemCategory cat, std::size_t bytes) {
+    auto& slot = by_category_[index(cat)];
+    // Releasing more than allocated indicates a bookkeeping bug upstream;
+    // clamp defensively so experiments fail loudly via assertions in tests
+    // rather than via unsigned wraparound.
+    if (bytes > slot) bytes = slot;
+    slot -= bytes;
+    total_ -= bytes;
+  }
+
+  std::size_t total() const { return total_; }
+  std::size_t peak() const { return peak_; }
+  std::size_t budget() const { return budget_; }
+  std::size_t category(MemCategory cat) const {
+    return by_category_[index(cat)];
+  }
+
+  /// True once the budget has ever been exceeded. Sticky: mirrors a process
+  /// that has been killed by the OS OOM killer and does not come back.
+  bool exhausted() const { return exhausted_; }
+
+  void set_budget(std::size_t budget_bytes) { budget_ = budget_bytes; }
+
+  void reset() {
+    by_category_.fill(0);
+    total_ = peak_ = 0;
+    exhausted_ = false;
+  }
+
+ private:
+  static constexpr std::size_t index(MemCategory c) {
+    return static_cast<std::size_t>(c);
+  }
+
+  std::array<std::size_t, static_cast<std::size_t>(MemCategory::kCount)>
+      by_category_{};
+  std::size_t total_ = 0;
+  std::size_t peak_ = 0;
+  std::size_t budget_ = kUnlimited;
+  bool exhausted_ = false;
+};
+
+}  // namespace amri

@@ -1,0 +1,164 @@
+// A vector with inline storage for N elements, avoiding heap allocation for
+// the short attribute lists that dominate tuple and access-pattern handling.
+// Trivially-copyable element types only (enforced), which keeps the
+// implementation simple and the copy paths memcpy-able.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+
+namespace amri {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector supports trivially copyable types only");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(std::size_t count, const T& value) {
+    reserve(count);
+    for (std::size_t i = 0; i < count; ++i) push_back(value);
+  }
+
+  SmallVector(const SmallVector& other) { copy_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear_storage();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { clear_storage(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    if (n > capacity_) grow(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  bool is_inline() const { return data_ == inline_storage(); }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  const T* inline_storage() const {
+    return reinterpret_cast<const T*>(inline_);
+  }
+  T* inline_storage() { return reinterpret_cast<T*>(inline_); }
+
+  void grow(std::size_t target) {
+    const std::size_t new_cap = std::max<std::size_t>(target, capacity_ * 2);
+    T* heap = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (!is_inline()) ::operator delete(data_);
+    data_ = heap;
+    capacity_ = new_cap;
+  }
+
+  void clear_storage() {
+    if (!is_inline()) ::operator delete(data_);
+    data_ = inline_storage();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void copy_from(const SmallVector& other) {
+    reserve(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void move_from(SmallVector&& other) noexcept {
+    if (other.is_inline()) {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+      size_ = other.size_;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_storage();
+      other.capacity_ = N;
+      other.size_ = 0;
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* data_ = inline_storage();
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace amri

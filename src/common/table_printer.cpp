@@ -1,0 +1,89 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace amri {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << " | ";
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c == 0 ? 0 : 3);
+  }
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+namespace {
+void emit_csv_cell(std::ostream& os, const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      emit_csv_cell(os, row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string TablePrinter::fmt_int(long long v) {
+  return std::to_string(v);
+}
+
+std::string TablePrinter::fmt_pct(double fraction, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return ss.str();
+}
+
+}  // namespace amri

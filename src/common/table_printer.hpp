@@ -1,0 +1,39 @@
+// Aligned-column table printing and CSV emission for benchmark output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amri {
+
+/// Collects rows of string cells and renders either an aligned text table
+/// (for terminal output matching the paper's tables/figures) or CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Append a row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with space-padded, ' | '-separated columns and a rule under the
+  /// header.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (cells containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  void print_csv(std::ostream& os) const;
+
+  /// Format helpers used by benches.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amri

@@ -1,0 +1,80 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amri {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_chunk) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = workers_.size();
+  if (threads <= 1 || n <= min_chunk) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(threads * 4, (n + min_chunk - 1) / min_chunk);
+  const std::size_t step = (n + chunks - 1) / chunks;
+  for (std::size_t lo = begin; lo < end; lo += step) {
+    const std::size_t hi = std::min(end, lo + step);
+    submit([fn, lo, hi] { fn(lo, hi); });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace amri

@@ -1,0 +1,52 @@
+// Minimal work-stealing-free thread pool with a blocking parallel_for.
+// Used for parallel index migration and benchmark data preparation; the
+// simulation core itself is single-threaded and deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace amri {
+
+class ThreadPool {
+ public:
+  /// threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Split [begin, end) into contiguous chunks and run `fn(lo, hi)` on the
+  /// pool, blocking until done. Falls back to inline execution for tiny
+  /// ranges or a single-thread pool.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t min_chunk = 1024);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace amri

@@ -1,0 +1,57 @@
+// Stream tuples and schemas. Tuples are small value records: a stream id,
+// an arrival timestamp (virtual time), a unique sequence number, and a flat
+// array of integer attribute values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/small_vector.hpp"
+#include "common/types.hpp"
+
+namespace amri {
+
+inline constexpr std::size_t kInlineAttrs = 8;
+
+struct Tuple {
+  StreamId stream = 0;
+  TimeMicros ts = 0;
+  TupleSeq seq = 0;
+  SmallVector<Value, kInlineAttrs> values;
+
+  Value at(AttrId a) const { return values[a]; }
+
+  /// Logical size used for memory accounting: header + payload.
+  std::size_t approx_bytes() const {
+    return sizeof(Tuple) + (values.is_inline() ? 0 : values.size() * sizeof(Value));
+  }
+};
+
+/// Schema of one stream: attribute names plus which attributes participate
+/// in join predicates (the join attribute set, JAS, of the paper).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string stream_name, std::vector<std::string> attr_names)
+      : stream_name_(std::move(stream_name)),
+        attr_names_(std::move(attr_names)) {}
+
+  const std::string& stream_name() const { return stream_name_; }
+  std::size_t num_attrs() const { return attr_names_.size(); }
+  const std::string& attr_name(AttrId a) const { return attr_names_[a]; }
+
+  /// Returns the attribute id for `name`, or num_attrs() if absent.
+  AttrId find_attr(const std::string& name) const {
+    for (AttrId i = 0; i < attr_names_.size(); ++i) {
+      if (attr_names_[i] == name) return i;
+    }
+    return static_cast<AttrId>(attr_names_.size());
+  }
+
+ private:
+  std::string stream_name_;
+  std::vector<std::string> attr_names_;
+};
+
+}  // namespace amri

@@ -1,0 +1,51 @@
+// Core scalar types shared across all AMRI modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace amri {
+
+/// Attribute values carried by stream tuples. The paper's workloads are
+/// integer-keyed (priority codes, package ids, location ids, stock symbols
+/// mapped to dictionary ids), so a 64-bit integer domain is sufficient and
+/// keeps tuples POD-copyable.
+using Value = std::int64_t;
+
+/// Index of an attribute within a stream schema (0-based).
+using AttrId = std::uint32_t;
+
+/// Identifier of a stream (and of the state instantiated for it).
+using StreamId = std::uint32_t;
+
+/// Virtual time, in microseconds since simulation start. All engine-level
+/// costs (hashing, comparisons, routing) are charged in virtual time so
+/// experiments are deterministic and machine-independent.
+using TimeMicros = std::int64_t;
+
+/// Monotonically increasing tuple sequence number (unique per run).
+using TupleSeq = std::uint64_t;
+
+/// Bucket identifier inside a bit-address index. The paper describes the
+/// index key map as a 64-bit word; buckets are stored sparsely so the full
+/// width is usable even though practical bit budgets are much smaller.
+using BucketId = std::uint64_t;
+
+inline constexpr TimeMicros kTimeMax = std::numeric_limits<TimeMicros>::max();
+
+inline constexpr double kMicrosPerSecond = 1e6;
+
+/// Convert seconds (double) to virtual microseconds, saturating at kTimeMax.
+constexpr TimeMicros seconds_to_micros(double s) {
+  const double us = s * kMicrosPerSecond;
+  if (us >= static_cast<double>(kTimeMax)) return kTimeMax;
+  if (us <= 0.0) return 0;
+  return static_cast<TimeMicros>(us);
+}
+
+/// Convert virtual microseconds to seconds.
+constexpr double micros_to_seconds(TimeMicros t) {
+  return static_cast<double>(t) / kMicrosPerSecond;
+}
+
+}  // namespace amri

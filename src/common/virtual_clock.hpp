@@ -1,0 +1,40 @@
+// Discrete-event virtual clock. All engine costs advance this clock, making
+// "25 minute" experiment runs deterministic and independent of the host CPU.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace amri {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(TimeMicros start) : now_(start) {}
+
+  TimeMicros now() const { return now_; }
+
+  /// Advance by a non-negative delta, saturating at kTimeMax.
+  void advance(TimeMicros delta) {
+    assert(delta >= 0);
+    if (now_ > kTimeMax - delta) {
+      now_ = kTimeMax;
+    } else {
+      now_ += delta;
+    }
+  }
+
+  /// Jump forward to an absolute point in time. Moving backwards is a bug.
+  void advance_to(TimeMicros t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  void reset(TimeMicros t = 0) { now_ = t; }
+
+ private:
+  TimeMicros now_ = 0;
+};
+
+}  // namespace amri

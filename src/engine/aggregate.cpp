@@ -1,0 +1,30 @@
+#include "engine/aggregate.hpp"
+
+namespace amri::engine {
+
+std::string agg_func_name(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+double AggregateSink::total() const {
+  AggState merged;
+  for (const auto& [key, st] : groups_) {
+    (void)key;
+    merged.count += st.count;
+    merged.sum += st.sum;
+    if (st.count > 0) {
+      if (st.min < merged.min) merged.min = st.min;
+      if (st.max > merged.max) merged.max = st.max;
+    }
+  }
+  return merged.value(func_);
+}
+
+}  // namespace amri::engine

@@ -1,0 +1,126 @@
+#include "engine/eddy.hpp"
+
+#include <cassert>
+
+namespace amri::engine {
+
+EddyRouter::EddyRouter(const QuerySpec& query, std::vector<StemOperator*> stems,
+                       EddyOptions options, CostMeter* meter)
+    : query_(query),
+      stems_(std::move(stems)),
+      options_(options),
+      policy_(make_routing_policy(options.routing)),
+      meter_(meter) {
+  assert(stems_.size() == query_.num_streams());
+}
+
+std::uint64_t EddyRouter::route(const Tuple* stored,
+                                std::vector<JoinResult>* sink) {
+  assert(stored != nullptr);
+  ++arrivals_;
+  const std::uint32_t all = query_.all_streams_mask();
+
+  Partial root;
+  root.done = std::uint32_t{1} << stored->stream;
+  root.members.resize(query_.num_streams(), nullptr);
+  root.members[stored->stream] = stored;
+
+  std::uint64_t produced = 0;
+  std::size_t processed = 0;
+  std::vector<Partial> stack;
+  stack.push_back(std::move(root));
+
+  std::vector<const Tuple*> matches;
+  while (!stack.empty()) {
+    if (++processed > options_.max_partials_per_arrival) {
+      ++truncated_;
+      break;
+    }
+    Partial p = std::move(stack.back());
+    stack.pop_back();
+    if (p.done == all) {
+      ++produced;
+      if (sink != nullptr) {
+        JoinResult r;
+        r.members = p.members;
+        sink->push_back(std::move(r));
+      }
+      continue;
+    }
+
+    // Candidate next states and the access pattern each would see.
+    RoutingContext ctx;
+    ctx.done_mask = p.done;
+    for (StreamId s = 0; s < query_.num_streams(); ++s) {
+      if ((p.done >> s) & 1u) continue;
+      ctx.candidates.push_back(RoutingContext::Candidate{
+          s, query_.layout(s).pattern_for(p.done)});
+    }
+    assert(!ctx.candidates.empty());
+    // Batch routing: reuse the cached decision for this done-mask while
+    // its batch lasts; only fresh decisions consult the policy (and pay
+    // the routing cost).
+    std::size_t pick;
+    if (options_.batch_size > 1) {
+      auto& cached = decision_cache_[p.done];
+      if (cached.remaining == 0) {
+        cached.pick = policy_->choose(ctx, stats_);
+        cached.remaining = options_.batch_size;
+        if (meter_ != nullptr) meter_->charge_route();
+      }
+      pick = std::min(cached.pick, ctx.candidates.size() - 1);
+      --cached.remaining;
+    } else {
+      pick = policy_->choose(ctx, stats_);
+      if (meter_ != nullptr) meter_->charge_route();
+    }
+    const StreamId target = ctx.candidates[pick].state;
+    const AttrMask ap = ctx.candidates[pick].pattern;
+
+    // Bind every available join attribute of the target state,
+    // translating query-local JAS positions to the (possibly wider)
+    // shared-stem positions in multi-query mode.
+    const StateLayout& layout = query_.layout(target);
+    const std::vector<std::uint8_t>* pos_map =
+        position_maps_.empty() ? nullptr : &position_maps_[target];
+    index::ProbeKey key;
+    key.values.resize(stems_[target]->layout().jas.size(), Value{0});
+    for_each_bit(ap, [&](unsigned pos) {
+      const auto& peer = layout.peers[pos];
+      const unsigned stem_pos =
+          pos_map == nullptr ? pos : (*pos_map)[pos];
+      key.mask |= (AttrMask{1} << stem_pos);
+      key.values[stem_pos] = p.members[peer.stream]->at(peer.attr);
+    });
+
+    matches.clear();
+    const auto probe_stats = stems_[target]->probe(key, matches);
+    stats_.record(target, ap, static_cast<double>(probe_stats.matches),
+                  static_cast<double>(probe_stats.tuples_compared));
+
+    // Multi-query visibility: a shared state stores any tuple some query
+    // accepted, so this query's WHERE selection must re-verify matches.
+    // (Single-query states only hold pre-filtered tuples; the selection is
+    // empty or trivially true there, so this is skipped.)
+    const Selection& visibility = query_.selection(target);
+    if (!visibility.empty()) {
+      std::size_t kept = 0;
+      for (const Tuple* m : matches) {
+        if (visibility.matches(*m, meter_)) matches[kept++] = m;
+      }
+      matches.resize(kept);
+    }
+
+    for (const Tuple* m : matches) {
+      Partial next;
+      next.done = p.done | (std::uint32_t{1} << target);
+      next.members = p.members;
+      next.members[target] = m;
+      stack.push_back(std::move(next));
+    }
+  }
+  results_ += produced;
+  return produced;
+}
+
+}  // namespace amri::engine

@@ -1,0 +1,94 @@
+// The eddy router (paper §I, after Avnur & Hellerstein): the central
+// operator that decides, per (partial) tuple, which STeM to visit next
+// based on up-to-date statistics. The route a tuple takes determines the
+// access pattern each state's probe carries — the coupling AMRI exploits.
+//
+// Join semantics: a complete result is emitted when the partial result has
+// visited every stream's state. Because a probe binds *every* join
+// attribute whose peer stream is already in the partial, all predicates
+// among the joined streams are verified incrementally; each result is
+// produced exactly once, when its latest-arriving member routes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cost_meter.hpp"
+#include "common/small_vector.hpp"
+#include "engine/query.hpp"
+#include "engine/routing_policy.hpp"
+#include "engine/stem.hpp"
+
+namespace amri::engine {
+
+struct EddyOptions {
+  RoutingOptions routing{};
+  /// Safety valve against join explosions: partial results processed per
+  /// arrival (complete results still counted, processing truncated).
+  std::size_t max_partials_per_arrival = 1u << 20;
+  /// AMR systems route *batches* of tuples (paper §I): a routing decision
+  /// for a given done-mask is reused for the next `batch_size - 1`
+  /// partials with the same mask, amortising the per-decision cost.
+  std::size_t batch_size = 1;
+};
+
+/// A complete join result: one stored tuple per stream.
+struct JoinResult {
+  SmallVector<const Tuple*, 8> members;  ///< indexed by StreamId
+};
+
+class EddyRouter {
+ public:
+  /// `stems[s]` must be the STeM of stream s. Optional `sink` collects
+  /// complete results (null = count only).
+  EddyRouter(const QuerySpec& query, std::vector<StemOperator*> stems,
+             EddyOptions options, CostMeter* meter = nullptr);
+
+  /// Multi-query mode: the stems may index a *superset* of this query's
+  /// join attributes (the union over all queries sharing the state).
+  /// `position_maps[s][p]` translates this query's JAS position p of
+  /// stream s into the shared stem's JAS position. Identity when empty.
+  void set_position_maps(std::vector<std::vector<std::uint8_t>> maps) {
+    position_maps_ = std::move(maps);
+  }
+
+  /// Route an arrival that was already inserted into its own STeM as
+  /// `stored`. Returns the number of complete results produced.
+  std::uint64_t route(const Tuple* stored,
+                      std::vector<JoinResult>* sink = nullptr);
+
+  RoutingStatistics& statistics() { return stats_; }
+  const RoutingStatistics& statistics() const { return stats_; }
+  const RoutingPolicy& policy() const { return *policy_; }
+
+  std::uint64_t arrivals_routed() const { return arrivals_; }
+  std::uint64_t results_produced() const { return results_; }
+  std::uint64_t partials_truncated() const { return truncated_; }
+
+ private:
+  struct Partial {
+    std::uint32_t done = 0;
+    SmallVector<const Tuple*, 8> members;  ///< indexed by StreamId
+  };
+
+  const QuerySpec& query_;
+  std::vector<StemOperator*> stems_;
+  std::vector<std::vector<std::uint8_t>> position_maps_;
+  EddyOptions options_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  CostMeter* meter_;
+  RoutingStatistics stats_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t results_ = 0;
+  std::uint64_t truncated_ = 0;
+  /// Batch-routing cache: done-mask -> (candidate index, remaining uses).
+  struct CachedDecision {
+    std::size_t pick = 0;
+    std::size_t remaining = 0;
+  };
+  std::unordered_map<std::uint32_t, CachedDecision> decision_cache_;
+};
+
+}  // namespace amri::engine

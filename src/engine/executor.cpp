@@ -1,0 +1,158 @@
+#include "engine/executor.hpp"
+
+#include <cassert>
+#include <deque>
+
+namespace amri::engine {
+
+Executor::Executor(const QuerySpec& query, ExecutorOptions options)
+    : query_(query),
+      options_(options),
+      meter_(&clock_, options.costs),
+      memory_(options.memory_budget) {
+  const index::CostModel model(options_.model_params);
+  stems_.reserve(query_.num_streams());
+  std::vector<StemOperator*> stem_ptrs;
+  for (StreamId s = 0; s < query_.num_streams(); ++s) {
+    stems_.push_back(std::make_unique<StemOperator>(
+        s, query_.layout(s), query_.window(), options_.stem, model, &meter_,
+        &memory_));
+    stem_ptrs.push_back(stems_.back().get());
+  }
+  eddy_ = std::make_unique<EddyRouter>(query_, std::move(stem_ptrs),
+                                       options_.eddy, &meter_);
+}
+
+void Executor::sync_queue_memory(std::size_t backlog) {
+  const std::size_t now = backlog * (sizeof(Tuple) + 16);
+  if (now > tracked_queue_bytes_) {
+    memory_.allocate(MemCategory::kQueue, now - tracked_queue_bytes_);
+  } else if (now < tracked_queue_bytes_) {
+    memory_.release(MemCategory::kQueue, tracked_queue_bytes_ - now);
+  }
+  tracked_queue_bytes_ = now;
+}
+
+RunResult Executor::run(TupleSource& source) {
+  RunResult result;
+  const TimeMicros warmup_end = options_.warmup;
+  const TimeMicros measure_end = options_.warmup + options_.duration;
+
+  std::deque<Tuple> pending;
+  std::optional<Tuple> lookahead = source.next();
+  bool warmup_done = (options_.warmup == 0);
+  std::uint64_t outputs_total = 0;
+  std::uint64_t outputs_offset = 0;
+  std::uint64_t arrivals_measured = 0;
+  TimeMicros next_sample = warmup_end + options_.sample_every;
+
+  if (warmup_done) {
+    // No training phase: stems keep their construction-time configuration.
+  }
+
+  auto take_sample = [&](TimeMicros at) {
+    Sample s;
+    s.t = at - warmup_end;
+    s.outputs = outputs_total - outputs_offset;
+    s.memory_bytes = memory_.total();
+    s.backlog = pending.size();
+    result.samples.push_back(s);
+  };
+
+  auto finish_warmup = [&] {
+    for (auto& stem : stems_) stem->finish_warmup();
+    outputs_offset = outputs_total;
+    warmup_done = true;
+    take_sample(warmup_end);  // measurement-start baseline (t = 0)
+  };
+
+  while (clock_.now() < measure_end) {
+    // Pull every arrival whose timestamp has passed into the backlog.
+    while (lookahead.has_value() && lookahead->ts <= clock_.now()) {
+      pending.push_back(*lookahead);
+      lookahead = source.next();
+    }
+    sync_queue_memory(pending.size());
+    if (memory_.exhausted()) break;
+
+    if (pending.empty()) {
+      if (!lookahead.has_value()) break;  // source exhausted, system idle
+      if (lookahead->ts >= measure_end) {
+        clock_.advance_to(measure_end);
+        break;
+      }
+      clock_.advance_to(lookahead->ts);  // idle until the next arrival
+      continue;
+    }
+
+    const Tuple arrival = pending.front();
+    pending.pop_front();
+    sync_queue_memory(pending.size());
+
+    // Warm-up boundary: apply trained configurations exactly once.
+    if (!warmup_done && clock_.now() >= warmup_end) finish_warmup();
+
+    // WHERE-clause selection: filtered tuples are neither stored nor
+    // routed (the paper's S of SPJ happens before the join network).
+    if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
+      if (warmup_done) ++result.arrivals_filtered;
+      continue;
+    }
+
+    // Expire all windows to the current time, store, then route.
+    for (auto& stem : stems_) stem->expire(clock_.now());
+    const Tuple* stored = stems_[arrival.stream]->insert(arrival);
+    const bool want_rows = options_.collect_rows && warmup_done &&
+                           result.rows.size() < options_.max_collected_rows;
+    if (want_rows || options_.on_result) {
+      std::vector<JoinResult> sink;
+      outputs_total += eddy_->route(stored, &sink);
+      for (const JoinResult& jr : sink) {
+        if (options_.on_result) options_.on_result(jr);
+        if (want_rows && result.rows.size() < options_.max_collected_rows) {
+          result.rows.push_back(query_.projection().apply(jr.members));
+        }
+      }
+    } else {
+      outputs_total += eddy_->route(stored);
+    }
+    if (warmup_done) ++arrivals_measured;
+
+    if (memory_.exhausted()) break;
+
+    while (warmup_done && clock_.now() >= next_sample &&
+           next_sample <= measure_end) {
+      take_sample(next_sample);
+      next_sample += options_.sample_every;
+    }
+  }
+
+  if (!warmup_done) finish_warmup();
+
+  const TimeMicros end_now = std::min(clock_.now(), measure_end);
+  if (memory_.exhausted()) {
+    result.died_at = end_now - warmup_end;
+  } else {
+    result.completed = clock_.now() >= measure_end || !lookahead.has_value();
+  }
+  take_sample(end_now >= warmup_end ? end_now : warmup_end);
+
+  result.outputs = outputs_total - outputs_offset;
+  result.arrivals = arrivals_measured;
+  result.arrivals_dropped = pending.size();
+  result.peak_memory = memory_.peak();
+  result.charged_us = meter_.charged_us();
+  result.routing_decisions = meter_.routes();
+  for (const auto& stem : stems_) {
+    StateSummary s;
+    s.stream = stem->stream();
+    s.stored_tuples = stem->stored_tuples();
+    s.probes = stem->probes_served();
+    s.migrations = stem->migrations();
+    s.final_index = stem->physical_index().name();
+    result.states.push_back(std::move(s));
+  }
+  return result;
+}
+
+}  // namespace amri::engine

@@ -1,0 +1,76 @@
+// The discrete-event simulation driver: pulls arrivals from a TupleSource,
+// runs expiry → insert → eddy routing for each, charges all modelled work
+// (hashing, comparisons, routing, migrations) to the virtual clock, tracks
+// memory against a budget, and samples the cumulative-throughput curve.
+//
+// This substitutes for the paper's CAPE testbed: identical cost structure
+// (the terms of Equation 1), deterministic, and laptop-fast. A run that
+// exceeds the memory budget "dies" — reproducing the baselines' observed
+// out-of-memory failures — and a run whose processing falls behind the
+// arrival schedule accumulates backlog, reproducing the search-request
+// backlog the paper describes for under-indexed configurations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/cost_meter.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/virtual_clock.hpp"
+#include "engine/eddy.hpp"
+#include "engine/metrics.hpp"
+#include "engine/query.hpp"
+#include "engine/stem.hpp"
+#include "engine/tuple_source.hpp"
+
+namespace amri::engine {
+
+struct ExecutorOptions {
+  TimeMicros duration = seconds_to_micros(60);  ///< measured run length
+  TimeMicros warmup = 0;  ///< training prefix (paper: quasi training data)
+  TimeMicros sample_every = seconds_to_micros(10);
+  CostParams costs{};
+  StemOptions stem{};            ///< applied to every state
+  EddyOptions eddy{};
+  std::size_t memory_budget = MemoryTracker::kUnlimited;
+  index::WorkloadParams model_params{};  ///< cost model for tuner decisions
+  /// Materialise projected result rows into RunResult::rows (for examples
+  /// and tests; throughput experiments leave this off).
+  bool collect_rows = false;
+  std::size_t max_collected_rows = 1000;
+  /// Optional per-result callback (e.g. an AggregateSink); invoked for
+  /// every complete join result, warm-up included.
+  std::function<void(const JoinResult&)> on_result;
+};
+
+class Executor {
+ public:
+  Executor(const QuerySpec& query, ExecutorOptions options);
+
+  /// Consume `source` until the measured duration elapses, the source is
+  /// exhausted, or the memory budget is exceeded.
+  RunResult run(TupleSource& source);
+
+  /// Engine internals exposed for inspection in tests and examples.
+  const std::vector<std::unique_ptr<StemOperator>>& stems() const {
+    return stems_;
+  }
+  const EddyRouter& eddy() const { return *eddy_; }
+  const VirtualClock& clock() const { return clock_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+ private:
+  void sync_queue_memory(std::size_t backlog);
+
+  const QuerySpec& query_;
+  ExecutorOptions options_;
+  VirtualClock clock_;
+  CostMeter meter_;
+  MemoryTracker memory_;
+  std::vector<std::unique_ptr<StemOperator>> stems_;
+  std::unique_ptr<EddyRouter> eddy_;
+  std::size_t tracked_queue_bytes_ = 0;
+};
+
+}  // namespace amri::engine

@@ -1,0 +1,58 @@
+// Run metrics: the cumulative-throughput time series behind the paper's
+// Figures 6 and 7, plus per-run summary counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/tuple.hpp"
+#include "common/types.hpp"
+
+namespace amri::engine {
+
+/// One point on the throughput curve.
+struct Sample {
+  TimeMicros t = 0;             ///< virtual time since measurement start
+  std::uint64_t outputs = 0;    ///< cumulative join results
+  std::size_t memory_bytes = 0; ///< tracked memory at sample time
+  std::size_t backlog = 0;      ///< queued, unprocessed arrivals
+};
+
+struct StateSummary {
+  StreamId stream = 0;
+  std::size_t stored_tuples = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t migrations = 0;
+  std::string final_index;
+};
+
+/// Result of one executor run.
+struct RunResult {
+  std::vector<Sample> samples;
+  std::uint64_t outputs = 0;          ///< results in the measured phase
+  std::uint64_t arrivals = 0;         ///< arrivals processed (measured)
+  std::uint64_t arrivals_filtered = 0;  ///< rejected by WHERE selections
+  std::uint64_t arrivals_dropped = 0; ///< unprocessed when the run ended
+  std::optional<TimeMicros> died_at;  ///< OOM time (measured-phase clock)
+  bool completed = false;             ///< ran the full duration
+  std::size_t peak_memory = 0;
+  double charged_us = 0.0;            ///< total modelled work
+  std::uint64_t routing_decisions = 0;  ///< fresh eddy routing decisions
+  std::vector<StateSummary> states;
+  /// First projected result rows (filled when ExecutorOptions::collect_rows
+  /// is set; capped at ExecutorOptions::max_collected_rows).
+  std::vector<SmallVector<Value, kInlineAttrs>> rows;
+
+  /// Outputs at or before measured time `t` (samples are monotone).
+  std::uint64_t outputs_at(TimeMicros t) const {
+    std::uint64_t best = 0;
+    for (const Sample& s : samples) {
+      if (s.t <= t) best = s.outputs;
+    }
+    return best;
+  }
+};
+
+}  // namespace amri::engine

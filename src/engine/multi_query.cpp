@@ -1,0 +1,207 @@
+#include "engine/multi_query.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace amri::engine {
+
+MultiQueryExecutor::MultiQueryExecutor(std::vector<QuerySpec> queries,
+                                       ExecutorOptions options)
+    : queries_(std::move(queries)),
+      options_(options),
+      meter_(&clock_, options.costs),
+      memory_(options.memory_budget) {
+  assert(!queries_.empty());
+  const std::size_t k = queries_[0].num_streams();
+  const TimeMicros window = queries_[0].window();
+  for (const QuerySpec& q : queries_) {
+    assert(q.num_streams() == k);
+    assert(q.window() == window);
+    (void)q;
+  }
+
+  // Union JAS per stream (sorted tuple-attribute ids for determinism).
+  shared_layouts_.resize(k);
+  for (StreamId s = 0; s < k; ++s) {
+    std::vector<AttrId> attrs;
+    for (const QuerySpec& q : queries_) {
+      for (const AttrId a : q.layout(s).jas.attrs()) {
+        if (std::find(attrs.begin(), attrs.end(), a) == attrs.end()) {
+          attrs.push_back(a);
+        }
+      }
+    }
+    std::sort(attrs.begin(), attrs.end());
+    shared_layouts_[s].jas = index::JoinAttributeSet(std::move(attrs));
+    // Shared layouts carry no peers: peers are query-specific and only
+    // used by the per-query eddies.
+  }
+
+  // Shared STeMs sized for the union JAS.
+  const index::CostModel model(options_.model_params);
+  std::vector<StemOperator*> stem_ptrs;
+  for (StreamId s = 0; s < k; ++s) {
+    StemOptions stem_opts = options_.stem;
+    if (stem_opts.initial_config.num_attrs() !=
+        shared_layouts_[s].jas.size()) {
+      // Re-spread the configured bit budget over the union JAS.
+      const int budget = stem_opts.initial_config.total_bits();
+      std::vector<std::uint8_t> bits(shared_layouts_[s].jas.size(), 0);
+      for (int b = 0; b < budget; ++b) {
+        ++bits[static_cast<std::size_t>(b) % bits.size()];
+      }
+      stem_opts.initial_config = index::IndexConfig(bits);
+    }
+    stems_.push_back(std::make_unique<StemOperator>(
+        s, shared_layouts_[s], window, stem_opts, model, &meter_, &memory_));
+    stem_ptrs.push_back(stems_.back().get());
+  }
+
+  // One eddy per query, probing the shared stems through position maps.
+  for (const QuerySpec& q : queries_) {
+    auto eddy = std::make_unique<EddyRouter>(q, stem_ptrs, options_.eddy,
+                                             &meter_);
+    std::vector<std::vector<std::uint8_t>> maps(k);
+    for (StreamId s = 0; s < k; ++s) {
+      const auto& query_jas = q.layout(s).jas;
+      for (std::size_t p = 0; p < query_jas.size(); ++p) {
+        const std::size_t shared_pos =
+            shared_layouts_[s].jas.position_of(query_jas.tuple_attr(p));
+        assert(shared_pos < shared_layouts_[s].jas.size());
+        maps[s].push_back(static_cast<std::uint8_t>(shared_pos));
+      }
+    }
+    eddy->set_position_maps(std::move(maps));
+    eddies_.push_back(std::move(eddy));
+  }
+}
+
+void MultiQueryExecutor::sync_queue_memory(std::size_t backlog) {
+  const std::size_t now = backlog * (sizeof(Tuple) + 16);
+  if (now > tracked_queue_bytes_) {
+    memory_.allocate(MemCategory::kQueue, now - tracked_queue_bytes_);
+  } else if (now < tracked_queue_bytes_) {
+    memory_.release(MemCategory::kQueue, tracked_queue_bytes_ - now);
+  }
+  tracked_queue_bytes_ = now;
+}
+
+MultiRunResult MultiQueryExecutor::run(TupleSource& source) {
+  MultiRunResult result;
+  result.per_query_outputs.assign(queries_.size(), 0);
+  RunResult& combined = result.combined;
+
+  const TimeMicros warmup_end = options_.warmup;
+  const TimeMicros measure_end = options_.warmup + options_.duration;
+  std::deque<Tuple> pending;
+  std::optional<Tuple> lookahead = source.next();
+  bool warmup_done = (options_.warmup == 0);
+  std::uint64_t outputs_total = 0;
+  std::uint64_t outputs_offset = 0;
+  std::vector<std::uint64_t> per_query_offset(queries_.size(), 0);
+  TimeMicros next_sample = warmup_end + options_.sample_every;
+
+  auto take_sample = [&](TimeMicros at) {
+    Sample s;
+    s.t = at - warmup_end;
+    s.outputs = outputs_total - outputs_offset;
+    s.memory_bytes = memory_.total();
+    s.backlog = pending.size();
+    combined.samples.push_back(s);
+  };
+
+  auto finish_warmup = [&] {
+    for (auto& stem : stems_) stem->finish_warmup();
+    outputs_offset = outputs_total;
+    per_query_offset = result.per_query_outputs;
+    warmup_done = true;
+    take_sample(warmup_end);
+  };
+
+  while (clock_.now() < measure_end) {
+    while (lookahead.has_value() && lookahead->ts <= clock_.now()) {
+      pending.push_back(*lookahead);
+      lookahead = source.next();
+    }
+    sync_queue_memory(pending.size());
+    if (memory_.exhausted()) break;
+
+    if (pending.empty()) {
+      if (!lookahead.has_value()) break;
+      if (lookahead->ts >= measure_end) {
+        clock_.advance_to(measure_end);
+        break;
+      }
+      clock_.advance_to(lookahead->ts);
+      continue;
+    }
+
+    const Tuple arrival = pending.front();
+    pending.pop_front();
+    sync_queue_memory(pending.size());
+    if (!warmup_done && clock_.now() >= warmup_end) finish_warmup();
+
+    // Selections are per query: a tuple enters the shared state if ANY
+    // query accepts it; each query only routes tuples it accepts.
+    bool accepted_by_any = false;
+    SmallVector<std::uint8_t, 8> accepts;
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      const bool ok =
+          queries_[qi].selection(arrival.stream).matches(arrival, &meter_);
+      accepts.push_back(ok ? 1 : 0);
+      accepted_by_any = accepted_by_any || ok;
+    }
+    if (!accepted_by_any) {
+      if (warmup_done) ++combined.arrivals_filtered;
+      continue;
+    }
+
+    for (auto& stem : stems_) stem->expire(clock_.now());
+    const Tuple* stored = stems_[arrival.stream]->insert(arrival);
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (accepts[qi] == 0) continue;
+      const std::uint64_t produced = eddies_[qi]->route(stored);
+      outputs_total += produced;
+      result.per_query_outputs[qi] += produced;
+    }
+    if (warmup_done) ++combined.arrivals;
+    if (memory_.exhausted()) break;
+
+    while (warmup_done && clock_.now() >= next_sample &&
+           next_sample <= measure_end) {
+      take_sample(next_sample);
+      next_sample += options_.sample_every;
+    }
+  }
+
+  if (!warmup_done) finish_warmup();
+  const TimeMicros end_now = std::min(clock_.now(), measure_end);
+  if (memory_.exhausted()) {
+    combined.died_at = end_now - warmup_end;
+  } else {
+    combined.completed = clock_.now() >= measure_end || !lookahead.has_value();
+  }
+  take_sample(end_now >= warmup_end ? end_now : warmup_end);
+
+  combined.outputs = outputs_total - outputs_offset;
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    result.per_query_outputs[qi] -= per_query_offset[qi];
+  }
+  combined.arrivals_dropped = pending.size();
+  combined.peak_memory = memory_.peak();
+  combined.charged_us = meter_.charged_us();
+  combined.routing_decisions = meter_.routes();
+  for (const auto& stem : stems_) {
+    StateSummary s;
+    s.stream = stem->stream();
+    s.stored_tuples = stem->stored_tuples();
+    s.probes = stem->probes_served();
+    s.migrations = stem->migrations();
+    s.final_index = stem->physical_index().name();
+    combined.states.push_back(std::move(s));
+  }
+  return result;
+}
+
+}  // namespace amri::engine

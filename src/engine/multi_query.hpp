@@ -1,0 +1,64 @@
+// Multi-query AMR processing (paper §II: "our proposed logic equally
+// applies to multiple SPJ queries"). Several SPJ queries run over the same
+// streams; each stream has ONE shared STeM state whose join attribute set
+// is the union of the attributes any query joins on, and one AMRI index
+// (or baseline) serves the union of all queries' access patterns — the
+// multi-query workload diversity that motivates AMRI's single versatile
+// index.
+//
+// Constraints (asserted): all queries span the same stream universe and
+// share the window length (the paper's default-window-length template).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/executor.hpp"
+
+namespace amri::engine {
+
+struct MultiRunResult {
+  RunResult combined;                          ///< totals across queries
+  std::vector<std::uint64_t> per_query_outputs;
+};
+
+class MultiQueryExecutor {
+ public:
+  /// `queries` must all reference the same streams (ids and schemas) and
+  /// window. The ExecutorOptions are applied to the shared states.
+  MultiQueryExecutor(std::vector<QuerySpec> queries, ExecutorOptions options);
+
+  // Eddies hold references into queries_: not copyable or movable.
+  MultiQueryExecutor(const MultiQueryExecutor&) = delete;
+  MultiQueryExecutor& operator=(const MultiQueryExecutor&) = delete;
+
+  MultiRunResult run(TupleSource& source);
+
+  const std::vector<std::unique_ptr<StemOperator>>& stems() const {
+    return stems_;
+  }
+  const QuerySpec& query(std::size_t i) const { return queries_[i]; }
+  std::size_t num_queries() const { return queries_.size(); }
+  const VirtualClock& clock() const { return clock_; }
+  const MemoryTracker& memory() const { return memory_; }
+
+  /// The shared (union) join attribute set of stream `s`.
+  const index::JoinAttributeSet& shared_jas(StreamId s) const {
+    return shared_layouts_[s].jas;
+  }
+
+ private:
+  void sync_queue_memory(std::size_t backlog);
+
+  std::vector<QuerySpec> queries_;
+  ExecutorOptions options_;
+  VirtualClock clock_;
+  CostMeter meter_;
+  MemoryTracker memory_;
+  std::vector<StateLayout> shared_layouts_;  ///< union JAS per stream
+  std::vector<std::unique_ptr<StemOperator>> stems_;
+  std::vector<std::unique_ptr<EddyRouter>> eddies_;  ///< one per query
+  std::size_t tracked_queue_bytes_ = 0;
+};
+
+}  // namespace amri::engine

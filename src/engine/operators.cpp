@@ -1,0 +1,17 @@
+#include "engine/operators.hpp"
+
+namespace amri::engine {
+
+std::string compare_op_name(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace amri::engine

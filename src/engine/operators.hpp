@@ -1,0 +1,113 @@
+// Selection and projection — the S and P of the paper's SPJ template
+// (§II, Figure 2). Selections are per-stream predicates against constants
+// applied at ingest (before a tuple is stored or routed); projection picks
+// the (stream, attribute) columns a complete join result emits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cost_meter.hpp"
+#include "common/small_vector.hpp"
+#include "common/tuple.hpp"
+
+namespace amri::engine {
+
+enum class CompareOp : std::uint8_t {
+  kEq = 0,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+std::string compare_op_name(CompareOp op);
+
+/// One WHERE-clause predicate against a constant: attr <op> constant.
+struct FilterPredicate {
+  AttrId attr = 0;
+  CompareOp op = CompareOp::kEq;
+  Value constant = 0;
+
+  bool matches(const Tuple& t) const {
+    const Value v = t.at(attr);
+    switch (op) {
+      case CompareOp::kEq: return v == constant;
+      case CompareOp::kNe: return v != constant;
+      case CompareOp::kLt: return v < constant;
+      case CompareOp::kLe: return v <= constant;
+      case CompareOp::kGt: return v > constant;
+      case CompareOp::kGe: return v >= constant;
+    }
+    return false;
+  }
+};
+
+/// Conjunction of filters for one stream. Charges one comparison per
+/// evaluated predicate; evaluation short-circuits on the first failure.
+class Selection {
+ public:
+  Selection() = default;
+  explicit Selection(std::vector<FilterPredicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  bool empty() const { return predicates_.empty(); }
+  std::size_t size() const { return predicates_.size(); }
+  const std::vector<FilterPredicate>& predicates() const { return predicates_; }
+
+  bool matches(const Tuple& t, CostMeter* meter = nullptr) const {
+    for (const FilterPredicate& p : predicates_) {
+      if (meter != nullptr) meter->charge_compare();
+      if (!p.matches(t)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<FilterPredicate> predicates_;
+};
+
+/// One output column of the SELECT clause.
+struct OutputColumn {
+  StreamId stream = 0;
+  AttrId attr = 0;
+};
+
+/// Projection over a complete join result. An empty projection means
+/// SELECT * (all attributes of all streams, in stream order).
+class Projection {
+ public:
+  Projection() = default;
+  explicit Projection(std::vector<OutputColumn> columns)
+      : columns_(std::move(columns)) {}
+
+  bool select_star() const { return columns_.empty(); }
+  const std::vector<OutputColumn>& columns() const { return columns_; }
+
+  /// Materialise the projected row from per-stream member tuples
+  /// (`members[s]` may be null only for columns not referenced).
+  SmallVector<Value, kInlineAttrs> apply(
+      const SmallVector<const Tuple*, 8>& members) const {
+    SmallVector<Value, kInlineAttrs> row;
+    if (select_star()) {
+      for (std::size_t s = 0; s < members.size(); ++s) {
+        if (members[s] == nullptr) continue;
+        for (std::size_t a = 0; a < members[s]->values.size(); ++a) {
+          row.push_back(members[s]->values[a]);
+        }
+      }
+      return row;
+    }
+    for (const OutputColumn& c : columns_) {
+      row.push_back(members[c.stream]->at(c.attr));
+    }
+    return row;
+  }
+
+ private:
+  std::vector<OutputColumn> columns_;
+};
+
+}  // namespace amri::engine

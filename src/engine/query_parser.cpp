@@ -1,0 +1,371 @@
+#include "engine/query_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <stdexcept>
+
+namespace amri::engine {
+
+namespace {
+
+// ---- tokenizer -----------------------------------------------------------
+
+struct Token {
+  enum Kind { kWord, kNumber, kSymbol, kEnd } kind = kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  const Token& peek() {
+    if (!current_) current_ = lex();
+    return *current_;
+  }
+
+  Token take() {
+    const Token t = peek();
+    current_.reset();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("query parse error: " + message);
+  }
+
+ private:
+  Token lex() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Token{Token::kEnd, ""};
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return Token{Token::kWord, std::string(text_.substr(start, pos_ - start))};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      std::size_t start = pos_++;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      return Token{Token::kNumber, std::string(text_.substr(start, pos_ - start))};
+    }
+    // Multi-char comparison operators.
+    for (const std::string_view op : {"<=", ">=", "!=", "<>"}) {
+      if (text_.substr(pos_, 2) == op) {
+        pos_ += 2;
+        return Token{Token::kSymbol, std::string(op)};
+      }
+    }
+    ++pos_;
+    return Token{Token::kSymbol, std::string(1, c)};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::optional<Token> current_;
+};
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+bool is_keyword(const Token& t, std::string_view kw) {
+  return t.kind == Token::kWord && upper(t.text) == kw;
+}
+
+CompareOp op_from(const std::string& s) {
+  if (s == "=" || s == "==") return CompareOp::kEq;
+  if (s == "!=" || s == "<>") return CompareOp::kNe;
+  if (s == "<") return CompareOp::kLt;
+  if (s == "<=") return CompareOp::kLe;
+  if (s == ">") return CompareOp::kGt;
+  if (s == ">=") return CompareOp::kGe;
+  throw std::invalid_argument("query parse error: unknown operator '" + s +
+                              "'");
+}
+
+std::optional<AggFunc> agg_from(const std::string& word) {
+  const std::string w = upper(word);
+  if (w == "COUNT") return AggFunc::kCount;
+  if (w == "SUM") return AggFunc::kSum;
+  if (w == "MIN") return AggFunc::kMin;
+  if (w == "MAX") return AggFunc::kMax;
+  if (w == "AVG") return AggFunc::kAvg;
+  return std::nullopt;
+}
+
+// ---- parser --------------------------------------------------------------
+
+struct ColumnRef {
+  std::string alias;
+  std::string attr;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const std::vector<Schema>& streams,
+         TimeMicros default_window)
+      : lexer_(text), streams_(streams), window_(default_window) {}
+
+  ParsedQuery parse() {
+    parse_select();
+    parse_from();
+    parse_where();
+    parse_optional_group_by();
+    parse_optional_window();
+    if (lexer_.peek().kind != Token::kEnd) {
+      lexer_.fail("unexpected trailing token '" + lexer_.peek().text + "'");
+    }
+    return build();
+  }
+
+ private:
+  void expect_keyword(std::string_view kw) {
+    const Token t = lexer_.take();
+    if (!is_keyword(t, kw)) {
+      lexer_.fail("expected " + std::string(kw) + ", got '" + t.text + "'");
+    }
+  }
+
+  void expect_symbol(std::string_view s) {
+    const Token t = lexer_.take();
+    if (t.kind != Token::kSymbol || t.text != s) {
+      lexer_.fail("expected '" + std::string(s) + "', got '" + t.text + "'");
+    }
+  }
+
+  std::string expect_word(const char* what) {
+    const Token t = lexer_.take();
+    if (t.kind != Token::kWord) {
+      lexer_.fail(std::string("expected ") + what + ", got '" + t.text + "'");
+    }
+    return t.text;
+  }
+
+  /// alias '.' attr
+  ColumnRef parse_column_ref() {
+    ColumnRef ref;
+    ref.alias = expect_word("stream alias");
+    expect_symbol(".");
+    ref.attr = expect_word("attribute name");
+    return ref;
+  }
+
+  void parse_select() {
+    expect_keyword("SELECT");
+    if (lexer_.peek().kind == Token::kSymbol && lexer_.peek().text == "*") {
+      lexer_.take();
+      select_star_ = true;
+      return;
+    }
+    // Aggregate form: AGG '(' ... ')'
+    const Token first = lexer_.take();
+    if (first.kind != Token::kWord) {
+      lexer_.fail("expected column or aggregate in SELECT, got '" +
+                  first.text + "'");
+    }
+    if (const auto agg = agg_from(first.text);
+        agg && lexer_.peek().kind == Token::kSymbol &&
+        lexer_.peek().text == "(") {
+      lexer_.take();  // '('
+      agg_ = agg;
+      if (lexer_.peek().kind == Token::kSymbol && lexer_.peek().text == "*") {
+        if (*agg != AggFunc::kCount) {
+          lexer_.fail("only COUNT accepts '*'");
+        }
+        lexer_.take();
+      } else {
+        agg_column_ = parse_column_ref();
+      }
+      expect_symbol(")");
+      return;
+    }
+    // Plain column list: first token was the leading alias.
+    ColumnRef ref;
+    ref.alias = first.text;
+    expect_symbol(".");
+    ref.attr = expect_word("attribute name");
+    columns_.push_back(ref);
+    while (lexer_.peek().kind == Token::kSymbol && lexer_.peek().text == ",") {
+      lexer_.take();
+      columns_.push_back(parse_column_ref());
+    }
+  }
+
+  void parse_from() {
+    expect_keyword("FROM");
+    while (true) {
+      const std::string stream = expect_word("stream name");
+      const std::string alias = expect_word("stream alias");
+      StreamId id = 0;
+      bool found = false;
+      for (StreamId s = 0; s < streams_.size(); ++s) {
+        if (streams_[s].stream_name() == stream) {
+          id = s;
+          found = true;
+          break;
+        }
+      }
+      if (!found) lexer_.fail("unknown stream '" + stream + "'");
+      if (aliases_.count(alias) != 0) {
+        lexer_.fail("duplicate alias '" + alias + "'");
+      }
+      // Alias maps to the *query-local* stream id (FROM position), so the
+      // same catalog stream under two aliases is a self-join.
+      aliases_[alias] = static_cast<StreamId>(from_order_.size());
+      from_order_.push_back(id);
+      if (lexer_.peek().kind == Token::kSymbol && lexer_.peek().text == ",") {
+        lexer_.take();
+        continue;
+      }
+      break;
+    }
+  }
+
+  /// Resolve a ColumnRef against the FROM aliases; the returned stream id
+  /// is *query-local* (position in the FROM clause).
+  OutputColumn resolve(const ColumnRef& ref) {
+    const auto it = aliases_.find(ref.alias);
+    if (it == aliases_.end()) {
+      lexer_.fail("unknown alias '" + ref.alias + "'");
+    }
+    const StreamId query_id = it->second;
+    const Schema& schema = streams_[from_order_[query_id]];
+    const AttrId attr = schema.find_attr(ref.attr);
+    if (attr == schema.num_attrs()) {
+      lexer_.fail("stream '" + schema.stream_name() +
+                  "' has no attribute '" + ref.attr + "'");
+    }
+    return OutputColumn{query_id, attr};
+  }
+
+  void parse_where() {
+    if (!is_keyword(lexer_.peek(), "WHERE")) return;
+    lexer_.take();
+    while (true) {
+      const ColumnRef left = parse_column_ref();
+      const Token op_tok = lexer_.take();
+      if (op_tok.kind != Token::kSymbol) {
+        lexer_.fail("expected comparison operator, got '" + op_tok.text +
+                    "'");
+      }
+      const CompareOp op = op_from(op_tok.text);
+      if (lexer_.peek().kind == Token::kNumber) {
+        // Constant filter.
+        const Token num = lexer_.take();
+        const OutputColumn col = resolve(left);
+        filters_.emplace_back(col.stream,
+                              FilterPredicate{col.attr, op,
+                                              static_cast<Value>(
+                                                  std::stoll(num.text))});
+      } else {
+        // Join predicate: must be an equi-join between two streams.
+        const ColumnRef right = parse_column_ref();
+        if (op != CompareOp::kEq) {
+          lexer_.fail("join predicates must use '=' (got '" + op_tok.text +
+                      "'); use constants for range filters");
+        }
+        const OutputColumn l = resolve(left);
+        const OutputColumn r = resolve(right);
+        if (l.stream == r.stream) {
+          lexer_.fail("join predicate references one stream twice");
+        }
+        joins_.push_back(JoinPredicate{l.stream, l.attr, r.stream, r.attr});
+      }
+      if (is_keyword(lexer_.peek(), "AND")) {
+        lexer_.take();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void parse_optional_group_by() {
+    if (!is_keyword(lexer_.peek(), "GROUP")) return;
+    lexer_.take();
+    expect_keyword("BY");
+    group_by_ = parse_column_ref();
+  }
+
+  void parse_optional_window() {
+    if (!is_keyword(lexer_.peek(), "WINDOW")) return;
+    lexer_.take();
+    const Token t = lexer_.take();
+    if (t.kind != Token::kNumber) {
+      lexer_.fail("expected window length in seconds, got '" + t.text + "'");
+    }
+    window_ = seconds_to_micros(std::stod(t.text));
+  }
+
+  ParsedQuery build() {
+    if (from_order_.empty()) lexer_.fail("FROM clause is required");
+    // The query spans exactly the FROM-clause streams (query StreamId =
+    // FROM position); duplicate catalog streams under different aliases
+    // become distinct query streams (self-join support).
+    std::vector<Schema> query_schemas;
+    for (const StreamId catalog_id : from_order_) {
+      query_schemas.push_back(streams_[catalog_id]);
+    }
+    QuerySpec spec(std::move(query_schemas), joins_, window_);
+    // Selections grouped per stream.
+    std::map<StreamId, std::vector<FilterPredicate>> per_stream;
+    for (const auto& [stream, pred] : filters_) {
+      per_stream[stream].push_back(pred);
+    }
+    for (auto& [stream, preds] : per_stream) {
+      spec.set_selection(stream, Selection(std::move(preds)));
+    }
+    ParsedQuery out{std::move(spec), from_order_, std::nullopt, std::nullopt,
+                    std::nullopt};
+    if (!select_star_ && !columns_.empty()) {
+      std::vector<OutputColumn> cols;
+      for (const ColumnRef& ref : columns_) cols.push_back(resolve(ref));
+      out.query.set_projection(Projection(std::move(cols)));
+    }
+    if (agg_) {
+      out.agg = agg_;
+      if (agg_column_) out.agg_column = resolve(*agg_column_);
+    }
+    if (group_by_) out.group_by = resolve(*group_by_);
+    return out;
+  }
+
+  Lexer lexer_;
+  const std::vector<Schema>& streams_;
+  TimeMicros window_;
+  bool select_star_ = false;
+  std::vector<ColumnRef> columns_;
+  std::optional<AggFunc> agg_;
+  std::optional<ColumnRef> agg_column_;
+  std::optional<ColumnRef> group_by_;
+  std::map<std::string, StreamId> aliases_;
+  std::vector<StreamId> from_order_;
+  std::vector<JoinPredicate> joins_;
+  std::vector<std::pair<StreamId, FilterPredicate>> filters_;
+};
+
+}  // namespace
+
+ParsedQuery parse_query(std::string_view text,
+                        const std::vector<Schema>& streams,
+                        TimeMicros default_window) {
+  return Parser(text, streams, default_window).parse();
+}
+
+}  // namespace amri::engine

@@ -1,0 +1,47 @@
+// Parser for the paper's SPJ query template (§II, Figure 2):
+//
+//   SELECT <agg-func-list | column-list | *>
+//   FROM   <stream-name> <alias> [, ...]
+//   WHERE  <pred> [AND <pred>]...
+//   [GROUP BY <alias>.<attr>]
+//   [WINDOW <seconds>]
+//
+// Predicates are either equi-joins between two stream attributes
+// (A.a1 = B.a2) or constant filters with any comparison operator
+// (A.a1 >= 10). SELECT accepts '*', a list of alias.attr columns, or a
+// single aggregate COUNT(*) / SUM|MIN|MAX|AVG(alias.attr).
+//
+// Keywords are case-insensitive; clauses may be separated by newlines or
+// spaces. Unknown streams/attributes and malformed clauses throw
+// std::invalid_argument with a message naming the offending token.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/aggregate.hpp"
+#include "engine/query.hpp"
+
+namespace amri::engine {
+
+struct ParsedQuery {
+  QuerySpec query;
+  /// query StreamId -> index into the caller's stream catalog (the query
+  /// spans exactly the FROM-clause streams, in FROM order).
+  std::vector<StreamId> catalog_ids;
+  /// Present when the SELECT clause is an aggregate.
+  std::optional<AggFunc> agg;
+  std::optional<OutputColumn> agg_column;  ///< absent for COUNT(*)
+  std::optional<OutputColumn> group_by;
+};
+
+/// Parse `text` against the catalog of available stream schemas (StreamId =
+/// index into `streams`). `default_window` applies when no WINDOW clause is
+/// given (the template's default-window-length).
+ParsedQuery parse_query(std::string_view text,
+                        const std::vector<Schema>& streams,
+                        TimeMicros default_window = seconds_to_micros(60));
+
+}  // namespace amri::engine

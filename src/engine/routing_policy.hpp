@@ -1,0 +1,87 @@
+// Eddy routing policies: given a partial result (which streams it already
+// joined), choose which state to probe next. Policies consult per-(state,
+// access-pattern) statistics the router refreshes after every probe; an
+// exploration rate occasionally routes to suboptimal operators to keep the
+// statistics current (the paper's §I-B challenge 1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "stats/ewma.hpp"
+
+namespace amri::engine {
+
+/// Smoothed observations for one (target state, access pattern) pair.
+struct RouteStats {
+  stats::Ewma matches{0.2};   ///< join fan-out per probe
+  stats::Ewma compares{0.2};  ///< tuples compared per probe (probe cost)
+};
+
+/// Shared statistics table keyed by (state, pattern mask).
+class RoutingStatistics {
+ public:
+  RouteStats& at(StreamId state, AttrMask ap) {
+    return table_[key(state, ap)];
+  }
+  const RouteStats* find(StreamId state, AttrMask ap) const {
+    const auto it = table_.find(key(state, ap));
+    return it == table_.end() ? nullptr : &it->second;
+  }
+  void record(StreamId state, AttrMask ap, double matches, double compares) {
+    auto& rs = at(state, ap);
+    rs.matches.add(matches);
+    rs.compares.add(compares);
+  }
+  std::size_t size() const { return table_.size(); }
+  void clear() { table_.clear(); }
+
+ private:
+  static std::uint64_t key(StreamId state, AttrMask ap) {
+    return (static_cast<std::uint64_t>(state) << 32) | ap;
+  }
+  std::unordered_map<std::uint64_t, RouteStats> table_;
+};
+
+enum class RoutingPolicyKind : std::uint8_t {
+  kFixed = 0,    ///< static order: lowest stream id first
+  kCostBased,    ///< minimise expected probe cost + fan-out penalty
+  kLottery,      ///< ticket lottery, tickets inversely prop. to fan-out
+};
+
+/// Context handed to a policy for one routing decision.
+struct RoutingContext {
+  std::uint32_t done_mask = 0;  ///< streams already in the partial result
+  /// Candidate next states with the access pattern each would see.
+  struct Candidate {
+    StreamId state = 0;
+    AttrMask pattern = 0;
+  };
+  std::vector<Candidate> candidates;
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  /// Pick the index (into ctx.candidates) of the next state to probe.
+  virtual std::size_t choose(const RoutingContext& ctx,
+                             const RoutingStatistics& stats) = 0;
+  virtual std::string name() const = 0;
+};
+
+struct RoutingOptions {
+  RoutingPolicyKind kind = RoutingPolicyKind::kCostBased;
+  double exploration_rate = 0.05;  ///< probability of a random route
+  double fanout_weight = 2.0;      ///< cost-based: penalty per expected match
+  std::uint64_t seed = 0x5eedULL;
+};
+
+std::unique_ptr<RoutingPolicy> make_routing_policy(const RoutingOptions& opts);
+
+}  // namespace amri::engine

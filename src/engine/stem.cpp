@@ -1,0 +1,156 @@
+#include "engine/stem.hpp"
+
+#include <cassert>
+
+namespace amri::engine {
+
+StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
+                           TimeMicros window, StemOptions options,
+                           index::CostModel model, CostMeter* meter,
+                           MemoryTracker* memory)
+    : stream_(stream),
+      layout_(layout),
+      window_(window),
+      options_(std::move(options)),
+      meter_(meter),
+      memory_(memory) {
+  const std::size_t n = layout_.jas.size();
+  index::BitMapper mapper = [&] {
+    switch (options_.map_strategy) {
+      case index::MapStrategy::kRange:
+        return index::BitMapper::ranged(options_.domains);
+      case index::MapStrategy::kQuantile: {
+        auto samples = options_.quantile_samples;
+        samples.resize(n);
+        return index::BitMapper::quantile(std::move(samples));
+      }
+      case index::MapStrategy::kHash:
+      default:
+        return index::BitMapper::hashing(n);
+    }
+  }();
+  switch (options_.backend) {
+    case IndexBackend::kAmri:
+    case IndexBackend::kStaticBitmap: {
+      index::IndexConfig ic = options_.initial_config.num_attrs() == n
+                                  ? options_.initial_config
+                                  : index::IndexConfig::zero(n);
+      auto idx = std::make_unique<index::BitAddressIndex>(
+          layout_.jas, std::move(ic), std::move(mapper), meter_, memory_);
+      bit_index_ = idx.get();
+      index_ = std::move(idx);
+      // Static backends also carry a tuner so the warm-up phase can train
+      // their starting configuration; finish_warmup() drops it.
+      {
+        tuner::TunerOptions topts =
+            options_.amri_tuner.value_or(tuner::TunerOptions{});
+        amri_tuner_ = std::make_unique<tuner::AmriTuner>(
+            layout_.jas.universe(), n, model, topts, memory_);
+      }
+      continuous_tuning_ = options_.backend == IndexBackend::kAmri;
+      break;
+    }
+    case IndexBackend::kAccessModules:
+    case IndexBackend::kStaticModules: {
+      auto idx = std::make_unique<index::AccessModuleSet>(
+          layout_.jas, options_.initial_modules, meter_, memory_);
+      module_index_ = idx.get();
+      index_ = std::move(idx);
+      {
+        tuner::HashTunerOptions topts =
+            options_.module_tuner.value_or(tuner::HashTunerOptions{});
+        module_tuner_ = std::make_unique<tuner::HashModuleTuner>(
+            layout_.jas.universe(), topts, memory_);
+      }
+      continuous_tuning_ = options_.backend == IndexBackend::kAccessModules;
+      break;
+    }
+    case IndexBackend::kScan:
+      index_ = std::make_unique<index::ScanIndex>(layout_.jas, meter_, memory_);
+      break;
+  }
+}
+
+StemOperator::~StemOperator() {
+  if (memory_ != nullptr && tracked_tuple_bytes_ > 0) {
+    memory_->release(MemCategory::kStateTuples, tracked_tuple_bytes_);
+  }
+}
+
+void StemOperator::sync_tuple_memory() {
+  if (memory_ == nullptr) return;
+  // deque of tuples: payload plus modest container overhead per element.
+  const std::size_t now = window_store_.size() * (sizeof(Tuple) + 8);
+  if (now > tracked_tuple_bytes_) {
+    memory_->allocate(MemCategory::kStateTuples, now - tracked_tuple_bytes_);
+  } else if (now < tracked_tuple_bytes_) {
+    memory_->release(MemCategory::kStateTuples, tracked_tuple_bytes_ - now);
+  }
+  tracked_tuple_bytes_ = now;
+}
+
+const Tuple* StemOperator::insert(const Tuple& t) {
+  window_store_.push_back(t);
+  index_->insert(&window_store_.back());
+  sync_tuple_memory();
+  return &window_store_.back();
+}
+
+void StemOperator::expire(TimeMicros now) {
+  const TimeMicros horizon = now - window_;
+  while (!window_store_.empty() && window_store_.front().ts < horizon) {
+    index_->erase(&window_store_.front());
+    window_store_.pop_front();
+  }
+  sync_tuple_memory();
+}
+
+index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
+                                      std::vector<const Tuple*>& out) {
+  ++probes_;
+  const auto stats = index_->probe(key, out);
+  if (amri_tuner_ != nullptr) {
+    amri_tuner_->observe_request(key.mask);
+    if (continuous_tuning_ && amri_tuner_->tuning_due()) {
+      amri_tuner_->maybe_tune(*bit_index_);
+    }
+  } else if (module_tuner_ != nullptr) {
+    module_tuner_->observe_request(key.mask);
+    if (continuous_tuning_ && module_tuner_->tuning_due()) {
+      module_tuner_->maybe_tune(*module_index_);
+    }
+  }
+  return stats;
+}
+
+const index::IndexConfig* StemOperator::current_config() const {
+  return bit_index_ != nullptr ? &bit_index_->config() : nullptr;
+}
+
+std::uint64_t StemOperator::migrations() const {
+  return warmup_migrations_ +
+         (amri_tuner_ != nullptr   ? amri_tuner_->migrations()
+          : module_tuner_ != nullptr ? module_tuner_->retunes()
+                                     : 0);
+}
+
+void StemOperator::force_tune() {
+  if (amri_tuner_ != nullptr && bit_index_ != nullptr) {
+    amri_tuner_->maybe_tune(*bit_index_);
+  } else if (module_tuner_ != nullptr && module_index_ != nullptr) {
+    module_tuner_->maybe_tune(*module_index_);
+  }
+}
+
+void StemOperator::finish_warmup() {
+  force_tune();
+  if (!continuous_tuning_) {
+    // The non-adapting baselines keep the trained configuration forever.
+    if (amri_tuner_ != nullptr) warmup_migrations_ = amri_tuner_->migrations();
+    if (module_tuner_ != nullptr) warmup_migrations_ = module_tuner_->retunes();
+    amri_tuner_.reset();
+    module_tuner_.reset();
+  }
+}
+
+}  // namespace amri::engine

@@ -1,0 +1,117 @@
+// The STeM operator (paper §II, after Raman et al. [5]): a unary join
+// state module supporting insertion, window-expiry deletion, and probe by
+// join predicates. The physical index behind a STeM is pluggable — the
+// AMRI bit-address index, the multi-hash access-module baseline, or a full
+// scan — and an optional tuner adapts it online.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/cost_meter.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/tuple.hpp"
+#include "engine/query.hpp"
+#include "index/access_module_set.hpp"
+#include "index/bit_address_index.hpp"
+#include "index/scan_index.hpp"
+#include "tuner/amri_tuner.hpp"
+#include "tuner/hash_module_tuner.hpp"
+
+namespace amri::engine {
+
+/// Which physical index a STeM uses (the experiment axis of the paper).
+enum class IndexBackend : std::uint8_t {
+  kAmri = 0,        ///< bit-address index with AMRI online tuning
+  kStaticBitmap,    ///< bit-address index, no tuning (paper's non-adapting
+                    ///< bitmap baseline)
+  kAccessModules,   ///< multi-hash access modules [5], CDIA-tuned
+  kStaticModules,   ///< multi-hash access modules, no tuning
+  kScan,            ///< no index at all
+};
+
+struct StemOptions {
+  IndexBackend backend = IndexBackend::kAmri;
+  index::IndexConfig initial_config;          ///< bit-address backends
+  std::vector<AttrMask> initial_modules;      ///< access-module backends
+  std::optional<tuner::TunerOptions> amri_tuner;       ///< kAmri
+  std::optional<tuner::HashTunerOptions> module_tuner; ///< kAccessModules
+  index::MapStrategy map_strategy = index::MapStrategy::kHash;
+  std::vector<index::AttrDomain> domains;     ///< for kRange mapping
+  /// For kQuantile mapping: one value sample per JAS position (e.g. from
+  /// a warm-up trace). Empty samples fall back to hashing per attribute.
+  std::vector<std::vector<Value>> quantile_samples;
+};
+
+class StemOperator {
+ public:
+  /// `layout` comes from the QuerySpec; `window` is the sliding-window
+  /// length; `model` parameterises tuner cost decisions.
+  StemOperator(StreamId stream, const StateLayout& layout, TimeMicros window,
+               StemOptions options, index::CostModel model,
+               CostMeter* meter = nullptr, MemoryTracker* memory = nullptr);
+
+  ~StemOperator();
+
+  StemOperator(const StemOperator&) = delete;
+  StemOperator& operator=(const StemOperator&) = delete;
+
+  StreamId stream() const { return stream_; }
+  const StateLayout& layout() const { return layout_; }
+  IndexBackend backend() const { return options_.backend; }
+
+  /// Store an arriving tuple (copied into the window store) and index it.
+  /// Returns the stored copy (stable address until expiry).
+  const Tuple* insert(const Tuple& t);
+
+  /// Expire tuples older than `now - window`.
+  void expire(TimeMicros now);
+
+  /// Probe for matches; feeds the access pattern to the tuner (if any) and
+  /// applies due tuning decisions. Matches are appended to `out`.
+  index::ProbeStats probe(const index::ProbeKey& key,
+                          std::vector<const Tuple*>& out);
+
+  std::size_t stored_tuples() const { return window_store_.size(); }
+  const index::TupleIndex& physical_index() const { return *index_; }
+
+  /// Current bit-address config (bit-address backends only).
+  const index::IndexConfig* current_config() const;
+
+  std::uint64_t probes_served() const { return probes_; }
+  std::uint64_t migrations() const;
+
+  /// Force a tuning decision now (used after the warm-up phase). For the
+  /// static backends (kStaticBitmap / kStaticModules) this applies the
+  /// warm-up statistics once and then *drops* the tuner: the paper's
+  /// non-adapting baselines start from a trained configuration but never
+  /// adapt again.
+  void finish_warmup();
+
+  /// Apply a pending tuning decision immediately (adaptive backends).
+  void force_tune();
+
+ private:
+  void sync_tuple_memory();
+
+  StreamId stream_;
+  StateLayout layout_;
+  TimeMicros window_;
+  StemOptions options_;
+  CostMeter* meter_;
+  MemoryTracker* memory_;
+  std::deque<Tuple> window_store_;
+  std::unique_ptr<index::TupleIndex> index_;
+  index::BitAddressIndex* bit_index_ = nullptr;      ///< non-owning view
+  index::AccessModuleSet* module_index_ = nullptr;   ///< non-owning view
+  std::unique_ptr<tuner::AmriTuner> amri_tuner_;
+  std::unique_ptr<tuner::HashModuleTuner> module_tuner_;
+  bool continuous_tuning_ = false;
+  std::uint64_t warmup_migrations_ = 0;
+  std::uint64_t probes_ = 0;
+  std::size_t tracked_tuple_bytes_ = 0;
+};
+
+}  // namespace amri::engine

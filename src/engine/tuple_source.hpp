@@ -1,0 +1,21 @@
+// The stream-input abstraction the executor pulls from: an ordered (by
+// timestamp) merged sequence of tuples across all streams. Implemented by
+// the workload module's synthetic generators and by test fixtures.
+#pragma once
+
+#include <optional>
+
+#include "common/tuple.hpp"
+
+namespace amri::engine {
+
+class TupleSource {
+ public:
+  virtual ~TupleSource() = default;
+
+  /// Next arrival in non-decreasing timestamp order; nullopt when the
+  /// source is exhausted.
+  virtual std::optional<Tuple> next() = 0;
+};
+
+}  // namespace amri::engine

@@ -1,0 +1,35 @@
+#include "index/access_pattern.hpp"
+
+namespace amri::index {
+
+std::string pattern_to_string(AttrMask mask, std::size_t num_attrs,
+                              const std::vector<std::string>* names) {
+  std::string out = "<";
+  for (std::size_t i = 0; i < num_attrs; ++i) {
+    if (i != 0) out += ',';
+    if (has_bit(mask, static_cast<unsigned>(i))) {
+      if (names != nullptr && i < names->size()) {
+        out += (*names)[i];
+      } else {
+        out += static_cast<char>('A' + (i % 26));
+      }
+    } else {
+      out += '*';
+    }
+  }
+  out += '>';
+  return out;
+}
+
+ProbeKey probe_from_tuple(AttrMask mask, const Tuple& t,
+                          const JoinAttributeSet& probing_side_attrs) {
+  ProbeKey key;
+  key.mask = mask;
+  key.values.resize(probing_side_attrs.size(), Value{0});
+  for_each_bit(mask, [&](unsigned pos) {
+    key.values[pos] = t.at(probing_side_attrs.tuple_attr(pos));
+  });
+  return key;
+}
+
+}  // namespace amri::index

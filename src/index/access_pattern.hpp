@@ -1,0 +1,118 @@
+// Access patterns over a state's join attribute set (JAS).
+//
+// A state indexes a fixed ordered list of join attributes; an access pattern
+// is the subset of those attributes bound by a search request, represented
+// as a bitmask over JAS positions — exactly the paper's BR(ap) binary
+// representation (<A,*,C> over JAS {A,B,C} -> mask 0b101).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/small_vector.hpp"
+#include "common/tuple.hpp"
+#include "common/types.hpp"
+
+namespace amri::index {
+
+/// The join attribute set of a state: JAS position -> tuple attribute id.
+class JoinAttributeSet {
+ public:
+  JoinAttributeSet() = default;
+  explicit JoinAttributeSet(std::vector<AttrId> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  std::size_t size() const { return attrs_.size(); }
+  AttrId tuple_attr(std::size_t jas_pos) const { return attrs_[jas_pos]; }
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+
+  /// Mask with every JAS position set.
+  AttrMask universe() const { return low_bits(static_cast<int>(attrs_.size())); }
+
+  /// JAS position of tuple attribute `a`, or size() if not a join attribute.
+  std::size_t position_of(AttrId a) const {
+    for (std::size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i] == a) return i;
+    }
+    return attrs_.size();
+  }
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+/// A concrete probe: which JAS positions are bound (the access pattern) and
+/// the value each bound position must equal. `values` is JAS-sized; slots
+/// whose mask bit is clear are ignored.
+struct ProbeKey {
+  AttrMask mask = 0;
+  SmallVector<Value, kInlineAttrs> values;
+
+  /// Number of bound attributes (the paper's N_{A,ap} when all indexed).
+  int bound_count() const { return popcount(mask); }
+
+  /// True iff `t` matches every bound attribute. `jas` maps JAS positions
+  /// to tuple attribute ids.
+  bool matches(const Tuple& t, const JoinAttributeSet& jas) const {
+    bool ok = true;
+    for_each_bit(mask, [&](unsigned pos) {
+      if (t.at(jas.tuple_attr(pos)) != values[pos]) ok = false;
+    });
+    return ok;
+  }
+};
+
+/// An inclusive value interval used by range probes (the paper's §II join
+/// expressions <, >, >=, <=). Equality is the degenerate case lo == hi.
+struct RangeBound {
+  Value lo = 0;
+  Value hi = 0;
+
+  bool contains(Value v) const { return v >= lo && v <= hi; }
+};
+
+/// A range probe: per JAS position an optional interval constraint.
+/// Unconstrained positions are wildcards.
+struct RangeProbeKey {
+  SmallVector<Value, kInlineAttrs> los;     ///< parallel arrays; slot valid
+  SmallVector<Value, kInlineAttrs> his;     ///< iff mask bit is set
+  AttrMask mask = 0;
+
+  void bind(std::size_t pos, Value lo, Value hi) {
+    if (los.size() <= pos) {
+      los.resize(pos + 1, Value{0});
+      his.resize(pos + 1, Value{0});
+    }
+    los[pos] = lo;
+    his[pos] = hi;
+    mask |= (AttrMask{1} << pos);
+  }
+
+  bool bound(std::size_t pos) const {
+    return has_bit(mask, static_cast<unsigned>(pos));
+  }
+
+  /// True iff `t` satisfies every bound interval.
+  bool matches(const Tuple& t, const JoinAttributeSet& jas) const {
+    bool ok = true;
+    for_each_bit(mask, [&](unsigned pos) {
+      const Value v = t.at(jas.tuple_attr(pos));
+      if (v < los[pos] || v > his[pos]) ok = false;
+    });
+    return ok;
+  }
+};
+
+/// Render a mask as the paper's vector notation, e.g. <A,*,C> for
+/// mask=0b101 with names {A,B,C}. Names default to A,B,C,... when omitted.
+std::string pattern_to_string(AttrMask mask, std::size_t num_attrs,
+                              const std::vector<std::string>* names = nullptr);
+
+/// Build a ProbeKey binding the JAS positions in `mask` to the
+/// corresponding join-attribute values of `t` (used when a routed tuple
+/// probes a peer state: the tuple's values become the search criteria).
+ProbeKey probe_from_tuple(AttrMask mask, const Tuple& t,
+                          const JoinAttributeSet& probing_side_attrs);
+
+}  // namespace amri::index

@@ -1,0 +1,357 @@
+#include "index/bit_address_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace amri::index {
+
+namespace {
+// Sparse-directory node overhead estimate: hash node + key.
+constexpr std::size_t kBucketOverhead = 48;
+}  // namespace
+
+BitAddressIndex::BitAddressIndex(JoinAttributeSet jas, IndexConfig config,
+                                 BitMapper mapper, CostMeter* meter,
+                                 MemoryTracker* memory)
+    : jas_(std::move(jas)),
+      config_(std::move(config)),
+      mapper_(std::move(mapper)),
+      meter_(meter),
+      memory_(memory) {
+  assert(config_.num_attrs() == jas_.size());
+  assert(mapper_.num_attrs() == jas_.size());
+}
+
+BitAddressIndex::~BitAddressIndex() {
+  if (memory_ != nullptr && tracked_bytes_ > 0) {
+    memory_->release(MemCategory::kIndexStructure, tracked_bytes_);
+  }
+}
+
+BucketId BitAddressIndex::bucket_of(const Tuple& t) {
+  BucketId id = 0;
+  for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+    const int bits = config_.bits(pos);
+    if (bits == 0) continue;
+    const std::uint64_t chunk =
+        mapper_.map(pos, t.at(jas_.tuple_attr(pos)), bits);
+    id |= chunk << config_.shift_of(pos);
+    if (meter_ != nullptr) meter_->charge_hash();
+  }
+  return id;
+}
+
+void BitAddressIndex::insert(const Tuple* t) {
+  assert(t != nullptr);
+  const BucketId id = bucket_of(*t);
+  buckets_[id].push_back(t);
+  ++size_;
+  if (meter_ != nullptr) meter_->charge_insert();
+  // Memory delta sync (pointer + possible directory growth).
+  const std::size_t now = memory_bytes();
+  if (memory_ != nullptr && now > tracked_bytes_) {
+    memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
+  }
+  tracked_bytes_ = now;
+}
+
+void BitAddressIndex::erase(const Tuple* t) {
+  assert(t != nullptr);
+  const BucketId id = bucket_of(*t);
+  const auto it = buckets_.find(id);
+  if (it == buckets_.end()) return;
+  Bucket& bucket = it->second;
+  const auto pos = std::find(bucket.begin(), bucket.end(), t);
+  if (pos == bucket.end()) return;
+  *pos = bucket.back();
+  bucket.pop_back();
+  --size_;
+  if (bucket.empty()) buckets_.erase(it);
+  if (meter_ != nullptr) meter_->charge_delete();
+  const std::size_t now = memory_bytes();
+  if (memory_ != nullptr && now < tracked_bytes_) {
+    memory_->release(MemCategory::kIndexStructure, tracked_bytes_ - now);
+  }
+  tracked_bytes_ = now;
+}
+
+BitAddressIndex::ProbeLayout BitAddressIndex::layout_for(const ProbeKey& key) {
+  ProbeLayout layout;
+  for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+    const int bits = config_.bits(pos);
+    if (bits == 0) continue;
+    if (has_bit(key.mask, static_cast<unsigned>(pos))) {
+      const std::uint64_t chunk = mapper_.map(pos, key.values[pos], bits);
+      layout.fixed |= chunk << config_.shift_of(pos);
+      layout.fixed_mask |= low_bits64(bits) << config_.shift_of(pos);
+      if (meter_ != nullptr) meter_->charge_hash();  // N_{A,ap} · C_h
+    } else {
+      layout.wildcard_bits += bits;
+    }
+  }
+  return layout;
+}
+
+ProbeStats BitAddressIndex::probe(const ProbeKey& key,
+                                  std::vector<const Tuple*>& out) {
+  ProbeStats stats;
+  const ProbeLayout layout = layout_for(key);
+
+  auto scan_bucket = [&](const Bucket& bucket) {
+    ++stats.buckets_visited;
+    if (meter_ != nullptr) meter_->charge_bucket_visit();
+    for (const Tuple* t : bucket) {
+      ++stats.tuples_compared;
+      if (meter_ != nullptr) meter_->charge_compare();
+      if (key.matches(*t, jas_)) {
+        out.push_back(t);
+        ++stats.matches;
+      }
+    }
+  };
+
+  const std::uint64_t enum_count = std::uint64_t{1} << layout.wildcard_bits;
+  if (enum_count <= buckets_.size()) {
+    // Enumerate the wildcard combinations and look each bucket id up.
+    // Distribute the enumeration counter's bits into the unfixed positions.
+    // Precompute the unfixed indexed bit positions (ascending).
+    SmallVector<std::uint8_t, 32> free_positions;
+    for (int bit = 0; bit < config_.total_bits(); ++bit) {
+      if ((layout.fixed_mask >> bit & 1u) == 0) {
+        free_positions.push_back(static_cast<std::uint8_t>(bit));
+      }
+    }
+    assert(static_cast<int>(free_positions.size()) == layout.wildcard_bits);
+    for (std::uint64_t w = 0; w < enum_count; ++w) {
+      BucketId id = layout.fixed;
+      for (std::size_t i = 0; i < free_positions.size(); ++i) {
+        if ((w >> i) & 1u) id |= BucketId{1} << free_positions[i];
+      }
+      const auto it = buckets_.find(id);
+      if (meter_ != nullptr) meter_->charge_bucket_visit();
+      ++stats.buckets_visited;
+      if (it == buckets_.end()) continue;
+      // scan_bucket would double-count the visit; inline the scan.
+      for (const Tuple* t : it->second) {
+        ++stats.tuples_compared;
+        if (meter_ != nullptr) meter_->charge_compare();
+        if (key.matches(*t, jas_)) {
+          out.push_back(t);
+          ++stats.matches;
+        }
+      }
+    }
+  } else {
+    // Cheaper to filter the sparse directory by the fixed bits.
+    for (const auto& [id, bucket] : buckets_) {
+      if ((id & layout.fixed_mask) != layout.fixed) continue;
+      scan_bucket(bucket);
+    }
+  }
+  return stats;
+}
+
+ProbeStats BitAddressIndex::probe_range(const RangeProbeKey& key,
+                                        std::vector<const Tuple*>& out) {
+  ProbeStats stats;
+  // Per indexed attribute: the inclusive chunk interval its bucket-id bits
+  // may take. Unbound attributes — and hash-mapped attributes with a
+  // non-degenerate interval — span their whole chunk space.
+  struct ChunkRange {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    int shift = 0;
+  };
+  SmallVector<ChunkRange, kInlineAttrs> ranges;
+  __uint128_t combinations = 1;
+  for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+    const int bits = config_.bits(pos);
+    if (bits == 0) continue;
+    ChunkRange cr;
+    cr.shift = config_.shift_of(pos);
+    cr.hi = low_bits64(bits);
+    if (key.bound(pos)) {
+      const bool degenerate = key.los[pos] == key.his[pos];
+      if (mapper_.order_preserving(pos)) {
+        cr.lo = mapper_.map(pos, key.los[pos], bits);
+        cr.hi = mapper_.map(pos, key.his[pos], bits);
+        if (meter_ != nullptr) meter_->charge_hash(2);
+      } else if (degenerate) {
+        cr.lo = cr.hi = mapper_.map(pos, key.los[pos], bits);
+        if (meter_ != nullptr) meter_->charge_hash();
+      }
+      // hash mapper + real interval: keep the full chunk span.
+    }
+    combinations *= (cr.hi - cr.lo + 1);
+    ranges.push_back(cr);
+  }
+
+  auto scan_bucket = [&](const Bucket& bucket) {
+    for (const Tuple* t : bucket) {
+      ++stats.tuples_compared;
+      if (meter_ != nullptr) meter_->charge_compare();
+      if (key.matches(*t, jas_)) {
+        out.push_back(t);
+        ++stats.matches;
+      }
+    }
+  };
+
+  if (combinations <= buckets_.size()) {
+    // Odometer over the per-attribute chunk ranges.
+    SmallVector<std::uint64_t, kInlineAttrs> current;
+    for (const ChunkRange& cr : ranges) current.push_back(cr.lo);
+    while (true) {
+      BucketId id = 0;
+      for (std::size_t i = 0; i < ranges.size(); ++i) {
+        id |= current[i] << ranges[i].shift;
+      }
+      ++stats.buckets_visited;
+      if (meter_ != nullptr) meter_->charge_bucket_visit();
+      const auto it = buckets_.find(id);
+      if (it != buckets_.end()) scan_bucket(it->second);
+      // Advance the odometer; when every digit wraps, we are done.
+      std::size_t i = 0;
+      for (; i < ranges.size(); ++i) {
+        if (current[i] < ranges[i].hi) {
+          ++current[i];
+          break;
+        }
+        current[i] = ranges[i].lo;
+      }
+      if (i == ranges.size()) break;
+    }
+  } else {
+    // Cheaper to filter the directory: extract each indexed attribute's
+    // chunk from the bucket id and test it against the chunk range.
+    for (const auto& [id, bucket] : buckets_) {
+      bool in_range = true;
+      for (std::size_t pos = 0, r = 0; pos < config_.num_attrs(); ++pos) {
+        const int bits = config_.bits(pos);
+        if (bits == 0) continue;
+        const std::uint64_t chunk =
+            (id >> config_.shift_of(pos)) & low_bits64(bits);
+        if (chunk < ranges[r].lo || chunk > ranges[r].hi) {
+          in_range = false;
+          break;
+        }
+        ++r;
+      }
+      if (!in_range) continue;
+      ++stats.buckets_visited;
+      if (meter_ != nullptr) meter_->charge_bucket_visit();
+      scan_bucket(bucket);
+    }
+  }
+  return stats;
+}
+
+BitAddressIndex::OccupancyStats BitAddressIndex::occupancy() const {
+  OccupancyStats stats;
+  stats.occupied = buckets_.size();
+  stats.tuples = size_;
+  if (buckets_.empty()) return stats;
+  stats.min = SIZE_MAX;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [id, bucket] : buckets_) {
+    (void)id;
+    const std::size_t n = bucket.size();
+    stats.min = std::min(stats.min, n);
+    stats.max = std::max(stats.max, n);
+    sum += static_cast<double>(n);
+    sum_sq += static_cast<double>(n) * static_cast<double>(n);
+  }
+  const auto k = static_cast<double>(buckets_.size());
+  stats.mean = sum / k;
+  const double var = sum_sq / k - stats.mean * stats.mean;
+  stats.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  stats.imbalance =
+      stats.mean > 0.0 ? static_cast<double>(stats.max) / stats.mean : 0.0;
+  return stats;
+}
+
+std::size_t BitAddressIndex::memory_bytes() const {
+  return buckets_.size() * (sizeof(Bucket) + kBucketOverhead) +
+         size_ * sizeof(const Tuple*);
+}
+
+std::string BitAddressIndex::name() const {
+  return "bit_address" + config_.to_string();
+}
+
+void BitAddressIndex::clear() {
+  buckets_.clear();
+  size_ = 0;
+  if (memory_ != nullptr && tracked_bytes_ > 0) {
+    memory_->release(MemCategory::kIndexStructure, tracked_bytes_);
+  }
+  tracked_bytes_ = 0;
+}
+
+void BitAddressIndex::bulk_load(const std::vector<const Tuple*>& tuples,
+                                ThreadPool* pool) {
+  // Phase 1: bucket ids, parallel when a pool is provided. Uses an
+  // uncharged local computation identical to bucket_of(); the modelled
+  // cost is charged once below so parallelism changes wall time only.
+  std::vector<BucketId> ids(tuples.size());
+  auto compute = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      BucketId id = 0;
+      for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+        const int bits = config_.bits(pos);
+        if (bits == 0) continue;
+        id |= mapper_.map(pos, tuples[i]->at(jas_.tuple_attr(pos)), bits)
+              << config_.shift_of(pos);
+      }
+      ids[i] = id;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, tuples.size(), compute, /*min_chunk=*/512);
+  } else {
+    compute(0, tuples.size());
+  }
+  // Phase 2: serial, deterministic directory insertion.
+  for (std::size_t i = 0; i < tuples.size(); ++i) {
+    buckets_[ids[i]].push_back(tuples[i]);
+  }
+  size_ += tuples.size();
+  if (meter_ != nullptr) {
+    meter_->charge_hash(tuples.size() *
+                        static_cast<std::uint64_t>(config_.indexed_attr_count()));
+    meter_->charge_insert(tuples.size());
+  }
+  const std::size_t now = memory_bytes();
+  if (memory_ != nullptr && now > tracked_bytes_) {
+    memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
+  }
+  tracked_bytes_ = now;
+}
+
+void BitAddressIndex::reconfigure(const IndexConfig& new_config) {
+  assert(new_config.num_attrs() == jas_.size());
+  std::vector<const Tuple*> all;
+  all.reserve(size_);
+  for_each_tuple([&](const Tuple* t) { all.push_back(t); });
+  buckets_.clear();
+  size_ = 0;
+  config_ = new_config;
+  for (const Tuple* t : all) {
+    const BucketId id = bucket_of(*t);  // charges N_A hashes per tuple
+    buckets_[id].push_back(t);
+    ++size_;
+  }
+  const std::size_t now = memory_bytes();
+  if (memory_ != nullptr) {
+    if (now > tracked_bytes_) {
+      memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
+    } else {
+      memory_->release(MemCategory::kIndexStructure, tracked_bytes_ - now);
+    }
+  }
+  tracked_bytes_ = now;
+}
+
+}  // namespace amri::index

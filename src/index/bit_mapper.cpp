@@ -1,0 +1,92 @@
+#include "index/bit_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amri::index {
+
+BitMapper BitMapper::hashing(std::size_t num_attrs) {
+  return BitMapper(MapStrategy::kHash, num_attrs, {});
+}
+
+BitMapper BitMapper::ranged(std::vector<AttrDomain> domains) {
+  const std::size_t n = domains.size();
+  return BitMapper(MapStrategy::kRange, n, std::move(domains));
+}
+
+BitMapper BitMapper::quantile(std::vector<std::vector<Value>> samples,
+                              int max_bits) {
+  assert(max_bits >= 1 && max_bits <= 20);
+  const std::size_t n = samples.size();
+  BitMapper m(MapStrategy::kQuantile, n, {});
+  m.max_bits_ = max_bits;
+  m.boundaries_.resize(n);
+  const std::size_t cells = std::size_t{1} << max_bits;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    auto& sample = samples[pos];
+    if (sample.empty()) continue;  // falls back to hashing for this attr
+    std::sort(sample.begin(), sample.end());
+    auto& bounds = m.boundaries_[pos];
+    bounds.reserve(cells - 1);
+    for (std::size_t c = 1; c < cells; ++c) {
+      // Upper edge of cell c-1: the (c/cells)-quantile of the sample.
+      const std::size_t idx =
+          std::min(sample.size() - 1, c * sample.size() / cells);
+      bounds.push_back(sample[idx]);
+    }
+  }
+  return m;
+}
+
+std::uint64_t BitMapper::map(std::size_t pos, Value v, int bits) const {
+  assert(pos < num_attrs_);
+  assert(bits >= 0 && bits <= 63);
+  if (bits == 0) return 0;
+  if (strategy_ == MapStrategy::kQuantile && !boundaries_[pos].empty()) {
+    const auto& bounds = boundaries_[pos];
+    // Fine cell at max_bits_ resolution: count of boundaries < v... use
+    // upper_bound on (bounds, v) semantics: cell = first boundary >= v.
+    const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+    auto fine = static_cast<std::uint64_t>(it - bounds.begin());
+    // Coarsen to the requested chunk width.
+    if (bits < max_bits_) {
+      fine >>= (max_bits_ - bits);
+    } else if (bits > max_bits_) {
+      // No extra resolution available: values collapse into the low cells.
+      // (Callers normally keep bits <= max_bits.)
+    }
+    const std::uint64_t cap = (std::uint64_t{1} << std::min(bits, max_bits_)) - 1;
+    return std::min(fine, cap);
+  }
+  if (strategy_ == MapStrategy::kRange) {
+    const AttrDomain& d = domains_[pos];
+    assert(d.hi >= d.lo);
+    const auto span = static_cast<std::uint64_t>(d.hi - d.lo) + 1;
+    std::uint64_t offset;
+    if (v < d.lo) {
+      offset = 0;  // clamp out-of-domain values to the edge partitions
+    } else if (v > d.hi) {
+      offset = span - 1;
+    } else {
+      offset = static_cast<std::uint64_t>(v - d.lo);
+    }
+    // Equi-width partition into 2^bits cells.
+    const std::uint64_t cells = std::uint64_t{1} << bits;
+    // offset * cells may overflow for huge spans; use 128-bit intermediate.
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(offset) * cells) / span);
+  }
+  // Fibonacci multiplicative hashing, then take the top `bits` bits for
+  // good avalanche on sequential keys. Salt by position so identical values
+  // in different attributes land in different cells.
+  const std::uint64_t salt = 0x9e3779b97f4a7c15ULL * (pos + 1);
+  std::uint64_t h = (static_cast<std::uint64_t>(v) + salt);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h >> (64 - bits);
+}
+
+}  // namespace amri::index

@@ -1,0 +1,80 @@
+// Value-to-bits mapping strategies for the bit-address index.
+//
+// The IC assigns b bits to an attribute; the mapper reduces an attribute
+// value to a b-bit chunk. The paper assumes the range/distribution of each
+// attribute is known (its "generic hashing issue" simplification); we
+// provide both that range-partition mapper and a multiplicative hash mapper
+// for unknown distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/types.hpp"
+
+namespace amri::index {
+
+enum class MapStrategy : std::uint8_t {
+  kHash = 0,   ///< Fibonacci-multiplicative hash, low b bits
+  kRange,      ///< equi-width partition of a known [lo, hi] domain
+  kQuantile,   ///< equi-depth partition learned from a value sample
+};
+
+/// Per-attribute domain bounds used by the range strategy.
+struct AttrDomain {
+  Value lo = 0;
+  Value hi = 0;  ///< inclusive
+};
+
+class BitMapper {
+ public:
+  /// Hash strategy for every attribute.
+  static BitMapper hashing(std::size_t num_attrs);
+
+  /// Range strategy with explicit per-attribute domains.
+  static BitMapper ranged(std::vector<AttrDomain> domains);
+
+  /// Equi-depth (quantile) strategy learned from per-attribute value
+  /// samples: cell boundaries are placed so each of the up-to-2^b cells
+  /// receives roughly the same sample mass — the paper's "no bucket
+  /// stores more tuples than any other" goal under skewed values.
+  /// Samples may be unsorted; empty samples degenerate to hashing for
+  /// that attribute. The mapper supports chunk widths up to
+  /// `max_bits` (boundaries are stored at 2^max_bits resolution and
+  /// coarsened by shifting for narrower chunks).
+  static BitMapper quantile(std::vector<std::vector<Value>> samples,
+                            int max_bits = 10);
+
+  /// Map `v` for JAS position `pos` to a chunk of `bits` bits.
+  /// bits == 0 always yields 0.
+  std::uint64_t map(std::size_t pos, Value v, int bits) const;
+
+  MapStrategy strategy() const { return strategy_; }
+  std::size_t num_attrs() const { return num_attrs_; }
+
+  /// Range and quantile mappers preserve value order within an attribute,
+  /// so interval probes can prune cells. Per attribute because a quantile
+  /// mapper with no sample for an attribute degenerates to hashing there.
+  bool order_preserving(std::size_t pos) const {
+    if (strategy_ == MapStrategy::kRange) return true;
+    if (strategy_ == MapStrategy::kQuantile) {
+      return pos < boundaries_.size() && !boundaries_[pos].empty();
+    }
+    return false;
+  }
+
+ private:
+  BitMapper(MapStrategy s, std::size_t n, std::vector<AttrDomain> domains)
+      : strategy_(s), num_attrs_(n), domains_(std::move(domains)) {}
+
+  MapStrategy strategy_ = MapStrategy::kHash;
+  std::size_t num_attrs_ = 0;
+  std::vector<AttrDomain> domains_;
+  /// kQuantile: per attribute, 2^max_bits_ - 1 sorted cell boundaries;
+  /// cell i holds values in (boundaries[i-1], boundaries[i]].
+  std::vector<std::vector<Value>> boundaries_;
+  int max_bits_ = 0;
+};
+
+}  // namespace amri::index

@@ -1,0 +1,43 @@
+#include "index/cost_model.hpp"
+
+#include <cmath>
+
+namespace amri::index {
+
+double CostModel::maintenance_cost(const IndexConfig& ic) const {
+  return params_.lambda_d * ic.indexed_attr_count() * params_.hash_cost;
+}
+
+double CostModel::search_cost(const IndexConfig& ic, AttrMask ap) const {
+  // Bits on attributes the probe binds narrow the candidate set.
+  const int b_ap = ic.bits_for(ap);
+  const double window_tuples = params_.lambda_d * params_.window_units;
+  const double candidates = window_tuples / std::exp2(b_ap);
+  const int n_a_ap = popcount(ap & ic.indexed_mask());
+  return n_a_ap * params_.hash_cost + candidates * params_.compare_cost;
+}
+
+double CostModel::paper_cost(
+    const IndexConfig& ic,
+    const std::vector<PatternFrequency>& patterns) const {
+  double search = 0.0;
+  for (const PatternFrequency& p : patterns) {
+    search += p.frequency * search_cost(ic, p.mask);
+  }
+  return maintenance_cost(ic) + params_.lambda_r * search;
+}
+
+double CostModel::extended_cost(
+    const IndexConfig& ic,
+    const std::vector<PatternFrequency>& patterns) const {
+  double extra = 0.0;
+  for (const PatternFrequency& p : patterns) {
+    // Bits assigned to indexed attributes the probe does NOT bind force the
+    // probe to visit 2^wild buckets.
+    const int wild_bits = ic.total_bits() - ic.bits_for(p.mask);
+    extra += p.frequency * std::exp2(wild_bits) * params_.bucket_cost;
+  }
+  return paper_cost(ic, patterns) + params_.lambda_r * extra;
+}
+
+}  // namespace amri::index

@@ -1,0 +1,119 @@
+#include "index/hash_index.hpp"
+
+#include <cassert>
+
+namespace amri::index {
+
+namespace {
+// Per-entry cost of an unordered_multimap node: key, pointer, node links.
+constexpr std::size_t kEntryOverhead = 48;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return h;
+}
+}  // namespace
+
+HashIndex::HashIndex(JoinAttributeSet jas, AttrMask key_mask, CostMeter* meter,
+                     MemoryTracker* memory)
+    : jas_(std::move(jas)), key_mask_(key_mask), meter_(meter),
+      memory_(memory) {
+  assert(key_mask != 0);
+  assert(is_subset(key_mask, jas_.universe()));
+}
+
+HashIndex::~HashIndex() {
+  if (memory_ != nullptr && tracked_bytes_ > 0) {
+    memory_->release(MemCategory::kIndexStructure, tracked_bytes_);
+  }
+}
+
+std::uint64_t HashIndex::hash_tuple(const Tuple& t) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for_each_bit(key_mask_, [&](unsigned pos) {
+    h = mix(h, static_cast<std::uint64_t>(t.at(jas_.tuple_attr(pos))));
+    if (meter_ != nullptr) meter_->charge_hash();
+  });
+  return h;
+}
+
+std::uint64_t HashIndex::hash_key(const ProbeKey& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for_each_bit(key_mask_, [&](unsigned pos) {
+    h = mix(h, static_cast<std::uint64_t>(key.values[pos]));
+    if (meter_ != nullptr) meter_->charge_hash();
+  });
+  return h;
+}
+
+void HashIndex::insert(const Tuple* t) {
+  assert(t != nullptr);
+  table_.emplace(hash_tuple(*t), t);
+  ++size_;
+  if (meter_ != nullptr) meter_->charge_insert();
+  const std::size_t now = memory_bytes();
+  if (memory_ != nullptr && now > tracked_bytes_) {
+    memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
+  }
+  tracked_bytes_ = now;
+}
+
+void HashIndex::erase(const Tuple* t) {
+  assert(t != nullptr);
+  const std::uint64_t h = hash_tuple(*t);
+  const auto [lo, hi] = table_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == t) {
+      table_.erase(it);
+      --size_;
+      break;
+    }
+  }
+  if (meter_ != nullptr) meter_->charge_delete();
+  const std::size_t now = memory_bytes();
+  if (memory_ != nullptr && now < tracked_bytes_) {
+    memory_->release(MemCategory::kIndexStructure, tracked_bytes_ - now);
+  }
+  tracked_bytes_ = now;
+}
+
+ProbeStats HashIndex::probe(const ProbeKey& key,
+                            std::vector<const Tuple*>& out) {
+  assert(serves(key.mask));
+  ProbeStats stats;
+  const std::uint64_t h = hash_key(key);
+  stats.buckets_visited = 1;
+  if (meter_ != nullptr) meter_->charge_bucket_visit();
+  const auto [lo, hi] = table_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    ++stats.tuples_compared;
+    if (meter_ != nullptr) meter_->charge_compare();
+    if (key.matches(*it->second, jas_)) {
+      out.push_back(it->second);
+      ++stats.matches;
+    }
+  }
+  return stats;
+}
+
+std::size_t HashIndex::memory_bytes() const {
+  return table_.size() * kEntryOverhead + table_.bucket_count() * sizeof(void*);
+}
+
+std::string HashIndex::name() const {
+  return "hash" + pattern_to_string(key_mask_, jas_.size());
+}
+
+void HashIndex::clear() {
+  table_.clear();
+  size_ = 0;
+  if (memory_ != nullptr && tracked_bytes_ > 0) {
+    memory_->release(MemCategory::kIndexStructure, tracked_bytes_);
+  }
+  tracked_bytes_ = 0;
+}
+
+}  // namespace amri::index

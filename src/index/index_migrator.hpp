@@ -1,0 +1,37 @@
+// Index migration: moving a state's bit-address index from one IC to the
+// next (paper §III: "adapt tuples in the state from BI1 to BI2 requires the
+// relocation of each tuple to the buckets defined by BI2").
+//
+// Migration cost is N_A(new) hashes per stored tuple; the migrator charges
+// it to the state's meter and can precompute bucket ids on a thread pool
+// for large states (the charge stays identical — parallelism saves wall
+// time, not modelled cost).
+#pragma once
+
+#include <cstdint>
+
+#include "common/thread_pool.hpp"
+#include "index/bit_address_index.hpp"
+
+namespace amri::index {
+
+struct MigrationReport {
+  std::uint64_t tuples_moved = 0;
+  std::uint64_t hashes_charged = 0;
+  IndexConfig from;
+  IndexConfig to;
+};
+
+class IndexMigrator {
+ public:
+  /// `pool` may be null (sequential migration).
+  explicit IndexMigrator(ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  /// Rebuild `index` under `target`. No-op (zero-cost) if the IC is equal.
+  MigrationReport migrate(BitAddressIndex& index, const IndexConfig& target) const;
+
+ private:
+  ThreadPool* pool_;
+};
+
+}  // namespace amri::index

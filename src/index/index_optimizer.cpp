@@ -1,0 +1,89 @@
+#include "index/index_optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace amri::index {
+
+double IndexOptimizer::evaluate(
+    const IndexConfig& ic, const std::vector<PatternFrequency>& patterns) const {
+  return options_.use_extended_cost ? model_.extended_cost(ic, patterns)
+                                    : model_.paper_cost(ic, patterns);
+}
+
+OptimizerResult IndexOptimizer::optimize(
+    std::size_t num_attrs, const std::vector<PatternFrequency>& patterns) const {
+  OptimizerResult result;
+  double best = std::numeric_limits<double>::infinity();
+  std::uint64_t evaluated = 0;
+  enumerate_allocations(
+      num_attrs, options_.bit_budget, options_.max_bits_per_attr,
+      [&](const std::vector<std::uint8_t>& alloc) {
+        IndexConfig ic(alloc);
+        const double cost = evaluate(ic, patterns);
+        ++evaluated;
+        if (cost < best) {
+          best = cost;
+          result.config = std::move(ic);
+        }
+      });
+  result.cost = best;
+  result.configs_evaluated = evaluated;
+  return result;
+}
+
+OptimizerResult IndexOptimizer::optimize_greedy(
+    std::size_t num_attrs, const std::vector<PatternFrequency>& patterns) const {
+  std::vector<std::uint8_t> alloc(num_attrs, 0);
+  IndexConfig current(alloc);
+  double current_cost = evaluate(current, patterns);
+  std::uint64_t evaluated = 1;
+  int used = 0;
+  while (used < options_.bit_budget) {
+    double best_cost = current_cost;
+    std::size_t best_attr = num_attrs;
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      if (alloc[a] >= options_.max_bits_per_attr) continue;
+      ++alloc[a];
+      const IndexConfig candidate(alloc);
+      const double cost = evaluate(candidate, patterns);
+      ++evaluated;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_attr = a;
+      }
+      --alloc[a];
+    }
+    if (best_attr == num_attrs) break;  // no bit improves
+    ++alloc[best_attr];
+    current_cost = best_cost;
+    ++used;
+  }
+  OptimizerResult result;
+  result.config = IndexConfig(alloc);
+  result.cost = current_cost;
+  result.configs_evaluated = evaluated;
+  return result;
+}
+
+std::vector<AttrMask> IndexOptimizer::select_hash_modules(
+    const std::vector<PatternFrequency>& patterns, std::size_t max_modules) {
+  std::vector<PatternFrequency> sorted = patterns;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PatternFrequency& a, const PatternFrequency& b) {
+              if (a.frequency != b.frequency) return a.frequency > b.frequency;
+              return a.mask < b.mask;
+            });
+  std::vector<AttrMask> out;
+  for (const PatternFrequency& p : sorted) {
+    if (out.size() >= max_modules) break;
+    if (p.mask == 0) continue;  // full scans need no module
+    if (std::find(out.begin(), out.end(), p.mask) == out.end()) {
+      out.push_back(p.mask);
+    }
+  }
+  return out;
+}
+
+}  // namespace amri::index

@@ -1,0 +1,61 @@
+// Index selection: find the index configuration minimising C_D for the
+// access-pattern frequencies the assessment produced (paper §IV intro:
+// "locate the index configuration with the lowest index configuration
+// dependent costs").
+//
+// For paper-scale states (≤ ~6 join attributes, ≤ ~16-bit budgets) the
+// exhaustive enumeration over bit allocations is tiny; a greedy
+// bit-at-a-time search is provided for larger spaces and as an ablation.
+#pragma once
+
+#include <vector>
+
+#include "index/cost_model.hpp"
+#include "index/index_config.hpp"
+
+namespace amri::index {
+
+struct OptimizerOptions {
+  int bit_budget = 12;        ///< total bits available for the IC
+  int max_bits_per_attr = 8;  ///< hard cap per attribute chunk
+  bool use_extended_cost = false;  ///< include wildcard bucket-visit term
+};
+
+struct OptimizerResult {
+  IndexConfig config;
+  double cost = 0.0;
+  std::uint64_t configs_evaluated = 0;
+};
+
+class IndexOptimizer {
+ public:
+  IndexOptimizer(CostModel model, OptimizerOptions options)
+      : model_(std::move(model)), options_(options) {}
+
+  const OptimizerOptions& options() const { return options_; }
+
+  /// Exhaustive search over all allocations of ≤ budget bits.
+  OptimizerResult optimize(std::size_t num_attrs,
+                           const std::vector<PatternFrequency>& patterns) const;
+
+  /// Greedy: repeatedly add the single bit with the largest cost reduction;
+  /// stops when no bit improves. Evaluates O(budget · num_attrs) configs.
+  OptimizerResult optimize_greedy(
+      std::size_t num_attrs,
+      const std::vector<PatternFrequency>& patterns) const;
+
+  /// Baseline "conventional index selection" used for the access-module
+  /// comparison (paper §V): pick hash-index key masks for the
+  /// `max_modules` most frequent access patterns.
+  static std::vector<AttrMask> select_hash_modules(
+      const std::vector<PatternFrequency>& patterns, std::size_t max_modules);
+
+ private:
+  double evaluate(const IndexConfig& ic,
+                  const std::vector<PatternFrequency>& patterns) const;
+
+  CostModel model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace amri::index

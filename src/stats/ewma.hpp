@@ -1,0 +1,47 @@
+// Exponentially-weighted moving average, used by routing policies to smooth
+// operator selectivity and cost estimates (the "up-to-date system
+// statistics" the eddy router consults).
+#pragma once
+
+#include <cassert>
+
+namespace amri::stats {
+
+class Ewma {
+ public:
+  /// alpha in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {
+    assert(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void add(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+    ++samples_;
+  }
+
+  bool initialized() const { return initialized_; }
+  double value_or(double fallback) const {
+    return initialized_ ? value_ : fallback;
+  }
+  double value() const { return value_or(0.0); }
+  unsigned long long samples() const { return samples_; }
+
+  void reset() {
+    value_ = 0.0;
+    initialized_ = false;
+    samples_ = 0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+  unsigned long long samples_ = 0;
+};
+
+}  // namespace amri::stats

@@ -1,0 +1,15 @@
+#include "stats/frequency_map.hpp"
+
+#include <algorithm>
+
+namespace amri::stats {
+
+std::vector<std::pair<AttrMask, FreqEntry>> FrequencyMap::sorted_entries()
+    const {
+  std::vector<std::pair<AttrMask, FreqEntry>> out(map_.begin(), map_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace amri::stats

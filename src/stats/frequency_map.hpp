@@ -1,0 +1,117 @@
+// Exact frequency counting keyed by access-pattern masks. This is the
+// "SRIA table" of the paper: a hash table mapping BR(ap) -> count, with an
+// optional per-entry max-error field used by the lossy-counting variants.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace amri::stats {
+
+/// One statistics entry: observed count plus the Manku–Motwani max error
+/// delta recorded when the entry was (re)created mid-stream.
+struct FreqEntry {
+  std::uint64_t count = 0;
+  std::uint64_t max_error = 0;  ///< paper's per-entry delta
+};
+
+/// Hash table from access-pattern mask to FreqEntry, with helpers shared by
+/// SRIA/CSRIA/DIA/CDIA. Deliberately thin: compression policies live in the
+/// assessment module.
+class FrequencyMap {
+ public:
+  using Map = std::unordered_map<AttrMask, FreqEntry>;
+
+  /// Increment `mask` by `by`; creates the entry (max_error = `delta` for a
+  /// new entry) if absent. Returns the updated count.
+  std::uint64_t add(AttrMask mask, std::uint64_t by = 1,
+                    std::uint64_t delta = 0) {
+    auto [it, inserted] = map_.try_emplace(mask, FreqEntry{0, delta});
+    it->second.count += by;
+    total_ += by;
+    return it->second.count;
+  }
+
+  /// Lookup; nullptr if absent.
+  const FreqEntry* find(AttrMask mask) const {
+    const auto it = map_.find(mask);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  FreqEntry* find(AttrMask mask) {
+    const auto it = map_.find(mask);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  /// Remove an entry (count mass is forgotten; total_observed is NOT
+  /// reduced — totals track the stream, not the table).
+  void erase(AttrMask mask) { map_.erase(mask); }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Total number of observations ever added (the |A| denominator of f_ap).
+  std::uint64_t total_observed() const { return total_; }
+
+  /// Estimated frequency of `mask` (count / total); 0 if absent or empty.
+  double frequency(AttrMask mask) const {
+    if (total_ == 0) return 0.0;
+    const auto* e = find(mask);
+    return e == nullptr ? 0.0
+                        : static_cast<double>(e->count) /
+                              static_cast<double>(total_);
+  }
+
+  Map::const_iterator begin() const { return map_.begin(); }
+  Map::const_iterator end() const { return map_.end(); }
+  Map::iterator begin() { return map_.begin(); }
+  Map::iterator end() { return map_.end(); }
+
+  /// Snapshot of (mask, entry) pairs sorted by mask for deterministic
+  /// iteration in tests and reports.
+  std::vector<std::pair<AttrMask, FreqEntry>> sorted_entries() const;
+
+  /// Logical bytes used, for MemoryTracker accounting.
+  std::size_t approx_bytes() const {
+    // key + entry + hash-table node overhead (two pointers worth).
+    return map_.size() * (sizeof(AttrMask) + sizeof(FreqEntry) + 16);
+  }
+
+  void clear() {
+    map_.clear();
+    total_ = 0;
+  }
+
+  /// Reset only the observation denominator (used between assessment
+  /// windows when entries should persist but frequencies restart).
+  void reset_total() { total_ = 0; }
+
+  /// Directly set the observation total (used when merging snapshots).
+  void set_total(std::uint64_t t) { total_ = t; }
+
+  /// Scale every count (and the total) by `factor` in (0, 1); entries
+  /// whose count rounds to zero are dropped. max_error scales too so the
+  /// lossy-counting invariants keep holding proportionally.
+  void scale(double factor) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      it->second.count = static_cast<std::uint64_t>(
+          static_cast<double>(it->second.count) * factor);
+      it->second.max_error = static_cast<std::uint64_t>(
+          static_cast<double>(it->second.max_error) * factor);
+      if (it->second.count == 0) {
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    total_ = static_cast<std::uint64_t>(static_cast<double>(total_) * factor);
+  }
+
+ private:
+  Map map_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace amri::stats

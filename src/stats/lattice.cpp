@@ -1,0 +1,51 @@
+#include "stats/lattice.hpp"
+
+#include <algorithm>
+
+namespace amri::stats {
+
+std::vector<AttrMask> Lattice::all_nodes_top_down() const {
+  std::vector<AttrMask> out;
+  out.reserve(node_count());
+  for_each_subset(universe_, [&](AttrMask m) { out.push_back(m); });
+  std::sort(out.begin(), out.end(), [](AttrMask a, AttrMask b) {
+    const int la = level(a);
+    const int lb = level(b);
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  return out;
+}
+
+std::vector<AttrMask> PartialLattice::leaves() const {
+  std::vector<AttrMask> out;
+  for (const auto& [mask, entry] : counts_) {
+    (void)entry;
+    if (is_leaf(mask)) out.push_back(mask);
+  }
+  std::sort(out.begin(), out.end(), [](AttrMask a, AttrMask b) {
+    const int la = Lattice::level(a);
+    const int lb = Lattice::level(b);
+    if (la != lb) return la > lb;  // deepest first
+    return a < b;
+  });
+  return out;
+}
+
+std::vector<AttrMask> PartialLattice::nodes_bottom_up() const {
+  std::vector<AttrMask> out;
+  out.reserve(counts_.size());
+  for (const auto& [mask, entry] : counts_) {
+    (void)entry;
+    out.push_back(mask);
+  }
+  std::sort(out.begin(), out.end(), [](AttrMask a, AttrMask b) {
+    const int la = Lattice::level(a);
+    const int lb = Lattice::level(b);
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+  return out;
+}
+
+}  // namespace amri::stats

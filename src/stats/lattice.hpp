@@ -1,0 +1,106 @@
+// The search-benefit lattice over access patterns (paper §IV-D, Figure 4).
+//
+// Nodes are attribute masks. The top of the lattice is the empty mask
+// (<*,*,...,*>, a full scan); each level below adds one attribute; the
+// bottom is the full mask. An access pattern ap1 "provides search benefit"
+// to ap2 (ap1 ≺ ap2) iff attrs(ap1) ⊆ attrs(ap2): an index built on a
+// subset of the bound attributes narrows the probe to a single bucket.
+//
+// The lattice structure is purely combinatorial, so this header provides
+// static navigation helpers plus a PartialLattice container for the sparse
+// runtime lattices DIA/CDIA build top-down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "stats/frequency_map.hpp"
+
+namespace amri::stats {
+
+/// Static navigation over the lattice of subsets of `universe`.
+class Lattice {
+ public:
+  /// `universe` is the full mask of join attributes for the state.
+  explicit Lattice(AttrMask universe) : universe_(universe) {}
+
+  AttrMask universe() const { return universe_; }
+  int num_attrs() const { return popcount(universe_); }
+
+  /// Lattice level of a node = number of attributes bound (top is level 0).
+  static int level(AttrMask node) { return popcount(node); }
+
+  /// Number of lattice levels, counting the top (h in the paper's bound).
+  int height() const { return num_attrs() + 1; }
+
+  /// True iff `a` provides search benefit to `b` (a ≺ b), i.e. a ⊆ b.
+  /// The relation is reflexive here; use `a != b` for the strict version.
+  static bool benefits(AttrMask a, AttrMask b) { return is_subset(a, b); }
+
+  /// Direct parents of `node`: masks with exactly one attribute removed.
+  /// The top (empty mask) has no parents.
+  std::vector<AttrMask> parents(AttrMask node) const {
+    std::vector<AttrMask> out;
+    out.reserve(static_cast<std::size_t>(popcount(node)));
+    for_each_bit(node, [&](unsigned i) { out.push_back(node & ~(AttrMask{1} << i)); });
+    return out;
+  }
+
+  /// Direct children of `node`: masks with one universe attribute added.
+  std::vector<AttrMask> children(AttrMask node) const {
+    std::vector<AttrMask> out;
+    const AttrMask missing = universe_ & ~node;
+    out.reserve(static_cast<std::size_t>(popcount(missing)));
+    for_each_bit(missing,
+                 [&](unsigned i) { out.push_back(node | (AttrMask{1} << i)); });
+    return out;
+  }
+
+  /// All nodes of the complete lattice, top-down (level order). Exponential
+  /// in the universe size; intended for tests and small-N enumeration.
+  std::vector<AttrMask> all_nodes_top_down() const;
+
+  /// Total node count of the complete lattice: 2^|universe|.
+  std::uint64_t node_count() const {
+    return std::uint64_t{1} << num_attrs();
+  }
+
+ private:
+  AttrMask universe_;
+};
+
+/// A sparse, counted lattice: the nodes materialised at runtime plus their
+/// statistics, stored in a FrequencyMap (the paper stores DIA nodes in the
+/// SRIA table). Provides the leaf query compression needs.
+class PartialLattice {
+ public:
+  explicit PartialLattice(AttrMask universe) : lattice_(universe) {}
+
+  const Lattice& shape() const { return lattice_; }
+  FrequencyMap& counts() { return counts_; }
+  const FrequencyMap& counts() const { return counts_; }
+
+  /// A node is a leaf iff no *other* materialised node is a strict superset
+  /// of it (nothing below it in the lattice carries a count).
+  bool is_leaf(AttrMask node) const {
+    for (const auto& [mask, entry] : counts_) {
+      (void)entry;
+      if (mask != node && is_subset(node, mask)) return false;
+    }
+    return true;
+  }
+
+  /// All current leaves, sorted bottom-up (deepest level first, then by
+  /// mask) — the deterministic order compression processes them in.
+  std::vector<AttrMask> leaves() const;
+
+  /// All materialised nodes sorted bottom-up (used by final-results rollup).
+  std::vector<AttrMask> nodes_bottom_up() const;
+
+ private:
+  Lattice lattice_;
+  FrequencyMap counts_;
+};
+
+}  // namespace amri::stats

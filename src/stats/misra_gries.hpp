@@ -1,0 +1,82 @@
+// Misra–Gries "Finding Repeated Elements" (1982) — the first deterministic
+// heavy-hitter algorithm, cited by the paper as [25]. Kept as a baseline for
+// the heavy-hitter micro-benchmarks.
+//
+// With k counters, every key whose true frequency exceeds N/(k+1) survives,
+// and estimates undershoot by at most N/(k+1).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace amri::stats {
+
+template <typename Key>
+class MisraGries {
+ public:
+  struct Item {
+    Key key{};
+    std::uint64_t count = 0;
+  };
+
+  explicit MisraGries(std::size_t counters) : capacity_(counters) {
+    assert(counters > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return table_.size(); }
+  std::uint64_t observed() const { return observed_; }
+
+  void observe(const Key& key) {
+    ++observed_;
+    const auto it = table_.find(key);
+    if (it != table_.end()) {
+      ++it->second;
+      return;
+    }
+    if (table_.size() < capacity_) {
+      table_.emplace(key, 1);
+      return;
+    }
+    // Decrement-all step; erase zeroed counters.
+    for (auto cur = table_.begin(); cur != table_.end();) {
+      if (--cur->second == 0) {
+        cur = table_.erase(cur);
+      } else {
+        ++cur;
+      }
+    }
+  }
+
+  /// Lower-bound estimate of a key's count (0 if not tracked).
+  std::uint64_t estimate(const Key& key) const {
+    const auto it = table_.find(key);
+    return it == table_.end() ? 0 : it->second;
+  }
+
+  /// Surviving candidates sorted by descending estimate.
+  std::vector<Item> candidates() const {
+    std::vector<Item> out;
+    out.reserve(table_.size());
+    for (const auto& [k, c] : table_) out.push_back(Item{k, c});
+    std::sort(out.begin(), out.end(), [](const Item& a, const Item& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    return out;
+  }
+
+  std::size_t approx_bytes() const {
+    return table_.size() * (sizeof(Key) + sizeof(std::uint64_t) + 16);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t observed_ = 0;
+  std::unordered_map<Key, std::uint64_t> table_;
+};
+
+}  // namespace amri::stats

@@ -1,0 +1,83 @@
+// SpaceSaving (Metwally et al.) heavy hitter — a stronger-in-practice
+// baseline used in the heavy-hitter micro-benchmarks alongside Misra–Gries
+// and Lossy Counting. Estimates overshoot by at most min_count.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace amri::stats {
+
+template <typename Key>
+class SpaceSaving {
+ public:
+  struct Item {
+    Key key{};
+    std::uint64_t count = 0;
+    std::uint64_t overestimate = 0;  ///< error inherited from the evictee
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return table_.size(); }
+  std::uint64_t observed() const { return observed_; }
+
+  void observe(const Key& key) {
+    ++observed_;
+    const auto it = table_.find(key);
+    if (it != table_.end()) {
+      ++it->second.count;
+      return;
+    }
+    if (table_.size() < capacity_) {
+      table_.emplace(key, Item{key, 1, 0});
+      return;
+    }
+    // Replace the minimum-count entry, inheriting its count as error.
+    auto min_it = table_.begin();
+    for (auto cur = table_.begin(); cur != table_.end(); ++cur) {
+      if (cur->second.count < min_it->second.count) min_it = cur;
+    }
+    const std::uint64_t inherited = min_it->second.count;
+    table_.erase(min_it);
+    table_.emplace(key, Item{key, inherited + 1, inherited});
+  }
+
+  /// Upper-bound estimate of the key's count (0 if not tracked).
+  std::uint64_t estimate(const Key& key) const {
+    const auto it = table_.find(key);
+    return it == table_.end() ? 0 : it->second.count;
+  }
+
+  /// Keys with guaranteed (count - overestimate) >= threshold, then the
+  /// rest above threshold sorted by descending count.
+  std::vector<Item> candidates(std::uint64_t threshold = 0) const {
+    std::vector<Item> out;
+    for (const auto& [k, item] : table_) {
+      if (item.count >= threshold) out.push_back(item);
+    }
+    std::sort(out.begin(), out.end(), [](const Item& a, const Item& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
+    return out;
+  }
+
+  std::size_t approx_bytes() const {
+    return table_.size() * (sizeof(Key) + sizeof(Item) + 16);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t observed_ = 0;
+  std::unordered_map<Key, Item> table_;
+};
+
+}  // namespace amri::stats

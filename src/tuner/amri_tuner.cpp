@@ -1,0 +1,91 @@
+#include "tuner/amri_tuner.hpp"
+
+#include <cassert>
+
+namespace amri::tuner {
+
+AmriTuner::AmriTuner(AttrMask universe, std::size_t num_attrs,
+                     index::CostModel model, TunerOptions options,
+                     MemoryTracker* memory)
+    : universe_(universe),
+      num_attrs_(num_attrs),
+      model_(std::move(model)),
+      options_(options),
+      assessor_(assessment::make_assessor(options.assessor, universe,
+                                          options.assessor_params)),
+      memory_(memory) {
+  assert(assessor_ != nullptr);
+  assert(popcount(universe) == static_cast<int>(num_attrs));
+}
+
+AmriTuner::~AmriTuner() {
+  if (memory_ != nullptr && tracked_bytes_ > 0) {
+    memory_->release(MemCategory::kStatistics, tracked_bytes_);
+  }
+}
+
+void AmriTuner::sync_memory() {
+  if (memory_ == nullptr) return;
+  const std::size_t now = assessor_->approx_bytes();
+  if (now > tracked_bytes_) {
+    memory_->allocate(MemCategory::kStatistics, now - tracked_bytes_);
+  } else if (now < tracked_bytes_) {
+    memory_->release(MemCategory::kStatistics, tracked_bytes_ - now);
+  }
+  tracked_bytes_ = now;
+}
+
+void AmriTuner::observe_request(AttrMask ap) {
+  assert(is_subset(ap, universe_));
+  assessor_->observe(ap);
+  ++since_last_decision_;
+  ++observed_;
+  sync_memory();
+}
+
+TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
+  TuneDecision decision;
+  decision.due = true;
+  ++decisions_;
+  since_last_decision_ = 0;
+
+  const auto frequent = assessor_->results(options_.theta);
+  decision.frequent_patterns = frequent.size();
+  const auto pattern_freqs = assessment::to_pattern_frequencies(frequent);
+
+  const index::IndexOptimizer optimizer(model_, options_.optimizer);
+  const auto best = optimizer.optimize(num_attrs_, pattern_freqs);
+  decision.recommended = best.config;
+  decision.recommended_cost = best.cost;
+  decision.current_cost = options_.optimizer.use_extended_cost
+                              ? model_.extended_cost(current, pattern_freqs)
+                              : model_.paper_cost(current, pattern_freqs);
+
+  switch (options_.retention) {
+    case StatsRetention::kReset:
+      assessor_->reset();
+      break;
+    case StatsRetention::kKeep:
+      break;
+    case StatsRetention::kDecay:
+      assessor_->decay(options_.decay_factor);
+      break;
+  }
+  sync_memory();
+  return decision;
+}
+
+TuneDecision AmriTuner::maybe_tune(index::BitAddressIndex& index) {
+  TuneDecision decision = recommend(index.config());
+  const double current = decision.current_cost;
+  const double proposed = decision.recommended_cost;
+  if (decision.recommended != index.config() &&
+      proposed < current * (1.0 - options_.min_improvement)) {
+    migrator_.migrate(index, decision.recommended);
+    decision.migrated = true;
+    ++migrations_;
+  }
+  return decision;
+}
+
+}  // namespace amri::tuner

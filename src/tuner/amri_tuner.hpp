@@ -1,0 +1,102 @@
+// The AMRI index tuner: the online loop that (a) feeds every search
+// request's access pattern to an assessment method, (b) periodically asks
+// the assessor for the frequent patterns, (c) runs index selection under
+// the cost model, and (d) migrates the state's bit-address index when the
+// recommended IC beats the current one by a hysteresis margin.
+//
+// The tuner is deliberately index-agnostic about *application*: it returns
+// recommendations, and `maybe_tune` applies one to a BitAddressIndex via
+// the migrator. This lets the same tuner drive the non-adapting ablation
+// (never apply) and unit tests (inspect recommendations only).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "assessment/assessor.hpp"
+#include "common/memory_tracker.hpp"
+#include "index/bit_address_index.hpp"
+#include "index/index_migrator.hpp"
+#include "index/index_optimizer.hpp"
+
+namespace amri::tuner {
+
+/// What happens to assessment statistics after each tuning decision:
+///   kReset — fresh window (fastest reaction to drift, noisiest);
+///   kKeep  — continuous assessment (stable, reacts slowly to drift);
+///   kDecay — counts aged by decay_factor (middle ground).
+enum class StatsRetention : std::uint8_t { kReset = 0, kKeep, kDecay };
+
+struct TunerOptions {
+  assessment::AssessorKind assessor =
+      assessment::AssessorKind::kCdiaHighestCount;
+  assessment::AssessorParams assessor_params{};
+  double theta = 0.1;                ///< frequency threshold for results()
+  std::uint64_t reassess_every = 2000;  ///< search requests between decisions
+  double min_improvement = 0.02;     ///< migrate only if cost drops by >= 2%
+  index::OptimizerOptions optimizer{};
+  StatsRetention retention = StatsRetention::kReset;
+  double decay_factor = 0.25;        ///< for kDecay
+};
+
+struct TuneDecision {
+  bool due = false;                 ///< a reassessment happened
+  bool migrated = false;            ///< the IC actually changed
+  index::IndexConfig recommended;   ///< best IC found (valid when due)
+  double recommended_cost = 0.0;
+  double current_cost = 0.0;
+  std::size_t frequent_patterns = 0;
+};
+
+class AmriTuner {
+ public:
+  AmriTuner(AttrMask universe, std::size_t num_attrs, index::CostModel model,
+            TunerOptions options, MemoryTracker* memory = nullptr);
+
+  ~AmriTuner();
+
+  AmriTuner(const AmriTuner&) = delete;
+  AmriTuner& operator=(const AmriTuner&) = delete;
+
+  const TunerOptions& options() const { return options_; }
+  const assessment::Assessor& assessor() const { return *assessor_; }
+
+  /// Ingest one search-request access pattern.
+  void observe_request(AttrMask ap);
+
+  /// True when enough requests arrived since the last decision.
+  bool tuning_due() const {
+    return since_last_decision_ >= options_.reassess_every;
+  }
+
+  /// Run assessment + selection against `current`; returns the decision
+  /// without applying it. Resets the due-counter (and optionally stats).
+  TuneDecision recommend(const index::IndexConfig& current);
+
+  /// recommend() and, if the improvement clears the hysteresis margin,
+  /// migrate `index` to the recommended IC.
+  TuneDecision maybe_tune(index::BitAddressIndex& index);
+
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t observed_requests() const { return observed_; }
+
+ private:
+  void sync_memory();
+
+  AttrMask universe_;
+  std::size_t num_attrs_;
+  index::CostModel model_;
+  TunerOptions options_;
+  std::unique_ptr<assessment::Assessor> assessor_;
+  index::IndexMigrator migrator_;
+  MemoryTracker* memory_;
+  std::size_t tracked_bytes_ = 0;
+  std::uint64_t since_last_decision_ = 0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace amri::tuner

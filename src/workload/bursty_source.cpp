@@ -1,0 +1,95 @@
+#include "workload/bursty_source.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace amri::workload {
+
+BurstySource::BurstySource(const engine::QuerySpec& query,
+                           PhaseSchedule schedule, BurstyOptions options)
+    : query_(query),
+      schedule_(std::move(schedule)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  assert(options_.base_rates_per_sec.size() == query_.num_streams());
+  assert(options_.burst_multiplier >= 1.0);
+  next_arrival_.resize(query_.num_streams(), 0);
+  for (StreamId s = 0; s < query_.num_streams(); ++s) {
+    next_arrival_[s] = static_cast<TimeMicros>(rng_.below(10000));
+  }
+  pred_of_.resize(query_.num_streams());
+  for (StreamId s = 0; s < query_.num_streams(); ++s) {
+    pred_of_[s].assign(query_.schema(s).num_attrs(),
+                       std::numeric_limits<std::size_t>::max());
+  }
+  const auto& preds = query_.predicates();
+  for (std::size_t p = 0; p < preds.size(); ++p) {
+    pred_of_[preds[p].left_stream][preds[p].left_attr] = p;
+    pred_of_[preds[p].right_stream][preds[p].right_attr] = p;
+  }
+  regime_until_ = draw_dwell(options_.mean_calm_seconds);
+}
+
+TimeMicros BurstySource::draw_dwell(double mean_seconds) {
+  // Exponential dwell times (memoryless regime switching).
+  const double u = rng_.uniform01();
+  const double dwell = -mean_seconds * std::log(1.0 - u);
+  return seconds_to_micros(std::max(dwell, 0.001));
+}
+
+void BurstySource::maybe_switch_regime(TimeMicros now) {
+  while (now >= regime_until_) {
+    in_burst_ = !in_burst_;
+    if (in_burst_) ++bursts_;
+    regime_until_ += draw_dwell(in_burst_ ? options_.mean_burst_seconds
+                                          : options_.mean_calm_seconds);
+  }
+}
+
+Value BurstySource::draw_value(std::int64_t domain) {
+  // Inverse-power skew without precomputing a CDF per (phase, domain):
+  // u^k concentrates mass near 0 for k > 1.
+  const double u = rng_.uniform01();
+  const double skewed = std::pow(u, 1.0 + options_.zipf_exponent);
+  auto v = static_cast<Value>(skewed * static_cast<double>(domain));
+  if (v >= domain) v = domain - 1;
+  return v;
+}
+
+std::optional<Tuple> BurstySource::next() {
+  StreamId chosen = 0;
+  for (StreamId s = 1; s < query_.num_streams(); ++s) {
+    if (next_arrival_[s] < next_arrival_[chosen]) chosen = s;
+  }
+  const TimeMicros ts = next_arrival_[chosen];
+  if (options_.end > 0 && ts >= options_.end) return std::nullopt;
+  maybe_switch_regime(ts);
+
+  Tuple t;
+  t.stream = chosen;
+  t.ts = ts;
+  t.seq = seq_++;
+  const Schema& schema = query_.schema(chosen);
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const std::size_t p = pred_of_[chosen][a];
+    const std::int64_t domain =
+        p == std::numeric_limits<std::size_t>::max()
+            ? 100
+            : schedule_.domain_at(ts, p);
+    t.values.push_back(draw_value(domain));
+  }
+
+  const double rate = options_.base_rates_per_sec[chosen] *
+                      (in_burst_ ? options_.burst_multiplier : 1.0);
+  TimeMicros step = seconds_to_micros(1.0 / rate);
+  // Poisson-ish jitter.
+  step = static_cast<TimeMicros>(
+      static_cast<double>(step) *
+      (-std::log(1.0 - rng_.uniform01())));
+  if (step < 1) step = 1;
+  next_arrival_[chosen] = ts + step;
+  return t;
+}
+
+}  // namespace amri::workload

@@ -1,0 +1,60 @@
+// Bursty, regime-switching arrivals: the closest synthetic equivalent to
+// the real-data traces of the paper's companion tech report [19]. A
+// two-state Markov-modulated process (calm / burst) scales every stream's
+// arrival rate, and value skew follows a Zipf whose hot set rotates with
+// the phase schedule — so both load and selectivity fluctuate, the regime
+// the paper's introduction motivates ("environments susceptible to
+// frequent fluctuations in data arrival rates").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/query.hpp"
+#include "engine/tuple_source.hpp"
+#include "workload/distributions.hpp"
+#include "workload/phase_schedule.hpp"
+
+namespace amri::workload {
+
+struct BurstyOptions {
+  std::vector<double> base_rates_per_sec;  ///< per stream, calm regime
+  double burst_multiplier = 4.0;   ///< rate scale during a burst
+  double mean_calm_seconds = 20.0; ///< expected calm-regime dwell
+  double mean_burst_seconds = 5.0; ///< expected burst-regime dwell
+  double zipf_exponent = 0.8;      ///< value skew inside each domain
+  TimeMicros end = 0;              ///< 0 = unbounded
+  std::uint64_t seed = 0x5eedULL;
+};
+
+class BurstySource final : public engine::TupleSource {
+ public:
+  /// `query` and `schedule` must outlive the source; the schedule supplies
+  /// per-predicate domains exactly as for SyntheticGenerator.
+  BurstySource(const engine::QuerySpec& query, PhaseSchedule schedule,
+               BurstyOptions options);
+
+  std::optional<Tuple> next() override;
+
+  bool in_burst() const { return in_burst_; }
+  std::uint64_t bursts_entered() const { return bursts_; }
+
+ private:
+  TimeMicros draw_dwell(double mean_seconds);
+  void maybe_switch_regime(TimeMicros now);
+  Value draw_value(std::int64_t domain);
+
+  const engine::QuerySpec& query_;
+  PhaseSchedule schedule_;
+  BurstyOptions options_;
+  std::vector<TimeMicros> next_arrival_;
+  std::vector<std::vector<std::size_t>> pred_of_;
+  Rng rng_;
+  TupleSeq seq_ = 0;
+  bool in_burst_ = false;
+  TimeMicros regime_until_ = 0;
+  std::uint64_t bursts_ = 0;
+};
+
+}  // namespace amri::workload

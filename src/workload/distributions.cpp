@@ -1,0 +1,36 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace amri::workload {
+
+ZipfDistribution::ZipfDistribution(std::int64_t domain, double s)
+    : domain_(domain), s_(s) {
+  assert(domain >= 1);
+  assert(s >= 0.0);
+  cdf_.reserve(static_cast<std::size_t>(domain));
+  double total = 0.0;
+  for (std::int64_t k = 1; k <= domain; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+Value ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<Value>(it - cdf_.begin());
+}
+
+std::unique_ptr<Distribution> make_uniform(std::int64_t domain) {
+  return std::make_unique<UniformDistribution>(domain);
+}
+
+std::unique_ptr<Distribution> make_zipf(std::int64_t domain, double s) {
+  return std::make_unique<ZipfDistribution>(domain, s);
+}
+
+}  // namespace amri::workload

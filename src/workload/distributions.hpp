@@ -1,0 +1,52 @@
+// Value distributions for synthetic stream generation: uniform and Zipf
+// (the classic skewed-workload model). Zipf uses a precomputed CDF with
+// binary-search sampling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace amri::workload {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Sample a value in [0, domain()).
+  virtual Value sample(Rng& rng) const = 0;
+  virtual std::int64_t domain() const = 0;
+};
+
+class UniformDistribution final : public Distribution {
+ public:
+  explicit UniformDistribution(std::int64_t domain) : domain_(domain) {}
+  Value sample(Rng& rng) const override {
+    return static_cast<Value>(rng.below(static_cast<std::uint64_t>(domain_)));
+  }
+  std::int64_t domain() const override { return domain_; }
+
+ private:
+  std::int64_t domain_;
+};
+
+class ZipfDistribution final : public Distribution {
+ public:
+  /// `s` is the Zipf exponent (s = 0 degenerates to uniform).
+  ZipfDistribution(std::int64_t domain, double s);
+  Value sample(Rng& rng) const override;
+  std::int64_t domain() const override { return domain_; }
+  double exponent() const { return s_; }
+
+ private:
+  std::int64_t domain_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+std::unique_ptr<Distribution> make_uniform(std::int64_t domain);
+std::unique_ptr<Distribution> make_zipf(std::int64_t domain, double s);
+
+}  // namespace amri::workload

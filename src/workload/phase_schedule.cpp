@@ -1,0 +1,24 @@
+#include "workload/phase_schedule.hpp"
+
+namespace amri::workload {
+
+PhaseSchedule PhaseSchedule::rotating(std::size_t num_predicates,
+                                      std::size_t num_phases,
+                                      TimeMicros phase_length,
+                                      std::int64_t hot_domain,
+                                      std::int64_t cold_domain) {
+  assert(num_predicates >= 1);
+  assert(num_phases >= 1);
+  std::vector<Phase> phases;
+  phases.reserve(num_phases);
+  for (std::size_t k = 0; k < num_phases; ++k) {
+    Phase ph;
+    ph.start = static_cast<TimeMicros>(k) * phase_length;
+    ph.predicate_domains.assign(num_predicates, cold_domain);
+    ph.predicate_domains[k % num_predicates] = hot_domain;
+    phases.push_back(std::move(ph));
+  }
+  return PhaseSchedule(std::move(phases));
+}
+
+}  // namespace amri::workload

@@ -1,0 +1,68 @@
+// Phase schedules: time-varying join selectivities (paper §V: "synthetic
+// data in which the selectivities of joining one stream to another adapt
+// over time"). Each join predicate draws both endpoints from a shared
+// domain; a smaller domain means more matches (a less selective join).
+// Phases change the per-predicate domains, so the router's preferred query
+// paths — and therefore the access-pattern workload each state sees —
+// shift during the run.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amri::workload {
+
+/// Per-phase settings: one value domain per join predicate.
+struct Phase {
+  TimeMicros start = 0;
+  std::vector<std::int64_t> predicate_domains;
+};
+
+class PhaseSchedule {
+ public:
+  PhaseSchedule() = default;
+  explicit PhaseSchedule(std::vector<Phase> phases) : phases_(std::move(phases)) {
+    assert(!phases_.empty());
+    for (std::size_t i = 1; i < phases_.size(); ++i) {
+      assert(phases_[i].start > phases_[i - 1].start);
+    }
+  }
+
+  std::size_t num_phases() const { return phases_.size(); }
+  const Phase& phase(std::size_t i) const { return phases_[i]; }
+
+  /// Index of the phase active at time `t` (clamps to first/last phase).
+  std::size_t phase_index_at(TimeMicros t) const {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      if (phases_[i].start <= t) idx = i;
+    }
+    return idx;
+  }
+
+  /// Domain of predicate `p` at time `t`.
+  std::int64_t domain_at(TimeMicros t, std::size_t p) const {
+    const Phase& ph = phases_[phase_index_at(t)];
+    assert(p < ph.predicate_domains.size());
+    return ph.predicate_domains[p];
+  }
+
+  /// A rotating schedule over `num_predicates` predicates: each phase lasts
+  /// `phase_length`; in phase k, predicate (k mod num_predicates) is the
+  /// "hot" (low-selectivity) one with `hot_domain` values, all others use
+  /// `cold_domain`. This is the drift pattern the paper's evaluation needs:
+  /// the best route keeps changing.
+  static PhaseSchedule rotating(std::size_t num_predicates,
+                                std::size_t num_phases,
+                                TimeMicros phase_length,
+                                std::int64_t hot_domain,
+                                std::int64_t cold_domain);
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+}  // namespace amri::workload

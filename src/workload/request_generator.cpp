@@ -1,0 +1,55 @@
+#include "workload/request_generator.hpp"
+
+#include <cassert>
+
+namespace amri::workload {
+
+RequestGenerator::RequestGenerator(AttrMask universe,
+                                   std::vector<RequestPhase> phases,
+                                   std::uint64_t seed)
+    : universe_(universe), phases_(std::move(phases)), rng_(seed) {
+  assert(!phases_.empty());
+  assert(universe_ != 0);
+}
+
+AttrMask RequestGenerator::next() {
+  const RequestPhase& ph = phases_[phase_];
+  ++produced_;
+  if (++into_phase_ >= ph.length) {
+    into_phase_ = 0;
+    phase_ = (phase_ + 1) % phases_.size();
+  }
+  double u = rng_.uniform01();
+  for (const auto& [mask, weight] : ph.hot) {
+    if (u < weight) return mask;
+    u -= weight;
+  }
+  // Noise floor: uniform over all subsets of the universe. Enumerate the
+  // k-th subset by spreading the draw over the universe's bits.
+  AttrMask m = 0;
+  for_each_bit(universe_, [&](unsigned i) {
+    if (rng_.chance(0.5)) m |= (AttrMask{1} << i);
+  });
+  return m;
+}
+
+RequestGenerator RequestGenerator::rotating(int n, std::size_t num_phases,
+                                            std::uint64_t phase_length,
+                                            double hot_weight,
+                                            std::uint64_t seed) {
+  assert(n >= 1 && n <= 30);
+  const AttrMask universe = low_bits(n);
+  std::vector<RequestPhase> phases;
+  phases.reserve(num_phases);
+  for (std::size_t k = 0; k < num_phases; ++k) {
+    RequestPhase ph;
+    ph.length = phase_length;
+    const AttrMask hot1 = AttrMask{1} << (k % static_cast<std::size_t>(n));
+    ph.hot.push_back({hot1, hot_weight * 0.6});
+    ph.hot.push_back({universe, hot_weight * 0.4});
+    phases.push_back(std::move(ph));
+  }
+  return RequestGenerator(universe, std::move(phases), seed);
+}
+
+}  // namespace amri::workload

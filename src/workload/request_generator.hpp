@@ -1,0 +1,50 @@
+// Access-pattern request streams for assessment-only experiments: a
+// drifting mixture of hot patterns over a universe of join attributes,
+// used by the assessment micro-benchmarks and epsilon/theta ablations
+// without running the full engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace amri::workload {
+
+struct RequestPhase {
+  std::uint64_t length = 10000;  ///< requests in this phase
+  /// (pattern, weight) mixture; remaining probability mass is spread
+  /// uniformly over the whole universe (the exploration noise floor).
+  std::vector<std::pair<AttrMask, double>> hot;
+};
+
+class RequestGenerator {
+ public:
+  RequestGenerator(AttrMask universe, std::vector<RequestPhase> phases,
+                   std::uint64_t seed = 0x5eedULL);
+
+  /// Next access pattern; cycles phase by phase, wrapping at the end.
+  AttrMask next();
+
+  std::uint64_t produced() const { return produced_; }
+  std::size_t current_phase() const { return phase_; }
+
+  /// A rotating drift over the `n`-attribute universe: each phase makes a
+  /// different single-attribute pattern hot (weight `hot_weight`) plus its
+  /// full-pattern companion.
+  static RequestGenerator rotating(int n, std::size_t num_phases,
+                                   std::uint64_t phase_length,
+                                   double hot_weight,
+                                   std::uint64_t seed = 0x5eedULL);
+
+ private:
+  AttrMask universe_;
+  std::vector<RequestPhase> phases_;
+  Rng rng_;
+  std::uint64_t produced_ = 0;
+  std::uint64_t into_phase_ = 0;
+  std::size_t phase_ = 0;
+};
+
+}  // namespace amri::workload

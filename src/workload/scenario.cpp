@@ -1,0 +1,36 @@
+#include "workload/scenario.hpp"
+
+namespace amri::workload {
+
+Scenario::Scenario(ScenarioOptions options)
+    : options_(options),
+      query_(engine::make_complete_join_query(
+          options.streams, seconds_to_micros(options.window_seconds))),
+      schedule_(PhaseSchedule::rotating(
+          query_.predicates().size(), options.num_phases,
+          seconds_to_micros(options.phase_seconds), options.hot_domain,
+          options.cold_domain)) {}
+
+std::unique_ptr<SyntheticGenerator> Scenario::make_source(
+    std::uint64_t seed_offset) const {
+  GeneratorOptions gopts;
+  gopts.rates_per_sec.assign(options_.streams, options_.rate_per_sec);
+  gopts.end = options_.generate_seconds > 0.0
+                  ? seconds_to_micros(options_.generate_seconds)
+                  : 0;
+  gopts.seed = options_.seed + seed_offset;
+  return std::make_unique<SyntheticGenerator>(query_, schedule_, gopts);
+}
+
+engine::ExecutorOptions Scenario::default_executor_options() const {
+  engine::ExecutorOptions eopts;
+  eopts.model_params.lambda_d = options_.rate_per_sec;
+  eopts.model_params.lambda_r = options_.rate_per_sec * options_.streams;
+  eopts.model_params.window_units = options_.window_seconds;
+  eopts.model_params.hash_cost = eopts.costs.hash_cost_us;
+  eopts.model_params.compare_cost = eopts.costs.compare_cost_us;
+  eopts.model_params.bucket_cost = eopts.costs.bucket_visit_cost_us;
+  return eopts;
+}
+
+}  // namespace amri::workload

@@ -1,0 +1,52 @@
+// The paper's canned evaluation scenario (§V): a 4-way join across 4
+// streams, every pair joined on a dedicated attribute (3 join attributes
+// per state, 7 possible non-empty access patterns), with join
+// selectivities rotating over phases so the router keeps changing query
+// paths. Benches and examples build their runs from this scenario.
+#pragma once
+
+#include <memory>
+
+#include "engine/executor.hpp"
+#include "engine/query.hpp"
+#include "workload/synthetic_generator.hpp"
+
+namespace amri::workload {
+
+struct ScenarioOptions {
+  std::size_t streams = 4;
+  double rate_per_sec = 50.0;       ///< lambda_d per stream
+  double window_seconds = 20.0;     ///< sliding window length
+  double phase_seconds = 60.0;      ///< selectivity-drift period
+  std::size_t num_phases = 64;      ///< schedule length (wraps by clamping)
+  std::int64_t hot_domain = 15;     ///< low-selectivity (many matches)
+  std::int64_t cold_domain = 60;    ///< high-selectivity (few matches)
+  std::uint64_t seed = 0x5eedULL;
+  double generate_seconds = 0.0;    ///< 0 = unbounded source
+};
+
+/// A fully-wired scenario: the query, the drift schedule, and a factory
+/// for timestamp-ordered tuple sources.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioOptions options);
+
+  const ScenarioOptions& options() const { return options_; }
+  const engine::QuerySpec& query() const { return query_; }
+  const PhaseSchedule& schedule() const { return schedule_; }
+
+  /// New generator over this scenario (seed offset for repeated runs).
+  std::unique_ptr<SyntheticGenerator> make_source(
+      std::uint64_t seed_offset = 0) const;
+
+  /// Executor options pre-filled with the scenario's workload parameters
+  /// (cost-model lambdas, window) — benches override what they sweep.
+  engine::ExecutorOptions default_executor_options() const;
+
+ private:
+  ScenarioOptions options_;
+  engine::QuerySpec query_;
+  PhaseSchedule schedule_;
+};
+
+}  // namespace amri::workload

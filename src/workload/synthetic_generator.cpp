@@ -1,0 +1,78 @@
+#include "workload/synthetic_generator.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace amri::workload {
+
+SyntheticGenerator::SyntheticGenerator(const engine::QuerySpec& query,
+                                       PhaseSchedule schedule,
+                                       GeneratorOptions options)
+    : query_(query),
+      schedule_(std::move(schedule)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  assert(options_.rates_per_sec.size() == query_.num_streams());
+  assert(options_.jitter >= 0.0 && options_.jitter < 1.0);
+  next_arrival_.resize(query_.num_streams(), 0);
+  base_interval_.resize(query_.num_streams());
+  for (StreamId s = 0; s < query_.num_streams(); ++s) {
+    assert(options_.rates_per_sec[s] > 0.0);
+    base_interval_[s] = seconds_to_micros(1.0 / options_.rates_per_sec[s]);
+    if (base_interval_[s] < 1) base_interval_[s] = 1;
+    // Stagger stream start offsets so arrivals interleave from t = 0.
+    next_arrival_[s] = static_cast<TimeMicros>(
+        rng_.below(static_cast<std::uint64_t>(base_interval_[s]) + 1));
+  }
+  // Map each (stream, attr) to its predicate index.
+  pred_of_.resize(query_.num_streams());
+  for (StreamId s = 0; s < query_.num_streams(); ++s) {
+    pred_of_[s].assign(query_.schema(s).num_attrs(),
+                       std::numeric_limits<std::size_t>::max());
+  }
+  const auto& preds = query_.predicates();
+  for (std::size_t p = 0; p < preds.size(); ++p) {
+    pred_of_[preds[p].left_stream][preds[p].left_attr] = p;
+    pred_of_[preds[p].right_stream][preds[p].right_attr] = p;
+  }
+  // Every phase must cover every predicate.
+  for (std::size_t i = 0; i < schedule_.num_phases(); ++i) {
+    assert(schedule_.phase(i).predicate_domains.size() >= preds.size());
+    (void)i;
+  }
+}
+
+std::optional<Tuple> SyntheticGenerator::next() {
+  // Earliest next arrival across streams.
+  StreamId chosen = 0;
+  for (StreamId s = 1; s < query_.num_streams(); ++s) {
+    if (next_arrival_[s] < next_arrival_[chosen]) chosen = s;
+  }
+  const TimeMicros ts = next_arrival_[chosen];
+  if (options_.end > 0 && ts >= options_.end) return std::nullopt;
+
+  Tuple t;
+  t.stream = chosen;
+  t.ts = ts;
+  t.seq = seq_++;
+  const Schema& schema = query_.schema(chosen);
+  for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+    const std::size_t p = pred_of_[chosen][a];
+    std::int64_t domain = 100;  // non-join attributes: fixed small domain
+    if (p != std::numeric_limits<std::size_t>::max()) {
+      domain = schedule_.domain_at(ts, p);
+    }
+    t.values.push_back(
+        static_cast<Value>(rng_.below(static_cast<std::uint64_t>(domain))));
+  }
+
+  // Schedule this stream's next arrival with jitter.
+  const auto base = static_cast<double>(base_interval_[chosen]);
+  const double j = 1.0 + options_.jitter * (2.0 * rng_.uniform01() - 1.0);
+  TimeMicros step = static_cast<TimeMicros>(base * j);
+  if (step < 1) step = 1;
+  next_arrival_[chosen] = ts + step;
+  return t;
+}
+
+}  // namespace amri::workload

@@ -1,0 +1,47 @@
+// Synthetic multi-stream tuple generation (paper §V "Synthetic Data Sets").
+// Produces the merged, timestamp-ordered arrival sequence for a QuerySpec:
+// per-stream arrival rates with light jitter, and join-attribute values
+// drawn from the phase schedule's per-predicate domains so that join
+// selectivities drift over time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/query.hpp"
+#include "engine/tuple_source.hpp"
+#include "workload/phase_schedule.hpp"
+
+namespace amri::workload {
+
+struct GeneratorOptions {
+  std::vector<double> rates_per_sec;  ///< one per stream
+  TimeMicros end = 0;                 ///< stop producing at this time
+  std::uint64_t seed = 0x5eedULL;
+  double jitter = 0.2;  ///< inter-arrival jitter fraction [0, 1)
+};
+
+class SyntheticGenerator final : public engine::TupleSource {
+ public:
+  /// `query` must outlive the generator.
+  SyntheticGenerator(const engine::QuerySpec& query, PhaseSchedule schedule,
+                     GeneratorOptions options);
+
+  std::optional<Tuple> next() override;
+
+  std::uint64_t produced() const { return seq_; }
+
+ private:
+  const engine::QuerySpec& query_;
+  PhaseSchedule schedule_;
+  GeneratorOptions options_;
+  std::vector<TimeMicros> next_arrival_;
+  std::vector<TimeMicros> base_interval_;
+  /// pred_of_[stream][attr] = predicate index for that join attribute.
+  std::vector<std::vector<std::size_t>> pred_of_;
+  Rng rng_;
+  TupleSeq seq_ = 0;
+};
+
+}  // namespace amri::workload

@@ -1,0 +1,74 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace amri::workload {
+
+void TraceRecorder::save(std::ostream& os) const {
+  os << "AMRITRACE 1\n";
+  for (const Tuple& t : trace_) {
+    os << t.stream << ' ' << t.ts << ' ' << t.seq << ' ' << t.values.size();
+    for (const Value v : t.values) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+void TraceRecorder::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::invalid_argument("trace: cannot write " + path);
+  save(os);
+}
+
+TraceReplaySource TraceReplaySource::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "AMRITRACE" || version != 1) {
+    throw std::invalid_argument("trace: bad header (expected AMRITRACE 1)");
+  }
+  std::vector<Tuple> tuples;
+  std::string line;
+  std::getline(is, line);  // consume the header's newline
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream row(line);
+    Tuple t;
+    std::size_t n = 0;
+    if (!(row >> t.stream >> t.ts >> t.seq >> n)) {
+      // Blank/comment-only lines are fine; anything else is malformed.
+      std::istringstream probe(line);
+      std::string tok;
+      if (probe >> tok) {
+        throw std::invalid_argument("trace: malformed row at line " +
+                                    std::to_string(lineno));
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Value v = 0;
+      if (!(row >> v)) {
+        throw std::invalid_argument("trace: truncated values at line " +
+                                    std::to_string(lineno));
+      }
+      t.values.push_back(v);
+    }
+    if (!tuples.empty() && t.ts < tuples.back().ts) {
+      throw std::invalid_argument(
+          "trace: timestamps regress at line " + std::to_string(lineno));
+    }
+    tuples.push_back(std::move(t));
+  }
+  return TraceReplaySource(std::move(tuples));
+}
+
+TraceReplaySource TraceReplaySource::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::invalid_argument("trace: cannot read " + path);
+  return load(is);
+}
+
+}  // namespace amri::workload

@@ -1,0 +1,66 @@
+// Workload trace capture and replay: record the exact arrival sequence of
+// any TupleSource to a portable text format and replay it later —
+// bit-identical reruns across machines, the reproduction workflow the
+// paper's experiments imply ("the synthetic data set and query were run").
+//
+// Format (line-oriented, '#' comments):
+//   AMRITRACE 1
+//   <stream> <ts_micros> <seq> <n> <v1> ... <vn>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/tuple_source.hpp"
+
+namespace amri::workload {
+
+/// Pass-through source that remembers everything it forwarded.
+class TraceRecorder final : public engine::TupleSource {
+ public:
+  /// `inner` must outlive the recorder.
+  explicit TraceRecorder(engine::TupleSource& inner) : inner_(&inner) {}
+
+  std::optional<Tuple> next() override {
+    auto t = inner_->next();
+    if (t) trace_.push_back(*t);
+    return t;
+  }
+
+  const std::vector<Tuple>& trace() const { return trace_; }
+
+  /// Serialise everything recorded so far.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+
+ private:
+  engine::TupleSource* inner_;
+  std::vector<Tuple> trace_;
+};
+
+/// Replays a recorded trace (from memory, a stream, or a file).
+class TraceReplaySource final : public engine::TupleSource {
+ public:
+  explicit TraceReplaySource(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+
+  /// Parse the AMRITRACE format; throws std::invalid_argument on malformed
+  /// input (bad header, truncated rows, non-numeric fields).
+  static TraceReplaySource load(std::istream& is);
+  static TraceReplaySource load_file(const std::string& path);
+
+  std::optional<Tuple> next() override {
+    if (pos_ >= tuples_.size()) return std::nullopt;
+    return tuples_[pos_++];
+  }
+
+  std::size_t size() const { return tuples_.size(); }
+  void rewind() { pos_ = 0; }
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace amri::workload

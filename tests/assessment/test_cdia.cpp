@@ -1,0 +1,103 @@
+#include "assessment/cdia.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace amri::assessment {
+namespace {
+
+TEST(Cdia, NamesByPolicy) {
+  Cdia r(0b111, 0.01, stats::CombinePolicy::kRandom);
+  Cdia h(0b111, 0.01, stats::CombinePolicy::kHighestCount);
+  EXPECT_EQ(r.name(), "CDIA-random");
+  EXPECT_EQ(h.name(), "CDIA-hc");
+}
+
+TEST(Cdia, FrequentPatternReported) {
+  Cdia c(0b111, 0.005, stats::CombinePolicy::kHighestCount);
+  Rng rng(7);
+  for (int i = 0; i < 30000; ++i) {
+    c.observe(rng.uniform01() < 0.6 ? 0b111
+                                    : static_cast<AttrMask>(rng.below(8)));
+  }
+  const auto res = c.results(0.2);
+  ASSERT_FALSE(res.empty());
+  EXPECT_EQ(res[0].mask, 0b111u);
+  EXPECT_GT(res[0].frequency, 0.5);
+}
+
+TEST(Cdia, TableStaysCompactUnderDiversePatterns) {
+  Cdia c(0xFFF, 0.01, stats::CombinePolicy::kHighestCount);  // 4096 patterns
+  Rng rng(8);
+  for (int i = 0; i < 200000; ++i) {
+    c.observe(static_cast<AttrMask>(rng.below(4096)));
+  }
+  EXPECT_LT(c.table_size(), 4096u);
+}
+
+// The decisive difference vs CSRIA (paper §IV-D2): the mass of deleted
+// patterns is preserved in ancestors instead of vanishing.
+TEST(Cdia, SubThresholdMassSurfacesInParent) {
+  Cdia c(0b111, 0.02, stats::CombinePolicy::kHighestCount);
+  Rng rng(9);
+  const int n = 50000;
+  // Three sibling patterns sharing attribute A, each ~4% — individually
+  // below theta=10%, together 12%.
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    AttrMask m;
+    if (u < 0.04) m = 0b011;       // <A,B,*>
+    else if (u < 0.08) m = 0b101;  // <A,*,C>
+    else if (u < 0.12) m = 0b001;  // <A,*,*>
+    else m = 0b110;                // <*,B,C> 88%
+    c.observe(m);
+  }
+  const auto res = c.results(0.1);
+  // <*,B,C> obviously reported; the A-mass must also surface somewhere in
+  // the A-chain (<A,*,*> or an ancestor holding its mass).
+  bool a_chain = false;
+  for (const auto& r : res) {
+    if (r.mask == 0b001 || r.mask == 0) a_chain = true;
+  }
+  EXPECT_TRUE(a_chain);
+}
+
+TEST(Cdia, ObservedAndResetBehaviour) {
+  Cdia c(0b11, 0.1, stats::CombinePolicy::kRandom, 5);
+  for (int i = 0; i < 42; ++i) c.observe(0b01);
+  EXPECT_EQ(c.observed(), 42u);
+  c.reset();
+  EXPECT_EQ(c.observed(), 0u);
+  EXPECT_EQ(c.table_size(), 0u);
+}
+
+TEST(Cdia, FactoryCreatesBothPolicies) {
+  AssessorParams p;
+  p.epsilon = 0.05;
+  p.seed = 11;
+  const auto r = make_assessor(AssessorKind::kCdiaRandom, 0b111, p);
+  const auto h = make_assessor(AssessorKind::kCdiaHighestCount, 0b111, p);
+  EXPECT_EQ(r->name(), "CDIA-random");
+  EXPECT_EQ(h->name(), "CDIA-hc");
+  auto* cr = dynamic_cast<Cdia*>(r.get());
+  ASSERT_NE(cr, nullptr);
+  EXPECT_EQ(cr->policy(), stats::CombinePolicy::kRandom);
+  EXPECT_DOUBLE_EQ(cr->epsilon(), 0.05);
+}
+
+TEST(ToPatternFrequencies, Renormalises) {
+  const std::vector<AssessedPattern> in = {
+      {0b001, 30, 0, 0.3}, {0b010, 10, 0, 0.1}};
+  const auto out = to_pattern_frequencies(in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].frequency, 0.75);
+  EXPECT_DOUBLE_EQ(out[1].frequency, 0.25);
+}
+
+TEST(ToPatternFrequencies, EmptyInput) {
+  EXPECT_TRUE(to_pattern_frequencies({}).empty());
+}
+
+}  // namespace
+}  // namespace amri::assessment

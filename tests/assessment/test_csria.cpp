@@ -1,0 +1,93 @@
+#include "assessment/csria.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace amri::assessment {
+namespace {
+
+TEST(Csria, FrequentPatternSurvives) {
+  Csria c(0b111, 0.01);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    c.observe(rng.uniform01() < 0.4 ? 0b011
+                                    : static_cast<AttrMask>(rng.below(8)));
+  }
+  const auto res = c.results(0.1);
+  bool found = false;
+  for (const auto& r : res) {
+    if (r.mask == 0b011) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// The paper's §IV-C2 discussion: CSRIA *deletes* the related patterns
+// <A,*,*> and <A,B,*> (4% each) even though their combined mass is 8%.
+TEST(Csria, DeletesRelatedSubThresholdPatterns) {
+  // theta = 5%, epsilon chosen so compression prunes 4% patterns:
+  // a pattern at frequency f survives lossy counting only if f > eps
+  // asymptotically; with eps = 4.5% > 4%, A and AB get pruned repeatedly.
+  Csria c(0b111, 0.045);
+  Rng rng(2);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    AttrMask m;
+    if (u < 0.04) m = 0b001;        // <A,*,*> 4%
+    else if (u < 0.08) m = 0b011;   // <A,B,*> 4%
+    else if (u < 0.18) m = 0b010;   // <*,B,*> 10%
+    else if (u < 0.28) m = 0b100;   // <*,*,C> 10%
+    else if (u < 0.44) m = 0b101;   // <A,*,C> 16%
+    else if (u < 0.54) m = 0b110;   // <*,B,C> 10%
+    else m = 0b111;                 // <A,B,C> 46%
+    c.observe(m);
+  }
+  // Neither sub-threshold pattern is retained with a meaningful count:
+  // their statistics were repeatedly deleted (the paper's complaint).
+  const auto res = c.results(0.05 + 0.045);  // theta above eps slack
+  for (const auto& r : res) {
+    EXPECT_NE(r.mask, 0b001u);
+    EXPECT_NE(r.mask, 0b011u);
+  }
+}
+
+TEST(Csria, TableBoundedUnderUniformPatterns) {
+  Csria c(0b1111111111, 0.01);  // 1024 possible patterns
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    c.observe(static_cast<AttrMask>(rng.below(1024)));
+  }
+  EXPECT_LT(c.table_size(), 1024u);
+}
+
+TEST(Csria, ResultsCarryMaxError) {
+  Csria c(0b11, 0.1);
+  for (int i = 0; i < 100; ++i) c.observe(0b01);
+  const auto res = c.results(0.5);
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].mask, 0b01u);
+  // Inserted in the first segment: zero error.
+  EXPECT_EQ(res[0].max_error, 0u);
+}
+
+TEST(Csria, ResetClears) {
+  Csria c(0b11, 0.1);
+  c.observe(0b01);
+  c.reset();
+  EXPECT_EQ(c.observed(), 0u);
+  EXPECT_TRUE(c.results(0.0).empty());
+}
+
+TEST(Csria, FactoryAppliesEpsilon) {
+  AssessorParams p;
+  p.epsilon = 0.25;
+  const auto a = make_assessor(AssessorKind::kCsria, 0b111, p);
+  EXPECT_EQ(a->name(), "CSRIA");
+  auto* c = dynamic_cast<Csria*>(a.get());
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->epsilon(), 0.25);
+}
+
+}  // namespace
+}  // namespace amri::assessment

@@ -1,0 +1,81 @@
+// Statistics decay: aging preserves relative frequencies, lets new hot
+// patterns overtake stale ones, and drops rounded-to-zero entries —
+// across all four assessment methods.
+#include <gtest/gtest.h>
+
+#include "assessment/assessor.hpp"
+#include "common/rng.hpp"
+
+namespace amri::assessment {
+namespace {
+
+std::unique_ptr<Assessor> make(AssessorKind kind) {
+  AssessorParams p;
+  p.epsilon = 0.01;
+  return make_assessor(kind, 0b111, p);
+}
+
+const AssessorKind kAllKinds[] = {
+    AssessorKind::kSria, AssessorKind::kCsria, AssessorKind::kDia,
+    AssessorKind::kCdiaRandom, AssessorKind::kCdiaHighestCount};
+
+TEST(Decay, PreservesRelativeFrequencies) {
+  for (const auto kind : kAllKinds) {
+    const auto a = make(kind);
+    for (int i = 0; i < 3000; ++i) a->observe(0b001);
+    for (int i = 0; i < 1000; ++i) a->observe(0b010);
+    a->decay(0.5);
+    const auto res = a->results(0.1);
+    ASSERT_GE(res.size(), 2u) << assessor_kind_name(kind);
+    EXPECT_EQ(res[0].mask, 0b001u);
+    EXPECT_NEAR(res[0].frequency, 0.75, 0.05) << assessor_kind_name(kind);
+    EXPECT_NEAR(res[1].frequency, 0.25, 0.05) << assessor_kind_name(kind);
+  }
+}
+
+TEST(Decay, HalvesObservationTotals) {
+  for (const auto kind : kAllKinds) {
+    const auto a = make(kind);
+    for (int i = 0; i < 1000; ++i) a->observe(0b100);
+    a->decay(0.5);
+    EXPECT_NEAR(static_cast<double>(a->observed()), 500.0, 5.0)
+        << assessor_kind_name(kind);
+  }
+}
+
+TEST(Decay, NewPatternOvertakesStaleOne) {
+  for (const auto kind : kAllKinds) {
+    const auto a = make(kind);
+    // Old regime: 0b001 hot.
+    for (int i = 0; i < 5000; ++i) a->observe(0b001);
+    a->decay(0.1);  // aggressive aging at the regime change
+    // New regime: 0b100 hot, fewer absolute observations than the old one.
+    for (int i = 0; i < 2000; ++i) a->observe(0b100);
+    const auto res = a->results(0.3);
+    ASSERT_FALSE(res.empty()) << assessor_kind_name(kind);
+    EXPECT_EQ(res[0].mask, 0b100u)
+        << assessor_kind_name(kind) << " still dominated by stale stats";
+  }
+}
+
+TEST(Decay, TinyCountsDropOut) {
+  for (const auto kind : {AssessorKind::kSria, AssessorKind::kCsria}) {
+    const auto a = make(kind);
+    a->observe(0b001);  // count 1
+    for (int i = 0; i < 100; ++i) a->observe(0b010);
+    a->decay(0.5);  // count 1 * 0.5 -> 0: entry dropped
+    EXPECT_EQ(a->table_size(), 1u) << assessor_kind_name(kind);
+  }
+}
+
+TEST(Decay, RepeatedDecayEmptiesTables) {
+  for (const auto kind : kAllKinds) {
+    const auto a = make(kind);
+    for (int i = 0; i < 64; ++i) a->observe(0b011);
+    for (int i = 0; i < 10; ++i) a->decay(0.5);
+    EXPECT_EQ(a->table_size(), 0u) << assessor_kind_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace amri::assessment

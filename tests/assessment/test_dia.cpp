@@ -1,0 +1,64 @@
+#include "assessment/dia.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assessment/sria.hpp"
+#include "common/rng.hpp"
+
+namespace amri::assessment {
+namespace {
+
+TEST(Dia, CountsMatchObservations) {
+  Dia d(0b111);
+  for (int i = 0; i < 5; ++i) d.observe(0b101);
+  d.observe(0b010);
+  EXPECT_EQ(d.observed(), 6u);
+  EXPECT_EQ(d.table_size(), 2u);
+}
+
+// Paper §V: "DIA's and SRIA's results are equal, because both approaches
+// share the same code base, use the same SRIA table, and do not reduce any
+// nodes."
+TEST(Dia, ResultsIdenticalToSria) {
+  Dia d(0b111);
+  Sria s(0b111);
+  Rng rng(44);
+  for (int i = 0; i < 10000; ++i) {
+    const auto m = static_cast<AttrMask>(rng.below(8));
+    d.observe(m);
+    s.observe(m);
+  }
+  for (const double theta : {0.0, 0.05, 0.1, 0.2, 0.5}) {
+    const auto rd = d.results(theta);
+    const auto rs = s.results(theta);
+    ASSERT_EQ(rd.size(), rs.size()) << "theta=" << theta;
+    for (std::size_t i = 0; i < rd.size(); ++i) {
+      EXPECT_EQ(rd[i].mask, rs[i].mask);
+      EXPECT_EQ(rd[i].count, rs[i].count);
+    }
+  }
+}
+
+TEST(Dia, LatticeExposesLeafStructure) {
+  Dia d(0b111);
+  d.observe(0b001);
+  d.observe(0b011);
+  EXPECT_FALSE(d.lattice().is_leaf(0b001));
+  EXPECT_TRUE(d.lattice().is_leaf(0b011));
+}
+
+TEST(Dia, ResetClears) {
+  Dia d(0b11);
+  d.observe(0b01);
+  d.reset();
+  EXPECT_EQ(d.observed(), 0u);
+  EXPECT_EQ(d.table_size(), 0u);
+}
+
+TEST(Dia, FactoryName) {
+  const auto a = make_assessor(AssessorKind::kDia, 0b111);
+  EXPECT_EQ(a->name(), "DIA");
+}
+
+}  // namespace
+}  // namespace amri::assessment

@@ -1,0 +1,67 @@
+#include "assessment/sria.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri::assessment {
+namespace {
+
+TEST(Sria, ExactCounts) {
+  Sria s(0b111);
+  for (int i = 0; i < 7; ++i) s.observe(0b001);
+  for (int i = 0; i < 3; ++i) s.observe(0b110);
+  EXPECT_EQ(s.observed(), 10u);
+  EXPECT_EQ(s.table_size(), 2u);
+}
+
+TEST(Sria, ResultsFilterByTheta) {
+  Sria s(0b111);
+  for (int i = 0; i < 90; ++i) s.observe(0b001);
+  for (int i = 0; i < 9; ++i) s.observe(0b010);
+  s.observe(0b100);
+  const auto res = s.results(0.05);
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].mask, 0b001u);
+  EXPECT_DOUBLE_EQ(res[0].frequency, 0.9);
+  EXPECT_EQ(res[1].mask, 0b010u);
+  EXPECT_EQ(res[0].max_error, 0u);  // SRIA is exact
+}
+
+TEST(Sria, EmptyResultsWhenNothingObserved) {
+  Sria s(0b11);
+  EXPECT_TRUE(s.results(0.1).empty());
+  EXPECT_EQ(s.observed(), 0u);
+}
+
+TEST(Sria, ThetaZeroReturnsEverything) {
+  Sria s(0b111);
+  s.observe(0b001);
+  s.observe(0b010);
+  s.observe(0b100);
+  EXPECT_EQ(s.results(0.0).size(), 3u);
+}
+
+TEST(Sria, ResetClears) {
+  Sria s(0b11);
+  s.observe(0b01);
+  s.reset();
+  EXPECT_EQ(s.observed(), 0u);
+  EXPECT_EQ(s.table_size(), 0u);
+}
+
+TEST(Sria, MemoryGrowsWithDistinctPatterns) {
+  Sria s(0b11111);
+  const auto before = s.approx_bytes();
+  for (AttrMask m = 0; m < 32; ++m) s.observe(m);
+  EXPECT_GT(s.approx_bytes(), before);
+  EXPECT_EQ(s.table_size(), 32u);
+}
+
+TEST(Sria, NameAndFactory) {
+  Sria s(0b1);
+  EXPECT_EQ(s.name(), "SRIA");
+  const auto made = make_assessor(AssessorKind::kSria, 0b111);
+  EXPECT_EQ(made->name(), "SRIA");
+}
+
+}  // namespace
+}  // namespace amri::assessment

@@ -1,0 +1,114 @@
+// End-to-end reproduction of the paper's §IV-C2 / §IV-D2 worked example
+// (Table II + Figure 5): the same workload flows through CSRIA and CDIA,
+// and index selection over each answer yields the paper's two different
+// 4-bit index configurations.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "assessment/cdia.hpp"
+#include "assessment/csria.hpp"
+#include "index/index_optimizer.hpp"
+
+namespace amri::assessment {
+namespace {
+
+// Table II frequencies over JAS {A,B,C} (A = bit 0).
+void feed_table2(Assessor& a, int scale) {
+  const struct {
+    AttrMask mask;
+    int permille;
+  } rows[] = {
+      {0b001, 40},  {0b010, 100}, {0b100, 100}, {0b011, 40},
+      {0b101, 160}, {0b110, 100}, {0b111, 460},
+  };
+  // Round-robin interleave so no pattern is bursty.
+  for (int step = 0; step < scale; ++step) {
+    for (const auto& row : rows) {
+      for (int k = 0; k < row.permille / 20; ++k) a.observe(row.mask);
+    }
+  }
+}
+
+index::IndexOptimizer paper_optimizer() {
+  index::WorkloadParams p;
+  p.lambda_d = 1000.0;
+  p.lambda_r = 1000.0;
+  p.window_units = 10.0;
+  p.hash_cost = 1.0;
+  p.compare_cost = 1.0;
+  index::OptimizerOptions opts;
+  opts.bit_budget = 4;
+  opts.max_bits_per_attr = 4;
+  return index::IndexOptimizer(index::CostModel(p), opts);
+}
+
+TEST(Table2Example, CsriaExcludesAChainAndPicksBC) {
+  Csria csria(0b111, 0.001);  // paper: epsilon = .1%
+  feed_table2(csria, 100);
+  const auto res = csria.results(0.05);  // paper: theta = 5%
+  // <A,*,*> and <A,B,*> (4% each) fall below theta - eps: excluded.
+  for (const auto& r : res) {
+    EXPECT_NE(r.mask, 0b001u);
+    EXPECT_NE(r.mask, 0b011u);
+  }
+  EXPECT_EQ(res.size(), 5u);  // B, C, AC, BC, ABC survive
+
+  const auto best =
+      paper_optimizer().optimize(3, to_pattern_frequencies(res));
+  // Paper: "IC found by CSRIA is the configuration with the B attribute
+  // having 1 bit and the C attribute having 3 bits."
+  EXPECT_EQ(best.config.bits(0), 0);
+  EXPECT_EQ(best.config.bits(1), 1);
+  EXPECT_EQ(best.config.bits(2), 3);
+}
+
+TEST(Table2Example, CdiaRandomRecoversTrueOptimum) {
+  // The paper's random-combination outcome folds <A,B,*> into <A,*,*>;
+  // find a seed exhibiting it (each seed has ~50% chance).
+  std::optional<std::vector<AssessedPattern>> with_a;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Cdia cdia(0b111, 0.001, stats::CombinePolicy::kRandom, seed);
+    feed_table2(cdia, 100);
+    const auto res = cdia.results(0.05);
+    for (const auto& r : res) {
+      if (r.mask == 0b001 && r.frequency > 0.07) {
+        with_a = res;
+        break;
+      }
+    }
+    if (with_a) break;
+  }
+  ASSERT_TRUE(with_a.has_value())
+      << "no seed folded <A,B,*> into <A,*,*>";
+
+  const auto best =
+      paper_optimizer().optimize(3, to_pattern_frequencies(*with_a));
+  // Paper: "the true optimal IC is the configuration with A and B
+  // attributes having 1 bit each and the C attribute having 2 bits."
+  EXPECT_EQ(best.config.bits(0), 1);
+  EXPECT_EQ(best.config.bits(1), 1);
+  EXPECT_EQ(best.config.bits(2), 2);
+}
+
+TEST(Table2Example, CdiaBeatsCsriaUnderPaperCostModel) {
+  // The recovered IC must cost no more than CSRIA's under the *true*
+  // frequencies (that is what "true optimal" means).
+  const std::vector<index::PatternFrequency> truth = {
+      {0b001, 0.04}, {0b010, 0.10}, {0b100, 0.10}, {0b011, 0.04},
+      {0b101, 0.16}, {0b110, 0.10}, {0b111, 0.46},
+  };
+  index::WorkloadParams p;
+  p.lambda_d = 1000.0;
+  p.lambda_r = 1000.0;
+  p.window_units = 10.0;
+  p.hash_cost = 1.0;
+  p.compare_cost = 1.0;
+  const index::CostModel model(p);
+  const double csria_ic = model.paper_cost(index::IndexConfig({0, 1, 3}), truth);
+  const double cdia_ic = model.paper_cost(index::IndexConfig({1, 1, 2}), truth);
+  EXPECT_LT(cdia_ic, csria_ic);
+}
+
+}  // namespace
+}  // namespace amri::assessment

@@ -1,0 +1,105 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace amri {
+namespace {
+
+TEST(Bitops, Popcount) {
+  EXPECT_EQ(popcount(0u), 0);
+  EXPECT_EQ(popcount(0b101u), 2);
+  EXPECT_EQ(popcount(0xFFFFFFFFu), 32);
+}
+
+TEST(Bitops, LowBits) {
+  EXPECT_EQ(low_bits(0), 0u);
+  EXPECT_EQ(low_bits(1), 0b1u);
+  EXPECT_EQ(low_bits(3), 0b111u);
+  EXPECT_EQ(low_bits(31), 0x7FFFFFFFu);
+}
+
+TEST(Bitops, LowBits64) {
+  EXPECT_EQ(low_bits64(0), 0u);
+  EXPECT_EQ(low_bits64(64), ~std::uint64_t{0});
+  EXPECT_EQ(low_bits64(12), 0xFFFu);
+}
+
+TEST(Bitops, IsSubset) {
+  EXPECT_TRUE(is_subset(0b001, 0b011));
+  EXPECT_TRUE(is_subset(0b011, 0b011));
+  EXPECT_TRUE(is_subset(0, 0b011));
+  EXPECT_FALSE(is_subset(0b100, 0b011));
+  EXPECT_FALSE(is_subset(0b101, 0b001));
+}
+
+TEST(Bitops, HasBit) {
+  EXPECT_TRUE(has_bit(0b101, 0));
+  EXPECT_FALSE(has_bit(0b101, 1));
+  EXPECT_TRUE(has_bit(0b101, 2));
+}
+
+TEST(Bitops, ForEachSubsetEnumeratesAll) {
+  const AttrMask mask = 0b1011;
+  std::set<AttrMask> seen;
+  for_each_subset(mask, [&](AttrMask s) {
+    EXPECT_TRUE(is_subset(s, mask));
+    seen.insert(s);
+  });
+  EXPECT_EQ(seen.size(), 8u);  // 2^3 subsets of a 3-bit mask
+}
+
+TEST(Bitops, ForEachSubsetIncludesEmptyAndFull) {
+  bool saw_empty = false;
+  bool saw_full = false;
+  for_each_subset(0b110, [&](AttrMask s) {
+    if (s == 0) saw_empty = true;
+    if (s == 0b110) saw_full = true;
+  });
+  EXPECT_TRUE(saw_empty);
+  EXPECT_TRUE(saw_full);
+}
+
+TEST(Bitops, ForEachSubsetOfEmptyMask) {
+  int calls = 0;
+  for_each_subset(0, [&](AttrMask s) {
+    EXPECT_EQ(s, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Bitops, ForEachBitAscendingOrder) {
+  std::vector<unsigned> bits;
+  for_each_bit(0b10110, [&](unsigned i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<unsigned>{1, 2, 4}));
+}
+
+TEST(Bitops, LowestBit) {
+  EXPECT_EQ(lowest_bit(0b100), 2u);
+  EXPECT_EQ(lowest_bit(0b1), 0u);
+}
+
+TEST(Bitops, Binomial) {
+  EXPECT_EQ(binomial(3, 0), 1u);
+  EXPECT_EQ(binomial(3, 1), 3u);
+  EXPECT_EQ(binomial(3, 2), 3u);
+  EXPECT_EQ(binomial(3, 3), 1u);
+  EXPECT_EQ(binomial(3, 4), 0u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+}
+
+TEST(Bitops, SubsetCountMatchesBinomialSum) {
+  // Number of k-subsets of an n-mask equals C(n, k).
+  const AttrMask mask = 0b11111;  // n = 5
+  std::vector<int> by_size(6, 0);
+  for_each_subset(mask, [&](AttrMask s) { ++by_size[popcount(s)]; });
+  for (unsigned k = 0; k <= 5; ++k) {
+    EXPECT_EQ(static_cast<std::uint64_t>(by_size[k]), binomial(5, k));
+  }
+}
+
+}  // namespace
+}  // namespace amri

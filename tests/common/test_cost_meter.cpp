@@ -1,0 +1,103 @@
+#include "common/cost_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri {
+namespace {
+
+TEST(CostMeter, CountsWithoutClock) {
+  CostMeter meter;
+  meter.charge_hash(3);
+  meter.charge_compare(5);
+  meter.charge_route();
+  EXPECT_EQ(meter.hashes(), 3u);
+  EXPECT_EQ(meter.compares(), 5u);
+  EXPECT_EQ(meter.routes(), 1u);
+}
+
+TEST(CostMeter, ChargesClockInWholeMicros) {
+  VirtualClock clock;
+  CostParams params;
+  params.hash_cost_us = 1.0;
+  CostMeter meter(&clock, params);
+  meter.charge_hash(10);
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(CostMeter, AccumulatesFractionalCharges) {
+  VirtualClock clock;
+  CostParams params;
+  params.compare_cost_us = 0.25;
+  CostMeter meter(&clock, params);
+  for (int i = 0; i < 8; ++i) meter.charge_compare();
+  // 8 * 0.25 = 2 whole microseconds.
+  EXPECT_EQ(clock.now(), 2);
+}
+
+TEST(CostMeter, FractionalChargesNeverLost) {
+  VirtualClock clock;
+  CostParams params;
+  params.compare_cost_us = 0.3;
+  CostMeter meter(&clock, params);
+  for (int i = 0; i < 1000; ++i) meter.charge_compare();
+  // 1000 * 0.3 = 300 microseconds; allow rounding slack of 1.
+  EXPECT_GE(clock.now(), 299);
+  EXPECT_LE(clock.now(), 300);
+}
+
+TEST(CostMeter, ChargedUsTracksTotal) {
+  CostMeter meter;
+  CostParams params;
+  params.hash_cost_us = 2.0;
+  params.insert_cost_us = 1.0;
+  meter.set_params(params);
+  meter.charge_hash(2);
+  meter.charge_insert(3);
+  EXPECT_DOUBLE_EQ(meter.charged_us(), 7.0);
+}
+
+TEST(CostMeter, ResetCounts) {
+  CostMeter meter;
+  meter.charge_hash();
+  meter.charge_delete(2);
+  meter.reset_counts();
+  EXPECT_EQ(meter.hashes(), 0u);
+  EXPECT_EQ(meter.deletes(), 0u);
+  EXPECT_DOUBLE_EQ(meter.charged_us(), 0.0);
+}
+
+TEST(CostMeter, AttachLater) {
+  CostMeter meter;
+  meter.charge_hash(100);  // uncharged: no clock yet
+  VirtualClock clock;
+  meter.attach(&clock);
+  CostParams params;
+  params.hash_cost_us = 1.0;
+  meter.set_params(params);
+  meter.charge_hash(5);
+  EXPECT_EQ(clock.now(), 5);
+  EXPECT_EQ(meter.hashes(), 105u);
+}
+
+TEST(CostMeter, AllCategoriesCharge) {
+  VirtualClock clock;
+  CostParams params;
+  params.hash_cost_us = 1;
+  params.compare_cost_us = 1;
+  params.route_cost_us = 1;
+  params.insert_cost_us = 1;
+  params.delete_cost_us = 1;
+  params.bucket_visit_cost_us = 1;
+  CostMeter meter(&clock, params);
+  meter.charge_hash();
+  meter.charge_compare();
+  meter.charge_route();
+  meter.charge_insert();
+  meter.charge_delete();
+  meter.charge_bucket_visit();
+  EXPECT_EQ(clock.now(), 6);
+  EXPECT_EQ(meter.bucket_visits(), 1u);
+}
+
+}  // namespace
+}  // namespace amri

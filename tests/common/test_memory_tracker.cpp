@@ -1,0 +1,82 @@
+#include "common/memory_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri {
+namespace {
+
+TEST(MemoryTracker, StartsEmpty) {
+  MemoryTracker mem;
+  EXPECT_EQ(mem.total(), 0u);
+  EXPECT_EQ(mem.peak(), 0u);
+  EXPECT_FALSE(mem.exhausted());
+}
+
+TEST(MemoryTracker, AllocateAndRelease) {
+  MemoryTracker mem;
+  mem.allocate(MemCategory::kStateTuples, 100);
+  mem.allocate(MemCategory::kIndexStructure, 50);
+  EXPECT_EQ(mem.total(), 150u);
+  EXPECT_EQ(mem.category(MemCategory::kStateTuples), 100u);
+  mem.release(MemCategory::kStateTuples, 40);
+  EXPECT_EQ(mem.total(), 110u);
+  EXPECT_EQ(mem.category(MemCategory::kStateTuples), 60u);
+}
+
+TEST(MemoryTracker, PeakTracksHighWater) {
+  MemoryTracker mem;
+  mem.allocate(MemCategory::kQueue, 1000);
+  mem.release(MemCategory::kQueue, 900);
+  mem.allocate(MemCategory::kQueue, 100);
+  EXPECT_EQ(mem.peak(), 1000u);
+}
+
+TEST(MemoryTracker, BudgetExceededIsSticky) {
+  MemoryTracker mem(100);
+  mem.allocate(MemCategory::kStatistics, 101);
+  EXPECT_TRUE(mem.exhausted());
+  mem.release(MemCategory::kStatistics, 101);
+  EXPECT_TRUE(mem.exhausted());  // like an OOM-killed process
+}
+
+TEST(MemoryTracker, ExactBudgetIsFine) {
+  MemoryTracker mem(100);
+  mem.allocate(MemCategory::kStateTuples, 100);
+  EXPECT_FALSE(mem.exhausted());
+}
+
+TEST(MemoryTracker, UnlimitedNeverExhausts) {
+  MemoryTracker mem;
+  mem.allocate(MemCategory::kStateTuples, std::size_t{1} << 40);
+  EXPECT_FALSE(mem.exhausted());
+}
+
+TEST(MemoryTracker, OverReleaseClamps) {
+  MemoryTracker mem;
+  mem.allocate(MemCategory::kQueue, 10);
+  mem.release(MemCategory::kQueue, 50);
+  EXPECT_EQ(mem.total(), 0u);
+  EXPECT_EQ(mem.category(MemCategory::kQueue), 0u);
+}
+
+TEST(MemoryTracker, ResetClearsEverything) {
+  MemoryTracker mem(10);
+  mem.allocate(MemCategory::kQueue, 100);
+  EXPECT_TRUE(mem.exhausted());
+  mem.reset();
+  EXPECT_EQ(mem.total(), 0u);
+  EXPECT_EQ(mem.peak(), 0u);
+  EXPECT_FALSE(mem.exhausted());
+  EXPECT_EQ(mem.budget(), 10u);  // budget survives reset
+}
+
+TEST(MemoryTracker, CategoryNames) {
+  EXPECT_EQ(mem_category_name(MemCategory::kStateTuples), "state_tuples");
+  EXPECT_EQ(mem_category_name(MemCategory::kIndexStructure),
+            "index_structure");
+  EXPECT_EQ(mem_category_name(MemCategory::kStatistics), "statistics");
+  EXPECT_EQ(mem_category_name(MemCategory::kQueue), "queue");
+}
+
+}  // namespace
+}  // namespace amri

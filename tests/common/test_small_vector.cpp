@@ -1,0 +1,122 @@
+#include "common/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+
+namespace amri {
+namespace {
+
+TEST(SmallVector, StartsEmptyAndInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsToHeapPreservingContents) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, InitializerList) {
+  SmallVector<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVector, CountValueConstructor) {
+  SmallVector<std::int64_t, 8> v(5, 42);
+  EXPECT_EQ(v.size(), 5u);
+  for (const auto x : v) EXPECT_EQ(x, 42);
+}
+
+TEST(SmallVector, CopyInline) {
+  SmallVector<int, 4> a{1, 2};
+  SmallVector<int, 4> b(a);
+  a.push_back(3);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+}
+
+TEST(SmallVector, CopyHeap) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b(a);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b[9], 9);
+}
+
+TEST(SmallVector, CopyAssignReplacesContents) {
+  SmallVector<int, 2> a{7, 8};
+  SmallVector<int, 2> b;
+  for (int i = 0; i < 10; ++i) b.push_back(i);
+  b = a;
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 7);
+}
+
+TEST(SmallVector, MoveHeapStealsStorage) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 100; ++i) a.push_back(i);
+  const int* data = a.data();
+  SmallVector<int, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVector, ResizeGrowsWithFill) {
+  SmallVector<int, 4> v{1};
+  v.resize(6, 9);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 1);
+  for (std::size_t i = 1; i < 6; ++i) EXPECT_EQ(v[i], 9);
+}
+
+TEST(SmallVector, ResizeShrinksKeepingPrefix) {
+  SmallVector<int, 4> v{1, 2, 3};
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(SmallVector, Equality) {
+  SmallVector<int, 4> a{1, 2, 3};
+  SmallVector<int, 4> b{1, 2, 3};
+  SmallVector<int, 4> c{1, 2};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVector, IterationSum) {
+  SmallVector<int, 4> v;
+  for (int i = 1; i <= 10; ++i) v.push_back(i);
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 55);
+}
+
+TEST(SmallVector, PopBack) {
+  SmallVector<int, 4> v{1, 2};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.back(), 1);
+}
+
+}  // namespace
+}  // namespace amri

@@ -1,0 +1,56 @@
+#include "common/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace amri {
+namespace {
+
+TEST(TablePrinter, AlignedOutput) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name  | value"), std::string::npos);
+  EXPECT_NE(out.find("alpha | 1"), std::string::npos);
+  EXPECT_NE(out.find("b     | 22"), std::string::npos);
+}
+
+TEST(TablePrinter, RowsPaddedToHeaderWidth) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvBasic) {
+  TablePrinter t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TablePrinter, CsvQuoting) {
+  TablePrinter t({"text"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinter, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmt_int(-42), "-42");
+  EXPECT_EQ(TablePrinter::fmt_pct(0.935, 1), "93.5%");
+}
+
+}  // namespace
+}  // namespace amri

@@ -1,0 +1,44 @@
+#include "common/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri {
+namespace {
+
+TEST(Tuple, BasicFields) {
+  Tuple t;
+  t.stream = 2;
+  t.ts = 1000;
+  t.seq = 7;
+  t.values = {10, 20, 30};
+  EXPECT_EQ(t.at(0), 10);
+  EXPECT_EQ(t.at(2), 30);
+  EXPECT_EQ(t.values.size(), 3u);
+}
+
+TEST(Tuple, ApproxBytesInlineVsHeap) {
+  Tuple small;
+  small.values = {1, 2, 3};
+  EXPECT_EQ(small.approx_bytes(), sizeof(Tuple));
+
+  Tuple big;
+  for (int i = 0; i < 20; ++i) big.values.push_back(i);
+  EXPECT_GT(big.approx_bytes(), sizeof(Tuple));
+}
+
+TEST(Schema, NamesAndLookup) {
+  Schema s("StreamA", {"priority", "package_id", "location"});
+  EXPECT_EQ(s.stream_name(), "StreamA");
+  EXPECT_EQ(s.num_attrs(), 3u);
+  EXPECT_EQ(s.attr_name(1), "package_id");
+  EXPECT_EQ(s.find_attr("location"), 2u);
+  EXPECT_EQ(s.find_attr("missing"), 3u);  // == num_attrs sentinel
+}
+
+TEST(Schema, DefaultEmpty) {
+  Schema s;
+  EXPECT_EQ(s.num_attrs(), 0u);
+}
+
+}  // namespace
+}  // namespace amri

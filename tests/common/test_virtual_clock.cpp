@@ -1,0 +1,63 @@
+#include "common/virtual_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+}
+
+TEST(VirtualClock, StartsAtGivenTime) {
+  VirtualClock clock(500);
+  EXPECT_EQ(clock.now(), 500);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.advance(10);
+  clock.advance(5);
+  EXPECT_EQ(clock.now(), 15);
+}
+
+TEST(VirtualClock, AdvanceZeroIsNoop) {
+  VirtualClock clock(7);
+  clock.advance(0);
+  EXPECT_EQ(clock.now(), 7);
+}
+
+TEST(VirtualClock, AdvanceToAbsolute) {
+  VirtualClock clock;
+  clock.advance_to(1000);
+  EXPECT_EQ(clock.now(), 1000);
+}
+
+TEST(VirtualClock, SaturatesAtMax) {
+  VirtualClock clock(kTimeMax - 5);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), kTimeMax);
+}
+
+TEST(VirtualClock, Reset) {
+  VirtualClock clock(123);
+  clock.reset();
+  EXPECT_EQ(clock.now(), 0);
+  clock.reset(9);
+  EXPECT_EQ(clock.now(), 9);
+}
+
+TEST(TimeConversion, RoundTripSeconds) {
+  EXPECT_EQ(seconds_to_micros(1.0), 1000000);
+  EXPECT_EQ(seconds_to_micros(0.5), 500000);
+  EXPECT_DOUBLE_EQ(micros_to_seconds(2500000), 2.5);
+}
+
+TEST(TimeConversion, SaturatesAndClampsNegatives) {
+  EXPECT_EQ(seconds_to_micros(-1.0), 0);
+  EXPECT_EQ(seconds_to_micros(1e40), kTimeMax);
+}
+
+}  // namespace
+}  // namespace amri

@@ -1,0 +1,96 @@
+#include "engine/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace amri::engine {
+namespace {
+
+TEST(FilterPredicate, AllOperators) {
+  const Tuple t = testutil::make_tuple({10});
+  EXPECT_TRUE((FilterPredicate{0, CompareOp::kEq, 10}).matches(t));
+  EXPECT_FALSE((FilterPredicate{0, CompareOp::kEq, 11}).matches(t));
+  EXPECT_TRUE((FilterPredicate{0, CompareOp::kNe, 11}).matches(t));
+  EXPECT_TRUE((FilterPredicate{0, CompareOp::kLt, 11}).matches(t));
+  EXPECT_FALSE((FilterPredicate{0, CompareOp::kLt, 10}).matches(t));
+  EXPECT_TRUE((FilterPredicate{0, CompareOp::kLe, 10}).matches(t));
+  EXPECT_TRUE((FilterPredicate{0, CompareOp::kGt, 9}).matches(t));
+  EXPECT_TRUE((FilterPredicate{0, CompareOp::kGe, 10}).matches(t));
+  EXPECT_FALSE((FilterPredicate{0, CompareOp::kGe, 11}).matches(t));
+}
+
+TEST(CompareOpName, AllNamed) {
+  EXPECT_EQ(compare_op_name(CompareOp::kEq), "=");
+  EXPECT_EQ(compare_op_name(CompareOp::kNe), "!=");
+  EXPECT_EQ(compare_op_name(CompareOp::kLt), "<");
+  EXPECT_EQ(compare_op_name(CompareOp::kLe), "<=");
+  EXPECT_EQ(compare_op_name(CompareOp::kGt), ">");
+  EXPECT_EQ(compare_op_name(CompareOp::kGe), ">=");
+}
+
+TEST(Selection, EmptyMatchesEverything) {
+  const Selection sel;
+  EXPECT_TRUE(sel.empty());
+  EXPECT_TRUE(sel.matches(testutil::make_tuple({1, 2, 3})));
+}
+
+TEST(Selection, ConjunctionSemantics) {
+  const Selection sel({{0, CompareOp::kGe, 5}, {1, CompareOp::kLt, 10}});
+  EXPECT_TRUE(sel.matches(testutil::make_tuple({7, 3})));
+  EXPECT_FALSE(sel.matches(testutil::make_tuple({4, 3})));
+  EXPECT_FALSE(sel.matches(testutil::make_tuple({7, 10})));
+}
+
+TEST(Selection, ChargesComparesAndShortCircuits) {
+  CostMeter meter;
+  const Selection sel({{0, CompareOp::kEq, 1}, {1, CompareOp::kEq, 2}});
+  // First predicate fails: only one compare charged.
+  sel.matches(testutil::make_tuple({9, 2}), &meter);
+  EXPECT_EQ(meter.compares(), 1u);
+  meter.reset_counts();
+  sel.matches(testutil::make_tuple({1, 2}), &meter);
+  EXPECT_EQ(meter.compares(), 2u);
+}
+
+TEST(Projection, SelectStarConcatenatesAllStreams) {
+  const Projection p;
+  EXPECT_TRUE(p.select_star());
+  const Tuple a = testutil::make_tuple({1, 2});
+  const Tuple b = testutil::make_tuple({3});
+  SmallVector<const Tuple*, 8> members;
+  members.push_back(&a);
+  members.push_back(&b);
+  const auto row = p.apply(members);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 1);
+  EXPECT_EQ(row[1], 2);
+  EXPECT_EQ(row[2], 3);
+}
+
+TEST(Projection, ExplicitColumns) {
+  const Projection p({{1, 0}, {0, 1}});
+  const Tuple a = testutil::make_tuple({1, 2});
+  const Tuple b = testutil::make_tuple({3});
+  SmallVector<const Tuple*, 8> members;
+  members.push_back(&a);
+  members.push_back(&b);
+  const auto row = p.apply(members);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], 3);  // stream 1 attr 0
+  EXPECT_EQ(row[1], 2);  // stream 0 attr 1
+}
+
+TEST(Projection, SelectStarSkipsNullMembers) {
+  const Projection p;
+  const Tuple a = testutil::make_tuple({5});
+  SmallVector<const Tuple*, 8> members;
+  members.push_back(&a);
+  members.push_back(nullptr);
+  const auto row = p.apply(members);
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], 5);
+}
+
+}  // namespace
+}  // namespace amri::engine

@@ -1,0 +1,133 @@
+#include "index/access_module_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.hpp"
+
+namespace amri::index {
+namespace {
+
+JoinAttributeSet jas3() { return JoinAttributeSet({0, 1, 2}); }
+
+ProbeKey key_for(AttrMask mask, std::initializer_list<Value> vals) {
+  ProbeKey k;
+  k.mask = mask;
+  for (const Value v : vals) k.values.push_back(v);
+  return k;
+}
+
+TEST(AccessModuleSet, PaperExampleModuleSelection) {
+  // Paper §I-A: modules on A1, A1&A2, A2&A3 (JAS positions 0, 0&1, 1&2).
+  AccessModuleSet ams(jas3(), {0b001, 0b011, 0b110});
+  // sr1 binds A1 and A3 (mask 0b101): most suitable is the A1 module.
+  const HashIndex* m = ams.module_for(0b101);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->key_mask(), 0b001u);
+  // sr2 binds only A3 (mask 0b100): no module fits -> full scan.
+  EXPECT_EQ(ams.module_for(0b100), nullptr);
+}
+
+TEST(AccessModuleSet, PrefersLargestServingModule) {
+  AccessModuleSet ams(jas3(), {0b001, 0b011});
+  const HashIndex* m = ams.module_for(0b111);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->key_mask(), 0b011u);
+}
+
+TEST(AccessModuleSet, InsertReachesEveryModule) {
+  CostMeter meter;
+  AccessModuleSet ams(jas3(), {0b001, 0b011, 0b111}, &meter);
+  const Tuple t = testutil::make_tuple({1, 2, 3});
+  ams.insert(&t);
+  // Hashes: 1 (module A) + 2 (module AB) + 3 (module ABC) = 6.
+  EXPECT_EQ(meter.hashes(), 6u);
+  // Inserts: master list + 3 modules.
+  EXPECT_EQ(meter.inserts(), 4u);
+}
+
+TEST(AccessModuleSet, ScanFallbackCountsAndFindsMatches) {
+  AccessModuleSet ams(jas3(), {0b011});
+  testutil::TuplePool pool(40, 3, 5, 23);
+  for (const Tuple* t : pool.pointers()) ams.insert(t);
+  std::vector<const Tuple*> out;
+  const auto stats = ams.probe(key_for(0b100, {0, 0, 2}), out);
+  EXPECT_EQ(ams.scan_fallbacks(), 1u);
+  EXPECT_EQ(stats.tuples_compared, 40u);
+  std::size_t expected = 0;
+  for (const Tuple* t : pool.pointers()) {
+    if (t->at(2) == 2) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST(AccessModuleSet, ProbeViaModuleMatchesScanResults) {
+  AccessModuleSet ams(jas3(), {0b010});
+  testutil::TuplePool pool(60, 3, 4, 29);
+  for (const Tuple* t : pool.pointers()) ams.insert(t);
+  std::vector<const Tuple*> via_module;
+  ams.probe(key_for(0b010, {0, 3, 0}), via_module);
+  std::size_t expected = 0;
+  for (const Tuple* t : pool.pointers()) {
+    if (t->at(1) == 3) ++expected;
+  }
+  EXPECT_EQ(via_module.size(), expected);
+}
+
+TEST(AccessModuleSet, EraseRemovesFromAllModules) {
+  AccessModuleSet ams(jas3(), {0b001, 0b111});
+  const Tuple t = testutil::make_tuple({5, 5, 5});
+  ams.insert(&t);
+  ams.erase(&t);
+  EXPECT_EQ(ams.size(), 0u);
+  std::vector<const Tuple*> out;
+  ams.probe(key_for(0b001, {5, 0, 0}), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AccessModuleSet, MemoryScalesWithModuleCount) {
+  testutil::TuplePool pool(200, 3, 50, 37);
+  MemoryTracker mem1;
+  MemoryTracker mem7;
+  {
+    AccessModuleSet one(jas3(), {0b001}, nullptr, &mem1);
+    AccessModuleSet seven(jas3(),
+                          {0b001, 0b010, 0b100, 0b011, 0b101, 0b110, 0b111},
+                          nullptr, &mem7);
+    for (const Tuple* t : pool.pointers()) {
+      one.insert(t);
+      seven.insert(t);
+    }
+    // Seven modules cost several times one module.
+    EXPECT_GT(mem7.total(), mem1.total() * 3);
+  }
+}
+
+TEST(AccessModuleSet, RetuneSwapsModules) {
+  AccessModuleSet ams(jas3(), {0b001});
+  testutil::TuplePool pool(30, 3, 6, 41);
+  for (const Tuple* t : pool.pointers()) ams.insert(t);
+  ams.retune({0b010, 0b100});
+  auto masks = ams.module_masks();
+  std::sort(masks.begin(), masks.end());
+  EXPECT_EQ(masks, (std::vector<AttrMask>{0b010, 0b100}));
+  // New modules were rebuilt from stored tuples: probes work immediately.
+  std::vector<const Tuple*> out;
+  ams.probe(key_for(0b010, {0, pool.at(0)->at(1), 0}), out);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(AccessModuleSet, RetuneKeepsSurvivingModule) {
+  CostMeter meter;
+  AccessModuleSet ams(jas3(), {0b001, 0b010}, &meter);
+  testutil::TuplePool pool(20, 3, 6, 43);
+  for (const Tuple* t : pool.pointers()) ams.insert(t);
+  const auto hashes_before = meter.hashes();
+  ams.retune({0b001});  // drop 0b010, keep 0b001 (no rebuild needed)
+  EXPECT_EQ(meter.hashes(), hashes_before);
+  EXPECT_EQ(ams.module_count(), 1u);
+}
+
+}  // namespace
+}  // namespace amri::index

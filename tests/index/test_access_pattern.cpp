@@ -1,0 +1,90 @@
+#include "index/access_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace amri::index {
+namespace {
+
+TEST(JoinAttributeSet, BasicMapping) {
+  JoinAttributeSet jas({2, 0, 5});
+  EXPECT_EQ(jas.size(), 3u);
+  EXPECT_EQ(jas.tuple_attr(0), 2u);
+  EXPECT_EQ(jas.tuple_attr(2), 5u);
+  EXPECT_EQ(jas.universe(), 0b111u);
+}
+
+TEST(JoinAttributeSet, PositionOf) {
+  JoinAttributeSet jas({2, 0, 5});
+  EXPECT_EQ(jas.position_of(0), 1u);
+  EXPECT_EQ(jas.position_of(5), 2u);
+  EXPECT_EQ(jas.position_of(9), 3u);  // sentinel == size()
+}
+
+TEST(ProbeKey, BoundCount) {
+  ProbeKey k;
+  k.mask = 0b101;
+  EXPECT_EQ(k.bound_count(), 2);
+}
+
+TEST(ProbeKey, MatchesChecksOnlyBoundAttrs) {
+  JoinAttributeSet jas({0, 1, 2});
+  const Tuple t = testutil::make_tuple({10, 20, 30});
+  ProbeKey k;
+  k.mask = 0b101;  // bind JAS positions 0 and 2
+  k.values.resize(3, 0);
+  k.values[0] = 10;
+  k.values[2] = 30;
+  EXPECT_TRUE(k.matches(t, jas));
+  k.values[2] = 31;
+  EXPECT_FALSE(k.matches(t, jas));
+  // Unbound position is ignored even if wrong.
+  k.values[2] = 30;
+  k.values[1] = 999;
+  EXPECT_TRUE(k.matches(t, jas));
+}
+
+TEST(ProbeKey, EmptyMaskMatchesEverything) {
+  JoinAttributeSet jas({0, 1});
+  const Tuple t = testutil::make_tuple({1, 2});
+  ProbeKey k;
+  k.mask = 0;
+  k.values.resize(2, 0);
+  EXPECT_TRUE(k.matches(t, jas));
+}
+
+TEST(ProbeKey, RespectsJasIndirection) {
+  // JAS positions point at non-contiguous tuple attributes.
+  JoinAttributeSet jas({3, 1});
+  const Tuple t = testutil::make_tuple({0, 11, 0, 33});
+  ProbeKey k;
+  k.mask = 0b11;
+  k.values.resize(2, 0);
+  k.values[0] = 33;  // JAS pos 0 -> tuple attr 3
+  k.values[1] = 11;  // JAS pos 1 -> tuple attr 1
+  EXPECT_TRUE(k.matches(t, jas));
+}
+
+TEST(PatternToString, PaperNotation) {
+  EXPECT_EQ(pattern_to_string(0b101, 3), "<A,*,C>");
+  EXPECT_EQ(pattern_to_string(0, 3), "<*,*,*>");
+  EXPECT_EQ(pattern_to_string(0b111, 3), "<A,B,C>");
+}
+
+TEST(PatternToString, CustomNames) {
+  const std::vector<std::string> names = {"prio", "pkg", "loc"};
+  EXPECT_EQ(pattern_to_string(0b110, 3, &names), "<*,pkg,loc>");
+}
+
+TEST(ProbeFromTuple, CopiesBoundValues) {
+  JoinAttributeSet probing({0, 2});
+  const Tuple t = testutil::make_tuple({5, 6, 7});
+  const ProbeKey k = probe_from_tuple(0b10, t, probing);
+  EXPECT_EQ(k.mask, 0b10u);
+  EXPECT_EQ(k.values.size(), 2u);
+  EXPECT_EQ(k.values[1], 7);  // JAS pos 1 -> tuple attr 2
+}
+
+}  // namespace
+}  // namespace amri::index

@@ -1,0 +1,217 @@
+#include "index/bit_address_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "../test_util.hpp"
+
+namespace amri::index {
+namespace {
+
+JoinAttributeSet jas3() { return JoinAttributeSet({0, 1, 2}); }
+
+ProbeKey key_for(AttrMask mask, std::initializer_list<Value> vals) {
+  ProbeKey k;
+  k.mask = mask;
+  for (const Value v : vals) k.values.push_back(v);
+  return k;
+}
+
+TEST(BitAddressIndex, InsertProbeExactPattern) {
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 4}),
+                      BitMapper::hashing(3));
+  const Tuple t1 = testutil::make_tuple({1, 2, 3}, 1);
+  const Tuple t2 = testutil::make_tuple({1, 2, 4}, 2);
+  idx.insert(&t1);
+  idx.insert(&t2);
+  EXPECT_EQ(idx.size(), 2u);
+
+  std::vector<const Tuple*> out;
+  const auto stats = idx.probe(key_for(0b111, {1, 2, 3}), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], &t1);
+  EXPECT_EQ(stats.matches, 1u);
+  // Fully bound probe touches exactly one bucket.
+  EXPECT_EQ(stats.buckets_visited, 1u);
+}
+
+TEST(BitAddressIndex, WildcardProbeEnumeratesBuckets) {
+  BitAddressIndex idx(jas3(), IndexConfig({2, 2, 2}),
+                      BitMapper::hashing(3));
+  testutil::TuplePool pool(200, 3, 50, 9);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  // Bind only attribute 0: 4 bits of wildcard -> up to 16 candidate ids.
+  std::vector<const Tuple*> out;
+  const Value v = pool.at(0)->at(0);
+  const auto stats = idx.probe(key_for(0b001, {v, 0, 0}), out);
+  EXPECT_GT(stats.buckets_visited, 1u);
+  // Every returned tuple really matches.
+  for (const Tuple* t : out) EXPECT_EQ(t->at(0), v);
+  // And every stored match was found.
+  std::size_t expected = 0;
+  for (const Tuple* t : pool.pointers()) {
+    if (t->at(0) == v) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST(BitAddressIndex, UnindexedAttributeVerifiedByComparison) {
+  // Attribute 2 has no bits: probes binding it still verify via compare.
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 0}),
+                      BitMapper::hashing(3));
+  const Tuple a = testutil::make_tuple({1, 2, 3}, 1);
+  const Tuple b = testutil::make_tuple({1, 2, 4}, 2);
+  idx.insert(&a);
+  idx.insert(&b);
+  std::vector<const Tuple*> out;
+  idx.probe(key_for(0b111, {1, 2, 4}), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], &b);
+}
+
+TEST(BitAddressIndex, EraseRemovesTuple) {
+  BitAddressIndex idx(jas3(), IndexConfig({3, 3, 3}),
+                      BitMapper::hashing(3));
+  const Tuple t = testutil::make_tuple({9, 9, 9}, 1);
+  idx.insert(&t);
+  idx.erase(&t);
+  EXPECT_EQ(idx.size(), 0u);
+  std::vector<const Tuple*> out;
+  idx.probe(key_for(0b111, {9, 9, 9}), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BitAddressIndex, EraseMissingIsNoop) {
+  BitAddressIndex idx(jas3(), IndexConfig({2, 2, 2}),
+                      BitMapper::hashing(3));
+  const Tuple t = testutil::make_tuple({1, 1, 1});
+  idx.erase(&t);
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(BitAddressIndex, DuplicateValuesCoexist) {
+  BitAddressIndex idx(jas3(), IndexConfig({2, 2, 2}),
+                      BitMapper::hashing(3));
+  const Tuple t1 = testutil::make_tuple({5, 5, 5}, 1);
+  const Tuple t2 = testutil::make_tuple({5, 5, 5}, 2);
+  idx.insert(&t1);
+  idx.insert(&t2);
+  std::vector<const Tuple*> out;
+  idx.probe(key_for(0b111, {5, 5, 5}), out);
+  EXPECT_EQ(out.size(), 2u);
+  idx.erase(&t1);
+  out.clear();
+  idx.probe(key_for(0b111, {5, 5, 5}), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], &t2);
+}
+
+TEST(BitAddressIndex, ZeroBitConfigActsAsScan) {
+  BitAddressIndex idx(jas3(), IndexConfig::zero(3), BitMapper::hashing(3));
+  testutil::TuplePool pool(50, 3, 10, 2);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  EXPECT_EQ(idx.occupied_buckets(), 1u);  // everything in bucket 0
+  std::vector<const Tuple*> out;
+  const auto stats = idx.probe(key_for(0b001, {pool.at(0)->at(0), 0, 0}), out);
+  EXPECT_EQ(stats.tuples_compared, 50u);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(BitAddressIndex, ChargesHashesToMeter) {
+  CostMeter meter;
+  BitAddressIndex idx(jas3(), IndexConfig({4, 0, 4}), BitMapper::hashing(3),
+                      &meter);
+  const Tuple t = testutil::make_tuple({1, 2, 3});
+  idx.insert(&t);
+  // Two indexed attributes -> two hash charges (N_A · C_h).
+  EXPECT_EQ(meter.hashes(), 2u);
+  EXPECT_EQ(meter.inserts(), 1u);
+}
+
+TEST(BitAddressIndex, ChargesProbeHashesOnlyForBoundIndexedAttrs) {
+  CostMeter meter;
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 0}), BitMapper::hashing(3),
+                      &meter);
+  std::vector<const Tuple*> out;
+  meter.reset_counts();
+  // Bind attrs 0 and 2; only attr 0 is indexed -> exactly 1 hash.
+  idx.probe(key_for(0b101, {1, 0, 3}), out);
+  EXPECT_EQ(meter.hashes(), 1u);
+}
+
+TEST(BitAddressIndex, TracksMemory) {
+  MemoryTracker mem;
+  testutil::TuplePool pool(100, 3, 1000, 5);
+  {
+    BitAddressIndex idx(jas3(), IndexConfig({4, 4, 4}),
+                        BitMapper::hashing(3), nullptr, &mem);
+    for (const Tuple* t : pool.pointers()) idx.insert(t);
+    EXPECT_GT(mem.category(MemCategory::kIndexStructure), 0u);
+  }
+  // Destructor releases everything.
+  EXPECT_EQ(mem.category(MemCategory::kIndexStructure), 0u);
+}
+
+TEST(BitAddressIndex, ReconfigurePreservesTupleSet) {
+  BitAddressIndex idx(jas3(), IndexConfig({6, 0, 0}), BitMapper::hashing(3));
+  testutil::TuplePool pool(300, 3, 20, 11);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  idx.reconfigure(IndexConfig({2, 2, 2}));
+  EXPECT_EQ(idx.size(), 300u);
+  EXPECT_EQ(idx.config(), IndexConfig({2, 2, 2}));
+
+  // Every tuple still findable under the new IC.
+  std::vector<const Tuple*> out;
+  const Tuple* t0 = pool.at(0);
+  idx.probe(key_for(0b111, {t0->at(0), t0->at(1), t0->at(2)}), out);
+  EXPECT_NE(std::find(out.begin(), out.end(), t0), out.end());
+}
+
+TEST(BitAddressIndex, ReconfigureChargesRehash) {
+  CostMeter meter;
+  BitAddressIndex idx(jas3(), IndexConfig({4, 0, 0}), BitMapper::hashing(3),
+                      &meter);
+  testutil::TuplePool pool(10, 3, 100, 3);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  meter.reset_counts();
+  idx.reconfigure(IndexConfig({2, 2, 2}));
+  // 10 tuples x 3 indexed attrs.
+  EXPECT_EQ(meter.hashes(), 30u);
+}
+
+TEST(BitAddressIndex, RangeMapperGroupsNeighbors) {
+  BitAddressIndex idx(JoinAttributeSet({0}), IndexConfig({2}),
+                      BitMapper::ranged({{0, 15}}));
+  std::vector<Tuple> tuples;
+  tuples.reserve(16);
+  for (Value v = 0; v < 16; ++v) tuples.push_back(testutil::make_tuple({v}));
+  for (const Tuple& t : tuples) idx.insert(&t);
+  EXPECT_EQ(idx.occupied_buckets(), 4u);  // 4 equi-width cells
+}
+
+TEST(BitAddressIndex, ForEachTupleVisitsAll) {
+  BitAddressIndex idx(jas3(), IndexConfig({3, 3, 3}), BitMapper::hashing(3));
+  testutil::TuplePool pool(64, 3, 8, 21);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  std::size_t visited = 0;
+  idx.for_each_tuple([&](const Tuple*) { ++visited; });
+  EXPECT_EQ(visited, 64u);
+}
+
+TEST(BitAddressIndex, ClearEmptiesAndReleasesMemory) {
+  MemoryTracker mem;
+  BitAddressIndex idx(jas3(), IndexConfig({3, 3, 3}), BitMapper::hashing(3),
+                      nullptr, &mem);
+  testutil::TuplePool pool(32, 3, 8, 22);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  idx.clear();
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_EQ(idx.occupied_buckets(), 0u);
+  EXPECT_EQ(mem.category(MemCategory::kIndexStructure), 0u);
+}
+
+}  // namespace
+}  // namespace amri::index

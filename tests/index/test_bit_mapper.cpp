@@ -1,0 +1,98 @@
+#include "index/bit_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace amri::index {
+namespace {
+
+TEST(BitMapper, ZeroBitsAlwaysZero) {
+  const BitMapper hash = BitMapper::hashing(2);
+  EXPECT_EQ(hash.map(0, 12345, 0), 0u);
+  const BitMapper range = BitMapper::ranged({{0, 99}, {0, 99}});
+  EXPECT_EQ(range.map(1, 55, 0), 0u);
+}
+
+TEST(BitMapper, HashStaysInRange) {
+  const BitMapper m = BitMapper::hashing(3);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<Value>(rng.next());
+    for (int bits = 1; bits <= 12; ++bits) {
+      EXPECT_LT(m.map(0, v, bits), std::uint64_t{1} << bits);
+    }
+  }
+}
+
+TEST(BitMapper, HashDeterministic) {
+  const BitMapper m = BitMapper::hashing(2);
+  EXPECT_EQ(m.map(0, 42, 8), m.map(0, 42, 8));
+}
+
+TEST(BitMapper, HashSaltedByPosition) {
+  const BitMapper m = BitMapper::hashing(2);
+  // Same value in different attribute positions should usually differ.
+  int same = 0;
+  for (Value v = 0; v < 100; ++v) {
+    if (m.map(0, v, 16) == m.map(1, v, 16)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(BitMapper, HashRoughlyUniform) {
+  const BitMapper m = BitMapper::hashing(1);
+  std::vector<int> cells(16, 0);
+  for (Value v = 0; v < 16000; ++v) {
+    ++cells[m.map(0, v, 4)];
+  }
+  for (const int c : cells) {
+    EXPECT_NEAR(static_cast<double>(c), 1000.0, 200.0);
+  }
+}
+
+TEST(BitMapper, RangeEquiWidth) {
+  const BitMapper m = BitMapper::ranged({{0, 15}});
+  // 16 values into 4 cells of 4.
+  EXPECT_EQ(m.map(0, 0, 2), 0u);
+  EXPECT_EQ(m.map(0, 3, 2), 0u);
+  EXPECT_EQ(m.map(0, 4, 2), 1u);
+  EXPECT_EQ(m.map(0, 15, 2), 3u);
+}
+
+TEST(BitMapper, RangeMonotone) {
+  const BitMapper m = BitMapper::ranged({{0, 999}});
+  std::uint64_t prev = 0;
+  for (Value v = 0; v < 1000; ++v) {
+    const auto cell = m.map(0, v, 5);
+    EXPECT_GE(cell, prev);
+    prev = cell;
+  }
+  EXPECT_EQ(prev, 31u);  // top value reaches the last cell
+}
+
+TEST(BitMapper, RangeClampsOutOfDomain) {
+  const BitMapper m = BitMapper::ranged({{10, 20}});
+  EXPECT_EQ(m.map(0, -100, 3), 0u);
+  EXPECT_EQ(m.map(0, 5, 3), 0u);
+  EXPECT_EQ(m.map(0, 100, 3), 7u);
+}
+
+TEST(BitMapper, RangeSingletonDomain) {
+  const BitMapper m = BitMapper::ranged({{7, 7}});
+  EXPECT_EQ(m.map(0, 7, 4), 0u);
+}
+
+TEST(BitMapper, RangeHugeDomainNoOverflow) {
+  const BitMapper m = BitMapper::ranged(
+      {{std::numeric_limits<Value>::min() / 2,
+        std::numeric_limits<Value>::max() / 2}});
+  EXPECT_LT(m.map(0, 0, 8), 256u);
+  EXPECT_EQ(m.map(0, std::numeric_limits<Value>::min() / 2, 8), 0u);
+  EXPECT_EQ(m.map(0, std::numeric_limits<Value>::max() / 2, 8), 255u);
+}
+
+}  // namespace
+}  // namespace amri::index

@@ -1,0 +1,108 @@
+#include "index/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amri::index {
+namespace {
+
+WorkloadParams simple_params() {
+  WorkloadParams p;
+  p.lambda_d = 100.0;
+  p.lambda_r = 10.0;
+  p.window_units = 5.0;
+  p.hash_cost = 1.0;
+  p.compare_cost = 0.1;
+  p.bucket_cost = 0.01;
+  return p;
+}
+
+TEST(CostModel, MaintenanceProportionalToIndexedAttrs) {
+  const CostModel m(simple_params());
+  EXPECT_DOUBLE_EQ(m.maintenance_cost(IndexConfig({0, 0, 0})), 0.0);
+  EXPECT_DOUBLE_EQ(m.maintenance_cost(IndexConfig({4, 0, 0})), 100.0);
+  EXPECT_DOUBLE_EQ(m.maintenance_cost(IndexConfig({4, 4, 4})), 300.0);
+  // Maintenance depends on attr count, not bit count.
+  EXPECT_DOUBLE_EQ(m.maintenance_cost(IndexConfig({1, 1, 1})), 300.0);
+}
+
+TEST(CostModel, SearchCostMatchesEquationOne) {
+  const CostModel m(simple_params());
+  const IndexConfig ic({3, 2, 0});
+  // ap = <A,B,*>: N_A,ap = 2, B_ap = 5.
+  // cost = 2*C_h + lambda_d*W / 2^5 * C_c = 2 + 500/32 * 0.1.
+  EXPECT_NEAR(m.search_cost(ic, 0b011), 2.0 + 500.0 / 32.0 * 0.1, 1e-9);
+}
+
+TEST(CostModel, SearchCostFullScanWhenNoBits) {
+  const CostModel m(simple_params());
+  const IndexConfig ic = IndexConfig::zero(3);
+  // No hash narrows anything: all window tuples compared.
+  EXPECT_NEAR(m.search_cost(ic, 0b111), 500.0 * 0.1, 1e-9);
+}
+
+TEST(CostModel, MoreBitsOnBoundAttrReduceSearchCost) {
+  const CostModel m(simple_params());
+  const double c1 = m.search_cost(IndexConfig({1, 0, 0}), 0b001);
+  const double c4 = m.search_cost(IndexConfig({4, 0, 0}), 0b001);
+  EXPECT_LT(c4, c1);
+}
+
+TEST(CostModel, SearchCostMonotoneInBap) {
+  // Property: adding bits to attributes bound by ap never increases the
+  // compare term.
+  const CostModel m(simple_params());
+  double prev = std::numeric_limits<double>::infinity();
+  for (int bits = 0; bits <= 8; ++bits) {
+    const IndexConfig ic({static_cast<std::uint8_t>(bits), 0, 0});
+    const double compare_term =
+        m.search_cost(ic, 0b001) -
+        (bits > 0 ? 1.0 : 0.0);  // subtract the hash term
+    EXPECT_LE(compare_term, prev + 1e-12);
+    prev = compare_term;
+  }
+}
+
+TEST(CostModel, BitsOnUnboundAttrDoNotHelpPaperModel) {
+  const CostModel m(simple_params());
+  // ap binds only attr 0; bits on attr 1 leave B_ap unchanged.
+  const double without = m.search_cost(IndexConfig({3, 0, 0}), 0b001);
+  const double with = m.search_cost(IndexConfig({3, 5, 0}), 0b001);
+  EXPECT_DOUBLE_EQ(without, with);
+}
+
+TEST(CostModel, PaperCostWeightsByFrequency) {
+  const CostModel m(simple_params());
+  const IndexConfig ic({4, 0, 0});
+  const std::vector<PatternFrequency> even = {{0b001, 0.5}, {0b010, 0.5}};
+  const std::vector<PatternFrequency> hot_a = {{0b001, 1.0}};
+  // All-A workload is cheaper: every probe uses the indexed attribute.
+  EXPECT_LT(m.paper_cost(ic, hot_a), m.paper_cost(ic, even));
+}
+
+TEST(CostModel, ExtendedCostPenalizesWildcards) {
+  const CostModel m(simple_params());
+  const IndexConfig ic({4, 4, 0});
+  const std::vector<PatternFrequency> pats = {{0b001, 1.0}};
+  // ap binds attr 0 only; attr 1's 4 bits are wildcards -> 16 buckets.
+  EXPECT_GT(m.extended_cost(ic, pats), m.paper_cost(ic, pats));
+}
+
+TEST(CostModel, ExtendedEqualsPaperWhenNoWildcards) {
+  const CostModel m(simple_params());
+  const IndexConfig ic({4, 0, 0});
+  const std::vector<PatternFrequency> pats = {{0b001, 1.0}};
+  // One bucket visited: extra = lambda_r * 1 * bucket_cost.
+  EXPECT_NEAR(m.extended_cost(ic, pats),
+              m.paper_cost(ic, pats) + 10.0 * 0.01, 1e-9);
+}
+
+TEST(CostModel, EmptyWorkloadOnlyMaintenance) {
+  const CostModel m(simple_params());
+  const IndexConfig ic({2, 2, 2});
+  EXPECT_DOUBLE_EQ(m.paper_cost(ic, {}), m.maintenance_cost(ic));
+}
+
+}  // namespace
+}  // namespace amri::index

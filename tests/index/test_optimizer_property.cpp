@@ -1,0 +1,107 @@
+// Property tests for index selection: budget respected, exhaustive
+// dominates greedy, more budget never hurts, and the paper-cost optimum is
+// consistent with brute-force evaluation over the whole allocation space.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "index/index_optimizer.hpp"
+
+namespace amri::index {
+namespace {
+
+std::vector<PatternFrequency> random_patterns(Rng& rng, int n_attrs) {
+  std::vector<PatternFrequency> out;
+  const AttrMask universe = low_bits(n_attrs);
+  double remaining = 1.0;
+  for (AttrMask m = 1; m <= universe; ++m) {
+    if (!rng.chance(0.4)) continue;
+    const double f = rng.uniform01() * remaining * 0.5;
+    out.push_back({m, f});
+    remaining -= f;
+  }
+  // Renormalise.
+  double total = 0.0;
+  for (const auto& p : out) total += p.frequency;
+  if (total > 0) {
+    for (auto& p : out) p.frequency /= total;
+  }
+  return out;
+}
+
+WorkloadParams params_for(Rng& rng) {
+  WorkloadParams p;
+  p.lambda_d = 50.0 + rng.uniform01() * 500.0;
+  p.lambda_r = 50.0 + rng.uniform01() * 500.0;
+  p.window_units = 1.0 + rng.uniform01() * 30.0;
+  p.hash_cost = 0.5 + rng.uniform01();
+  p.compare_cost = 0.05 + rng.uniform01() * 0.5;
+  return p;
+}
+
+class OptimizerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerProperty, InvariantsHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  const int n_attrs = 3;
+  const auto patterns = random_patterns(rng, n_attrs);
+  const CostModel model(params_for(rng));
+
+  OptimizerOptions opts;
+  opts.bit_budget = 1 + static_cast<int>(rng.below(10));
+  opts.max_bits_per_attr = 1 + static_cast<int>(rng.below(8));
+  const IndexOptimizer opt(model, opts);
+
+  const auto ex = opt.optimize(n_attrs, patterns);
+  const auto gr = opt.optimize_greedy(n_attrs, patterns);
+
+  // Budget and per-attribute caps respected.
+  EXPECT_LE(ex.config.total_bits(), opts.bit_budget);
+  EXPECT_LE(gr.config.total_bits(), opts.bit_budget);
+  for (std::size_t a = 0; a < 3; ++a) {
+    EXPECT_LE(ex.config.bits(a), opts.max_bits_per_attr);
+    EXPECT_LE(gr.config.bits(a), opts.max_bits_per_attr);
+  }
+
+  // Exhaustive is the floor.
+  EXPECT_LE(ex.cost, gr.cost + 1e-9);
+
+  // Brute-force verification of the exhaustive optimum.
+  double best = std::numeric_limits<double>::infinity();
+  enumerate_allocations(3, opts.bit_budget, opts.max_bits_per_attr,
+                        [&](const std::vector<std::uint8_t>& alloc) {
+                          best = std::min(
+                              best, model.paper_cost(IndexConfig(alloc),
+                                                     patterns));
+                        });
+  EXPECT_NEAR(ex.cost, best, 1e-9);
+
+  // More budget never yields a worse optimum (the search space grows).
+  OptimizerOptions bigger = opts;
+  bigger.bit_budget = opts.bit_budget + 2;
+  const IndexOptimizer opt2(model, bigger);
+  EXPECT_LE(opt2.optimize(n_attrs, patterns).cost, ex.cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperty, ::testing::Range(1, 13));
+
+TEST(OptimizerProperty, GreedyNeverExceedsZeroConfigCost) {
+  // Greedy only adds bits that strictly reduce cost, so it can never end
+  // worse than the zero allocation.
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto patterns = random_patterns(rng, 3);
+    const CostModel model(params_for(rng));
+    OptimizerOptions opts;
+    opts.bit_budget = 8;
+    opts.max_bits_per_attr = 8;
+    const IndexOptimizer opt(model, opts);
+    const auto gr = opt.optimize_greedy(3, patterns);
+    EXPECT_LE(gr.cost,
+              model.paper_cost(IndexConfig::zero(3), patterns) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace amri::index

@@ -1,0 +1,140 @@
+#include "index/ordered_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.hpp"
+#include "index/scan_index.hpp"
+
+namespace amri::index {
+namespace {
+
+JoinAttributeSet jas3() { return JoinAttributeSet({0, 1, 2}); }
+
+TEST(OrderedIndex, EqualityProbeFindsAllKeyMatches) {
+  OrderedIndex idx(jas3(), 0);
+  testutil::TuplePool pool(200, 3, 10, 3);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  ProbeKey key;
+  key.mask = 0b001;
+  key.values = {4, 0, 0};
+  std::vector<const Tuple*> out;
+  idx.probe(key, out);
+  std::size_t expected = 0;
+  for (const Tuple* t : pool.pointers()) {
+    if (t->at(0) == 4) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST(OrderedIndex, SecondaryAttributesVerified) {
+  OrderedIndex idx(jas3(), 0);
+  const Tuple a = testutil::make_tuple({1, 5, 0}, 1);
+  const Tuple b = testutil::make_tuple({1, 6, 0}, 2);
+  idx.insert(&a);
+  idx.insert(&b);
+  ProbeKey key;
+  key.mask = 0b011;
+  key.values = {1, 6, 0};
+  std::vector<const Tuple*> out;
+  idx.probe(key, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], &b);
+}
+
+TEST(OrderedIndex, EraseSpecificDuplicate) {
+  OrderedIndex idx(jas3(), 1);
+  const Tuple a = testutil::make_tuple({0, 7, 0}, 1);
+  const Tuple b = testutil::make_tuple({0, 7, 0}, 2);
+  idx.insert(&a);
+  idx.insert(&b);
+  idx.erase(&a);
+  EXPECT_EQ(idx.size(), 1u);
+  ProbeKey key;
+  key.mask = 0b010;
+  key.values = {0, 7, 0};
+  std::vector<const Tuple*> out;
+  idx.probe(key, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], &b);
+}
+
+TEST(OrderedIndex, RangeProbeWalksInterval) {
+  OrderedIndex idx(jas3(), 2);
+  testutil::TuplePool pool(300, 3, 50, 5);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  RangeProbeKey key;
+  key.bind(2, 10, 19);
+  std::vector<const Tuple*> out;
+  const auto stats = idx.probe_range(key, out);
+  std::set<const Tuple*> expected;
+  for (const Tuple* t : pool.pointers()) {
+    if (t->at(2) >= 10 && t->at(2) <= 19) expected.insert(t);
+  }
+  EXPECT_EQ(std::set<const Tuple*>(out.begin(), out.end()), expected);
+  // Only the interval's keys were compared, not the whole table.
+  EXPECT_LT(stats.tuples_compared, 300u);
+  EXPECT_EQ(stats.tuples_compared, expected.size());
+}
+
+TEST(OrderedIndex, RangeProbeVerifiesOtherBounds) {
+  OrderedIndex idx(jas3(), 0);
+  testutil::TuplePool pool(200, 3, 20, 7);
+  ScanIndex reference(jas3());
+  for (const Tuple* t : pool.pointers()) {
+    idx.insert(t);
+    reference.insert(t);
+  }
+  RangeProbeKey key;
+  key.bind(0, 5, 15);
+  key.bind(2, 0, 4);
+  std::vector<const Tuple*> out;
+  idx.probe_range(key, out);
+  for (const Tuple* t : out) {
+    EXPECT_GE(t->at(0), 5);
+    EXPECT_LE(t->at(0), 15);
+    EXPECT_LE(t->at(2), 4);
+  }
+  std::size_t expected = 0;
+  for (const Tuple* t : pool.pointers()) {
+    if (t->at(0) >= 5 && t->at(0) <= 15 && t->at(2) <= 4) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST(OrderedIndex, UnboundedRangeReturnsAll) {
+  OrderedIndex idx(jas3(), 0);
+  testutil::TuplePool pool(50, 3, 10, 9);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  RangeProbeKey key;  // nothing bound
+  std::vector<const Tuple*> out;
+  idx.probe_range(key, out);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(OrderedIndex, TracksCostAndMemory) {
+  CostMeter meter;
+  MemoryTracker mem;
+  {
+    OrderedIndex idx(jas3(), 0, &meter, &mem);
+    const Tuple t = testutil::make_tuple({1, 2, 3});
+    idx.insert(&t);
+    EXPECT_EQ(meter.hashes(), 1u);
+    EXPECT_EQ(meter.inserts(), 1u);
+    EXPECT_GT(mem.total(), 0u);
+  }
+  EXPECT_EQ(mem.total(), 0u);
+}
+
+TEST(OrderedIndex, NameAndClear) {
+  OrderedIndex idx(jas3(), 2);
+  EXPECT_EQ(idx.name(), "ordered(pos=2)");
+  const Tuple t = testutil::make_tuple({1, 2, 3});
+  idx.insert(&t);
+  idx.clear();
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+}  // namespace
+}  // namespace amri::index

@@ -1,0 +1,185 @@
+// Range probes on the bit-address index (paper §II join expressions
+// <, >, >=, <=): correctness against brute force, pruning behaviour under
+// the range mapper, and graceful wildcard fallback under the hash mapper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.hpp"
+#include "index/bit_address_index.hpp"
+
+namespace amri::index {
+namespace {
+
+JoinAttributeSet jas3() { return JoinAttributeSet({0, 1, 2}); }
+
+std::set<const Tuple*> brute_force(const testutil::TuplePool& pool,
+                                   const RangeProbeKey& key) {
+  std::set<const Tuple*> out;
+  const JoinAttributeSet jas = jas3();
+  for (const Tuple* t : pool.pointers()) {
+    if (key.matches(*t, jas)) out.insert(t);
+  }
+  return out;
+}
+
+TEST(RangeProbe, BindHelperTracksMaskAndBounds) {
+  RangeProbeKey key;
+  EXPECT_FALSE(key.bound(1));
+  key.bind(1, 5, 9);
+  EXPECT_TRUE(key.bound(1));
+  EXPECT_EQ(key.mask, 0b010u);
+  EXPECT_EQ(key.los[1], 5);
+  EXPECT_EQ(key.his[1], 9);
+}
+
+TEST(RangeProbe, MatchesChecksIntervals) {
+  RangeProbeKey key;
+  key.bind(0, 10, 20);
+  const Tuple in = testutil::make_tuple({15, 0, 0});
+  const Tuple below = testutil::make_tuple({9, 0, 0});
+  const Tuple above = testutil::make_tuple({21, 0, 0});
+  EXPECT_TRUE(key.matches(in, jas3()));
+  EXPECT_FALSE(key.matches(below, jas3()));
+  EXPECT_FALSE(key.matches(above, jas3()));
+}
+
+TEST(RangeProbe, RangeMapperExactResults) {
+  testutil::TuplePool pool(500, 3, 64, 7);
+  BitAddressIndex idx(jas3(), IndexConfig({3, 3, 3}),
+                      BitMapper::ranged({{0, 63}, {0, 63}, {0, 63}}));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  RangeProbeKey key;
+  key.bind(0, 10, 30);
+  key.bind(2, 0, 5);
+  std::vector<const Tuple*> out;
+  idx.probe_range(key, out);
+  const auto expected = brute_force(pool, key);
+  EXPECT_EQ(std::set<const Tuple*>(out.begin(), out.end()), expected);
+  EXPECT_EQ(out.size(), expected.size());
+}
+
+TEST(RangeProbe, RangeMapperPrunesBuckets) {
+  testutil::TuplePool pool(2000, 3, 64, 9);
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 0}),
+                      BitMapper::ranged({{0, 63}, {0, 63}, {0, 63}}));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  // Narrow interval on attr 0 -> only a few of the 16 chunk cells.
+  RangeProbeKey narrow;
+  narrow.bind(0, 0, 7);  // 1/8 of the domain -> 2 cells of 16
+  std::vector<const Tuple*> out;
+  const auto stats = idx.probe_range(narrow, out);
+  // 2 cells on attr0 x 16 wildcard cells on attr1 = 32 of 256 ids.
+  EXPECT_LE(stats.buckets_visited, 40u);
+  EXPECT_LT(stats.tuples_compared, 2000u / 2);
+  EXPECT_EQ(std::set<const Tuple*>(out.begin(), out.end()),
+            brute_force(pool, narrow));
+}
+
+TEST(RangeProbe, HashMapperStillCorrectWithoutPruning) {
+  testutil::TuplePool pool(300, 3, 64, 11);
+  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 4}), BitMapper::hashing(3));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  RangeProbeKey key;
+  key.bind(1, 20, 40);
+  std::vector<const Tuple*> out;
+  idx.probe_range(key, out);
+  EXPECT_EQ(std::set<const Tuple*>(out.begin(), out.end()),
+            brute_force(pool, key));
+}
+
+TEST(RangeProbe, HashMapperDegenerateIntervalPrunes) {
+  testutil::TuplePool pool(1000, 3, 32, 13);
+  BitAddressIndex idx(jas3(), IndexConfig({5, 0, 0}), BitMapper::hashing(3));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  RangeProbeKey key;
+  key.bind(0, 17, 17);  // equality: hash pruning applies
+  std::vector<const Tuple*> out;
+  const auto stats = idx.probe_range(key, out);
+  EXPECT_EQ(stats.buckets_visited, 1u);
+  EXPECT_EQ(std::set<const Tuple*>(out.begin(), out.end()),
+            brute_force(pool, key));
+}
+
+TEST(RangeProbe, UnboundedKeyReturnsEverything) {
+  testutil::TuplePool pool(100, 3, 16, 15);
+  BitAddressIndex idx(jas3(), IndexConfig({2, 2, 2}),
+                      BitMapper::ranged({{0, 15}, {0, 15}, {0, 15}}));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  RangeProbeKey key;  // nothing bound
+  std::vector<const Tuple*> out;
+  idx.probe_range(key, out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(RangeProbe, EmptyIntervalResultWhenOutOfDomain) {
+  testutil::TuplePool pool(100, 3, 16, 17);
+  BitAddressIndex idx(jas3(), IndexConfig({2, 2, 2}),
+                      BitMapper::ranged({{0, 15}, {0, 15}, {0, 15}}));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  RangeProbeKey key;
+  key.bind(0, 100, 200);  // outside the generated domain
+  std::vector<const Tuple*> out;
+  idx.probe_range(key, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RangeProbe, ZeroBitConfigScansSingleBucket) {
+  testutil::TuplePool pool(50, 3, 16, 19);
+  BitAddressIndex idx(jas3(), IndexConfig::zero(3), BitMapper::hashing(3));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  RangeProbeKey key;
+  key.bind(1, 3, 8);
+  std::vector<const Tuple*> out;
+  const auto stats = idx.probe_range(key, out);
+  EXPECT_EQ(stats.tuples_compared, 50u);
+  EXPECT_EQ(std::set<const Tuple*>(out.begin(), out.end()),
+            brute_force(pool, key));
+}
+
+// Property sweep: random intervals over random configs must match brute
+// force exactly, for both mappers.
+class RangeProbeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RangeProbeProperty, MatchesBruteForce) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng(seed);
+  testutil::TuplePool pool(400, 3, 100, seed * 3 + 1);
+  const bool ranged = (seed % 2) == 0;
+  std::vector<std::uint8_t> bits = {
+      static_cast<std::uint8_t>(rng.below(5)),
+      static_cast<std::uint8_t>(rng.below(5)),
+      static_cast<std::uint8_t>(rng.below(5))};
+  BitAddressIndex idx(
+      jas3(), IndexConfig(bits),
+      ranged ? BitMapper::ranged({{0, 99}, {0, 99}, {0, 99}})
+             : BitMapper::hashing(3));
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    RangeProbeKey key;
+    for (std::size_t pos = 0; pos < 3; ++pos) {
+      if (rng.chance(0.5)) {
+        const Value a = static_cast<Value>(rng.below(100));
+        const Value b = static_cast<Value>(rng.below(100));
+        key.bind(pos, std::min(a, b), std::max(a, b));
+      }
+    }
+    std::vector<const Tuple*> out;
+    idx.probe_range(key, out);
+    EXPECT_EQ(std::set<const Tuple*>(out.begin(), out.end()),
+              brute_force(pool, key))
+        << "seed=" << seed << " trial=" << trial;
+    EXPECT_EQ(out.size(),
+              std::set<const Tuple*>(out.begin(), out.end()).size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeProbeProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace amri::index

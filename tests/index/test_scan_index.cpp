@@ -1,0 +1,75 @@
+#include "index/scan_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace amri::index {
+namespace {
+
+JoinAttributeSet jas2() { return JoinAttributeSet({0, 1}); }
+
+TEST(ScanIndex, ProbeComparesEveryTuple) {
+  ScanIndex idx(jas2());
+  testutil::TuplePool pool(25, 2, 5, 31);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  ProbeKey k;
+  k.mask = 0b01;
+  k.values = {2, 0};
+  std::vector<const Tuple*> out;
+  const auto stats = idx.probe(k, out);
+  EXPECT_EQ(stats.tuples_compared, 25u);
+  for (const Tuple* t : out) EXPECT_EQ(t->at(0), 2);
+}
+
+TEST(ScanIndex, EraseSwapsAndShrinks) {
+  ScanIndex idx(jas2());
+  const Tuple a = testutil::make_tuple({1, 1}, 1);
+  const Tuple b = testutil::make_tuple({2, 2}, 2);
+  idx.insert(&a);
+  idx.insert(&b);
+  idx.erase(&a);
+  EXPECT_EQ(idx.size(), 1u);
+  ProbeKey k;
+  k.mask = 0;
+  k.values = {0, 0};
+  std::vector<const Tuple*> out;
+  idx.probe(k, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], &b);
+}
+
+TEST(ScanIndex, EmptyMaskReturnsAll) {
+  ScanIndex idx(jas2());
+  testutil::TuplePool pool(10, 2, 3, 7);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  ProbeKey k;
+  k.mask = 0;
+  k.values = {0, 0};
+  std::vector<const Tuple*> out;
+  idx.probe(k, out);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(ScanIndex, NoHashChargesOnInsert) {
+  CostMeter meter;
+  ScanIndex idx(jas2(), &meter);
+  const Tuple t = testutil::make_tuple({1, 2});
+  idx.insert(&t);
+  EXPECT_EQ(meter.hashes(), 0u);
+  EXPECT_EQ(meter.inserts(), 1u);
+}
+
+TEST(ScanIndex, MemoryReleasedOnDestruction) {
+  MemoryTracker mem;
+  testutil::TuplePool pool(100, 2, 10, 19);
+  {
+    ScanIndex idx(jas2(), nullptr, &mem);
+    for (const Tuple* t : pool.pointers()) idx.insert(t);
+    EXPECT_GT(mem.total(), 0u);
+  }
+  EXPECT_EQ(mem.total(), 0u);
+}
+
+}  // namespace
+}  // namespace amri::index

@@ -1,0 +1,213 @@
+// Integration tests: the full pipeline (generator → eddy → STeM → results)
+// checked against an independent reference join, plus end-to-end
+// adaptivity: a selectivity flip must change the chosen index
+// configuration, and every index backend must produce identical results on
+// identical input.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "workload/scenario.hpp"
+
+namespace amri {
+namespace {
+
+using engine::ExecutorOptions;
+using engine::IndexBackend;
+using engine::QuerySpec;
+
+/// Replayable source over a pre-generated arrival vector.
+class VectorSource final : public engine::TupleSource {
+ public:
+  explicit VectorSource(const std::vector<Tuple>& tuples)
+      : tuples_(&tuples) {}
+  std::optional<Tuple> next() override {
+    if (pos_ >= tuples_->size()) return std::nullopt;
+    return (*tuples_)[pos_++];
+  }
+
+ private:
+  const std::vector<Tuple>* tuples_;
+  std::size_t pos_ = 0;
+};
+
+/// Reference join: brute-force sliding-window multi-way join, independent
+/// of all engine machinery. Counts each result when its last member
+/// arrives.
+std::uint64_t reference_join_count(const QuerySpec& q,
+                                   const std::vector<Tuple>& arrivals) {
+  const std::size_t k = q.num_streams();
+  std::vector<std::deque<Tuple>> windows(k);
+  std::uint64_t results = 0;
+
+  // All predicates as (stream, attr, stream, attr).
+  const auto& preds = q.predicates();
+
+  for (const Tuple& t : arrivals) {
+    // Expire.
+    for (auto& w : windows) {
+      while (!w.empty() && w.front().ts < t.ts - q.window()) w.pop_front();
+    }
+    windows[t.stream].push_back(t);
+    // Enumerate combinations including t from the other windows.
+    std::vector<const Tuple*> pick(k, nullptr);
+    pick[t.stream] = &t;
+    std::uint64_t found = 0;
+    const std::function<void(StreamId)> rec = [&](StreamId s) {
+      if (s == k) {
+        ++found;
+        return;
+      }
+      if (s == t.stream) {
+        rec(s + 1);
+        return;
+      }
+      for (const Tuple& cand : windows[s]) {
+        pick[s] = &cand;
+        bool ok = true;
+        // Check every predicate whose endpoints are both picked so far.
+        for (const auto& p : preds) {
+          const Tuple* l = pick[p.left_stream];
+          const Tuple* r = pick[p.right_stream];
+          if (l != nullptr && r != nullptr &&
+              l->at(p.left_attr) != r->at(p.right_attr)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) rec(s + 1);
+        pick[s] = nullptr;
+      }
+    };
+    rec(0);
+    results += found;
+  }
+  return results;
+}
+
+std::vector<Tuple> generate_arrivals(double seconds, double rate,
+                                     std::int64_t hot, std::int64_t cold,
+                                     std::uint64_t seed) {
+  workload::ScenarioOptions o;
+  o.rate_per_sec = rate;
+  o.window_seconds = 4.0;
+  o.phase_seconds = seconds / 2;
+  o.hot_domain = hot;
+  o.cold_domain = cold;
+  o.seed = seed;
+  o.generate_seconds = seconds;
+  workload::Scenario sc(o);
+  std::vector<Tuple> out;
+  const auto src = sc.make_source();
+  while (const auto t = src->next()) out.push_back(*t);
+  return out;
+}
+
+QuerySpec query4(double window_seconds = 4.0) {
+  return engine::make_complete_join_query(4,
+                                          seconds_to_micros(window_seconds));
+}
+
+ExecutorOptions options_for(IndexBackend backend) {
+  ExecutorOptions o;
+  o.duration = seconds_to_micros(1000);  // run to source exhaustion
+  o.stem.backend = backend;
+  o.stem.initial_config = index::IndexConfig({2, 2, 2});
+  o.stem.initial_modules = {0b001, 0b010, 0b100};
+  tuner::TunerOptions t;
+  t.reassess_every = 400;
+  t.optimizer.bit_budget = 8;
+  t.optimizer.max_bits_per_attr = 6;
+  o.stem.amri_tuner = t;
+  return o;
+}
+
+TEST(Integration, EngineMatchesReferenceJoinExactly) {
+  const QuerySpec q = query4();
+  const auto arrivals = generate_arrivals(12.0, 25.0, 6, 18, 101);
+  const std::uint64_t expected = reference_join_count(q, arrivals);
+  ASSERT_GT(expected, 0u) << "workload produced no joins; recalibrate";
+
+  for (const auto backend :
+       {IndexBackend::kScan, IndexBackend::kAmri, IndexBackend::kStaticBitmap,
+        IndexBackend::kAccessModules, IndexBackend::kStaticModules}) {
+    VectorSource src(arrivals);
+    engine::Executor ex(q, options_for(backend));
+    const auto result = ex.run(src);
+    EXPECT_EQ(result.outputs, expected)
+        << "backend " << static_cast<int>(backend);
+  }
+}
+
+TEST(Integration, AllBackendsAgreeAcrossSeeds) {
+  const QuerySpec q = query4();
+  for (const std::uint64_t seed : {7ull, 8ull, 9ull}) {
+    const auto arrivals = generate_arrivals(8.0, 20.0, 5, 15, seed);
+    std::map<int, std::uint64_t> outputs;
+    for (const auto backend :
+         {IndexBackend::kScan, IndexBackend::kAmri,
+          IndexBackend::kAccessModules}) {
+      VectorSource src(arrivals);
+      engine::Executor ex(q, options_for(backend));
+      outputs[static_cast<int>(backend)] = ex.run(src).outputs;
+    }
+    EXPECT_EQ(outputs[static_cast<int>(IndexBackend::kScan)],
+              outputs[static_cast<int>(IndexBackend::kAmri)])
+        << "seed " << seed;
+    EXPECT_EQ(outputs[static_cast<int>(IndexBackend::kScan)],
+              outputs[static_cast<int>(IndexBackend::kAccessModules)])
+        << "seed " << seed;
+  }
+}
+
+TEST(Integration, TunerAdaptsIndexDuringRun) {
+  const QuerySpec q = query4();
+  const auto arrivals = generate_arrivals(30.0, 40.0, 5, 30, 55);
+  VectorSource src(arrivals);
+  auto opts = options_for(IndexBackend::kAmri);
+  opts.model_params.lambda_d = 40;
+  opts.model_params.lambda_r = 160;
+  opts.model_params.window_units = 4;
+  engine::Executor ex(q, opts);
+  const auto result = ex.run(src);
+  std::uint64_t total_migrations = 0;
+  for (const auto& s : result.states) total_migrations += s.migrations;
+  EXPECT_GT(total_migrations, 0u) << "tuner never adapted under drift";
+}
+
+TEST(Integration, AmriOutperformsScanInModelledTime) {
+  // Same arrivals; AMRI's indexed probes must charge far less virtual
+  // time than pure scans.
+  const QuerySpec q = query4();
+  const auto arrivals = generate_arrivals(10.0, 50.0, 6, 20, 77);
+  VectorSource src_scan(arrivals);
+  VectorSource src_amri(arrivals);
+  engine::Executor scan_ex(q, options_for(IndexBackend::kScan));
+  engine::Executor amri_ex(q, options_for(IndexBackend::kAmri));
+  const auto scan_result = scan_ex.run(src_scan);
+  const auto amri_result = amri_ex.run(src_amri);
+  ASSERT_EQ(scan_result.outputs, amri_result.outputs);
+  EXPECT_LT(amri_result.charged_us, scan_result.charged_us * 0.8);
+}
+
+TEST(Integration, WarmupDoesNotChangeMeasuredCorrectness) {
+  const QuerySpec q = query4();
+  const auto arrivals = generate_arrivals(10.0, 25.0, 6, 18, 31);
+  VectorSource src(arrivals);
+  auto opts = options_for(IndexBackend::kAmri);
+  opts.warmup = seconds_to_micros(4);
+  opts.duration = seconds_to_micros(1000);
+  engine::Executor ex(q, opts);
+  const auto result = ex.run(src);
+  // Measured outputs + warm-up outputs == reference total.
+  const std::uint64_t total = reference_join_count(q, arrivals);
+  EXPECT_LE(result.outputs, total);
+  EXPECT_GT(result.outputs, 0u);
+}
+
+}  // namespace
+}  // namespace amri

@@ -1,0 +1,56 @@
+#include "stats/ewma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri::stats {
+namespace {
+
+TEST(Ewma, FirstSampleSetsValue) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, ValueOrFallback) {
+  Ewma e;
+  EXPECT_DOUBLE_EQ(e.value_or(7.0), 7.0);
+  e.add(1.0);
+  EXPECT_DOUBLE_EQ(e.value_or(7.0), 1.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.add(5.0);
+  EXPECT_NEAR(e.value(), 5.0, 1e-9);
+}
+
+TEST(Ewma, SmoothsStep) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma e(1.0);
+  e.add(3.0);
+  e.add(9.0);
+  EXPECT_DOUBLE_EQ(e.value(), 9.0);
+}
+
+TEST(Ewma, CountsSamplesAndResets) {
+  Ewma e(0.2);
+  e.add(1.0);
+  e.add(2.0);
+  EXPECT_EQ(e.samples(), 2u);
+  e.reset();
+  EXPECT_FALSE(e.initialized());
+  EXPECT_EQ(e.samples(), 0u);
+}
+
+}  // namespace
+}  // namespace amri::stats

@@ -1,0 +1,92 @@
+#include "stats/frequency_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri::stats {
+namespace {
+
+TEST(FrequencyMap, AddCreatesAndIncrements) {
+  FrequencyMap m;
+  EXPECT_EQ(m.add(0b101), 1u);
+  EXPECT_EQ(m.add(0b101), 2u);
+  EXPECT_EQ(m.add(0b010), 1u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.total_observed(), 3u);
+}
+
+TEST(FrequencyMap, AddWithWeightAndDelta) {
+  FrequencyMap m;
+  m.add(0b1, 5, 3);
+  const FreqEntry* e = m.find(0b1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 5u);
+  EXPECT_EQ(e->max_error, 3u);
+  // delta only applies at creation
+  m.add(0b1, 1, 99);
+  EXPECT_EQ(m.find(0b1)->max_error, 3u);
+}
+
+TEST(FrequencyMap, FindMissingIsNull) {
+  FrequencyMap m;
+  EXPECT_EQ(m.find(0b111), nullptr);
+}
+
+TEST(FrequencyMap, FrequencyComputation) {
+  FrequencyMap m;
+  m.add(0b1);
+  m.add(0b1);
+  m.add(0b10);
+  m.add(0b100);
+  EXPECT_DOUBLE_EQ(m.frequency(0b1), 0.5);
+  EXPECT_DOUBLE_EQ(m.frequency(0b10), 0.25);
+  EXPECT_DOUBLE_EQ(m.frequency(0b1000), 0.0);
+}
+
+TEST(FrequencyMap, FrequencyOnEmptyMapIsZero) {
+  FrequencyMap m;
+  EXPECT_DOUBLE_EQ(m.frequency(0b1), 0.0);
+}
+
+TEST(FrequencyMap, EraseKeepsTotal) {
+  FrequencyMap m;
+  m.add(0b1);
+  m.add(0b10);
+  m.erase(0b1);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.total_observed(), 2u);  // totals track the stream
+}
+
+TEST(FrequencyMap, SortedEntriesDeterministic) {
+  FrequencyMap m;
+  m.add(0b100);
+  m.add(0b001);
+  m.add(0b010);
+  const auto entries = m.sorted_entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, 0b001u);
+  EXPECT_EQ(entries[1].first, 0b010u);
+  EXPECT_EQ(entries[2].first, 0b100u);
+}
+
+TEST(FrequencyMap, ApproxBytesGrowsWithEntries) {
+  FrequencyMap m;
+  const auto empty = m.approx_bytes();
+  for (AttrMask i = 1; i <= 10; ++i) m.add(i);
+  EXPECT_GT(m.approx_bytes(), empty);
+}
+
+TEST(FrequencyMap, ClearAndSetTotal) {
+  FrequencyMap m;
+  m.add(0b1, 10);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.total_observed(), 0u);
+  m.add(0b1);
+  m.set_total(100);
+  EXPECT_EQ(m.total_observed(), 100u);
+  m.reset_total();
+  EXPECT_EQ(m.total_observed(), 0u);
+}
+
+}  // namespace
+}  // namespace amri::stats

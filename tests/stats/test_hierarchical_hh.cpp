@@ -1,0 +1,172 @@
+#include "stats/hierarchical_hh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace amri::stats {
+namespace {
+
+TEST(HierarchicalHH, ObserveCountsExactlyBeforeCompression) {
+  HierarchicalHeavyHitter hhh(0b111, 0.01, CombinePolicy::kHighestCount);
+  for (int i = 0; i < 50; ++i) hhh.observe(0b101);
+  EXPECT_EQ(hhh.observed(), 50u);
+  EXPECT_EQ(hhh.total_mass(), 50u);
+}
+
+// The core CDIA invariant: compression combines counts into parents rather
+// than deleting them, so no observation mass is ever lost.
+TEST(HierarchicalHH, MassConservationUnderCompression) {
+  for (const auto policy :
+       {CombinePolicy::kRandom, CombinePolicy::kHighestCount}) {
+    HierarchicalHeavyHitter hhh(0b1111, 0.01, policy, 7);
+    amri::Rng rng(99);
+    for (int i = 0; i < 25000; ++i) {
+      hhh.observe(static_cast<AttrMask>(rng.below(16)));
+    }
+    EXPECT_EQ(hhh.total_mass(), 25000u)
+        << "policy=" << static_cast<int>(policy);
+  }
+}
+
+TEST(HierarchicalHH, FrequentPatternAlwaysReported) {
+  HierarchicalHeavyHitter hhh(0b111, 0.005, CombinePolicy::kHighestCount);
+  amri::Rng rng(42);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.uniform01() < 0.5) {
+      hhh.observe(0b011);  // hot pattern, ~50%
+    } else {
+      hhh.observe(static_cast<AttrMask>(rng.below(8)));
+    }
+  }
+  const auto res = hhh.results(0.1);
+  bool found = false;
+  for (const auto& r : res) {
+    if (r.mask == 0b011) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// The paper's Table II / Figure 5 workload. With the *highest-count*
+// policy the sub-threshold <A,B,*> (4%) rolls into its larger parent
+// <*,B,*> (10% -> 14%); with the *random* policy it lands in one of its
+// two parents — when it lands in <A,*,*> the combined 8% clears theta and
+// the A attribute's mass survives (the paper's worked outcome). Either
+// way everything reported clears the threshold.
+TEST(HierarchicalHH, TableTwoWorkloadRollup) {
+  // Masks (JAS position 0 = A): <A,*,*> = 0b001, <A,B,*> = 0b011, etc.
+  const std::map<AttrMask, int> workload = {
+      {0b001, 40},   // <A,*,*> 4%
+      {0b010, 100},  // <*,B,*> 10%
+      {0b100, 100},  // <*,*,C> 10%
+      {0b011, 40},   // <A,B,*> 4%
+      {0b101, 160},  // <A,*,C> 16%
+      {0b110, 100},  // <*,B,C> 10%
+      {0b111, 460},  // <A,B,C> 46%
+  };
+  // Fine epsilon: compression never fires mid-stream, rollup happens in
+  // results() only, making the outcome fully deterministic.
+  HierarchicalHeavyHitter hc(0b111, 0.0001, CombinePolicy::kHighestCount);
+  for (const auto& [mask, count] : workload) {
+    for (int i = 0; i < count; ++i) hc.observe(mask);
+  }
+  EXPECT_EQ(hc.observed(), 1000u);
+  const auto res = hc.results(0.05);
+  bool b_reported = false;
+  for (const auto& r : res) {
+    EXPECT_GE(r.frequency, 0.05);  // everything reported clears theta
+    if (r.mask == 0b010) {
+      b_reported = true;
+      EXPECT_EQ(r.count, 140u);  // 100 + the 40 of <A,B,*>
+    }
+  }
+  EXPECT_TRUE(b_reported);
+
+  // Random policy: <A,B,*>'s mass must end up under either parent; find a
+  // seed where it lands in <A,*,*> (the paper's illustrated case).
+  bool paper_case_seen = false;
+  for (std::uint64_t seed = 0; seed < 32 && !paper_case_seen; ++seed) {
+    HierarchicalHeavyHitter rnd(0b111, 0.0001, CombinePolicy::kRandom, seed);
+    for (const auto& [mask, count] : workload) {
+      for (int i = 0; i < count; ++i) rnd.observe(mask);
+    }
+    for (const auto& r : rnd.results(0.05)) {
+      if (r.mask == 0b001 && r.count == 80u) paper_case_seen = true;
+    }
+  }
+  EXPECT_TRUE(paper_case_seen)
+      << "no seed produced the paper's <A,B,*> -> <A,*,*> combination";
+}
+
+TEST(HierarchicalHH, ResultsRollupConservesReportableMass) {
+  HierarchicalHeavyHitter hhh(0b111, 0.001, CombinePolicy::kRandom, 3);
+  amri::Rng rng(55);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    hhh.observe(static_cast<AttrMask>(rng.below(8)));
+  }
+  // With theta=0 every node is reported; mass must equal n exactly.
+  const auto res = hhh.results(0.0);
+  std::uint64_t sum = 0;
+  for (const auto& r : res) sum += r.count;
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n));
+}
+
+TEST(HierarchicalHH, MemoryBoundedUnderManyPatterns) {
+  // 2^10 = 1024 possible patterns, epsilon 1% -> table must stay well
+  // below the full pattern space.
+  HierarchicalHeavyHitter hhh(0b1111111111, 0.01,
+                              CombinePolicy::kHighestCount);
+  amri::Rng rng(77);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hhh.observe(static_cast<AttrMask>(rng.below(1024)));
+  }
+  // Cormode bound: (h/eps) * log(eps*n); h = 11 levels here.
+  const double bound = (11 / 0.01) * std::log(0.01 * n);
+  EXPECT_LE(hhh.size(), static_cast<std::size_t>(bound));
+  EXPECT_LT(hhh.size(), 1024u);
+}
+
+TEST(HierarchicalHH, TopNodeNeverCompressed) {
+  HierarchicalHeavyHitter hhh(0b11, 0.5, CombinePolicy::kHighestCount);
+  // Segment width 2: compression fires every 2 observations.
+  hhh.observe(0);
+  hhh.observe(0);
+  hhh.observe(0);
+  hhh.observe(0);
+  EXPECT_EQ(hhh.total_mass(), 4u);
+  EXPECT_GE(hhh.size(), 1u);
+}
+
+TEST(HierarchicalHH, PoliciesDifferButBothConserve) {
+  amri::Rng rng(101);
+  std::vector<AttrMask> workload;
+  for (int i = 0; i < 20000; ++i) {
+    workload.push_back(static_cast<AttrMask>(rng.below(32)));
+  }
+  HierarchicalHeavyHitter random_hhh(0b11111, 0.01, CombinePolicy::kRandom, 1);
+  HierarchicalHeavyHitter hc_hhh(0b11111, 0.01, CombinePolicy::kHighestCount, 1);
+  for (const AttrMask m : workload) {
+    random_hhh.observe(m);
+    hc_hhh.observe(m);
+  }
+  EXPECT_EQ(random_hhh.total_mass(), 20000u);
+  EXPECT_EQ(hc_hhh.total_mass(), 20000u);
+}
+
+TEST(HierarchicalHH, ClearResets) {
+  HierarchicalHeavyHitter hhh(0b111, 0.01, CombinePolicy::kRandom);
+  hhh.observe(0b001);
+  hhh.clear();
+  EXPECT_EQ(hhh.observed(), 0u);
+  EXPECT_EQ(hhh.size(), 0u);
+  EXPECT_TRUE(hhh.results(0.0).empty());
+}
+
+}  // namespace
+}  // namespace amri::stats

@@ -1,0 +1,121 @@
+#include "stats/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace amri::stats {
+namespace {
+
+TEST(Lattice, BasicShape) {
+  Lattice l(0b111);
+  EXPECT_EQ(l.num_attrs(), 3);
+  EXPECT_EQ(l.height(), 4);
+  EXPECT_EQ(l.node_count(), 8u);
+}
+
+TEST(Lattice, LevelIsPopcount) {
+  EXPECT_EQ(Lattice::level(0), 0);
+  EXPECT_EQ(Lattice::level(0b101), 2);
+  EXPECT_EQ(Lattice::level(0b111), 3);
+}
+
+TEST(Lattice, BenefitsIsSubsetRelation) {
+  // <A,*,*> benefits <A,B,*>: an index on A narrows an A,B-bound probe.
+  EXPECT_TRUE(Lattice::benefits(0b001, 0b011));
+  EXPECT_TRUE(Lattice::benefits(0, 0b111));      // full scan benefits all
+  EXPECT_TRUE(Lattice::benefits(0b011, 0b011));  // reflexive
+  EXPECT_FALSE(Lattice::benefits(0b100, 0b011));
+}
+
+TEST(Lattice, ParentsRemoveOneAttribute) {
+  Lattice l(0b111);
+  const auto p = l.parents(0b101);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_NE(std::find(p.begin(), p.end(), 0b100u), p.end());
+  EXPECT_NE(std::find(p.begin(), p.end(), 0b001u), p.end());
+}
+
+TEST(Lattice, TopHasNoParents) {
+  Lattice l(0b111);
+  EXPECT_TRUE(l.parents(0).empty());
+}
+
+TEST(Lattice, ChildrenAddOneAttribute) {
+  Lattice l(0b111);
+  const auto c = l.children(0b001);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_NE(std::find(c.begin(), c.end(), 0b011u), c.end());
+  EXPECT_NE(std::find(c.begin(), c.end(), 0b101u), c.end());
+}
+
+TEST(Lattice, BottomHasNoChildren) {
+  Lattice l(0b111);
+  EXPECT_TRUE(l.children(0b111).empty());
+}
+
+TEST(Lattice, ParentChildConsistency) {
+  // For every node and every parent: node is among the parent's children.
+  Lattice l(0b1111);
+  for (const AttrMask node : l.all_nodes_top_down()) {
+    for (const AttrMask parent : l.parents(node)) {
+      const auto kids = l.children(parent);
+      EXPECT_NE(std::find(kids.begin(), kids.end(), node), kids.end());
+      EXPECT_TRUE(Lattice::benefits(parent, node));
+    }
+  }
+}
+
+TEST(Lattice, AllNodesTopDownOrderedByLevel) {
+  Lattice l(0b111);
+  const auto nodes = l.all_nodes_top_down();
+  ASSERT_EQ(nodes.size(), 8u);
+  EXPECT_EQ(nodes.front(), 0u);
+  EXPECT_EQ(nodes.back(), 0b111u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LE(Lattice::level(nodes[i - 1]), Lattice::level(nodes[i]));
+  }
+}
+
+TEST(PartialLattice, LeafDetection) {
+  PartialLattice pl(0b111);
+  pl.counts().add(0b001);
+  pl.counts().add(0b011);
+  pl.counts().add(0b100);
+  // 0b011 is a leaf (no superset node); 0b001 is not (0b011 ⊇ 0b001).
+  EXPECT_TRUE(pl.is_leaf(0b011));
+  EXPECT_FALSE(pl.is_leaf(0b001));
+  EXPECT_TRUE(pl.is_leaf(0b100));
+}
+
+TEST(PartialLattice, LeavesSortedDeepestFirst) {
+  PartialLattice pl(0b111);
+  pl.counts().add(0b001);
+  pl.counts().add(0b110);
+  pl.counts().add(0b010);
+  const auto leaves = pl.leaves();
+  ASSERT_EQ(leaves.size(), 2u);  // 0b110 and 0b001 (0b010 covered by 0b110)
+  EXPECT_EQ(leaves[0], 0b110u);
+  EXPECT_EQ(leaves[1], 0b001u);
+}
+
+TEST(PartialLattice, NodesBottomUpCoversAll) {
+  PartialLattice pl(0b111);
+  pl.counts().add(0);
+  pl.counts().add(0b111);
+  pl.counts().add(0b010);
+  const auto nodes = pl.nodes_bottom_up();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0], 0b111u);
+  EXPECT_EQ(nodes[2], 0u);
+}
+
+TEST(PartialLattice, SingleNodeIsLeaf) {
+  PartialLattice pl(0b11);
+  pl.counts().add(0);
+  EXPECT_TRUE(pl.is_leaf(0));
+}
+
+}  // namespace
+}  // namespace amri::stats

@@ -1,0 +1,81 @@
+#include "stats/misra_gries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace amri::stats {
+namespace {
+
+TEST(MisraGries, TracksWithinCapacityExactly) {
+  MisraGries<int> mg(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int rep = 0; rep <= i; ++rep) mg.observe(i);
+  }
+  EXPECT_EQ(mg.estimate(0), 1u);
+  EXPECT_EQ(mg.estimate(4), 5u);
+}
+
+TEST(MisraGries, NeverOvercounts) {
+  MisraGries<std::uint32_t> mg(8);
+  std::map<std::uint32_t, std::uint64_t> truth;
+  amri::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng.below(100));
+    ++truth[k];
+    mg.observe(k);
+  }
+  for (const auto& [k, c] : truth) EXPECT_LE(mg.estimate(k), c);
+}
+
+TEST(MisraGries, UndercountBoundedByNOverKPlus1) {
+  const std::size_t k = 9;
+  MisraGries<std::uint32_t> mg(k);
+  std::map<std::uint32_t, std::uint64_t> truth;
+  amri::Rng rng(6);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const auto key = static_cast<std::uint32_t>(
+        rng.uniform01() < 0.5 ? rng.below(3) : rng.below(1000));
+    ++truth[key];
+    mg.observe(key);
+  }
+  const double bound = static_cast<double>(n) / (k + 1);
+  for (const auto& [key, c] : truth) {
+    EXPECT_GE(static_cast<double>(mg.estimate(key)),
+              static_cast<double>(c) - bound - 1);
+  }
+}
+
+TEST(MisraGries, MajorityElementSurvives) {
+  MisraGries<int> mg(1);
+  for (int i = 0; i < 100; ++i) {
+    mg.observe(7);
+    if (i % 2 == 0) mg.observe(i + 1000);
+  }
+  EXPECT_GT(mg.estimate(7), 0u);
+}
+
+TEST(MisraGries, SizeNeverExceedsCapacity) {
+  MisraGries<int> mg(5);
+  amri::Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    mg.observe(static_cast<int>(rng.below(500)));
+    EXPECT_LE(mg.size(), 5u);
+  }
+}
+
+TEST(MisraGries, CandidatesSorted) {
+  MisraGries<int> mg(10);
+  for (int i = 0; i < 30; ++i) mg.observe(1);
+  for (int i = 0; i < 10; ++i) mg.observe(2);
+  const auto c = mg.candidates();
+  ASSERT_GE(c.size(), 2u);
+  EXPECT_EQ(c[0].key, 1);
+  EXPECT_GE(c[0].count, c[1].count);
+}
+
+}  // namespace
+}  // namespace amri::stats

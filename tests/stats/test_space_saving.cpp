@@ -1,0 +1,93 @@
+#include "stats/space_saving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace amri::stats {
+namespace {
+
+TEST(SpaceSaving, ExactWithinCapacity) {
+  SpaceSaving<int> ss(10);
+  for (int i = 0; i < 3; ++i) {
+    for (int rep = 0; rep < 5; ++rep) ss.observe(i);
+  }
+  EXPECT_EQ(ss.estimate(0), 5u);
+  EXPECT_EQ(ss.estimate(1), 5u);
+  EXPECT_EQ(ss.estimate(2), 5u);
+}
+
+TEST(SpaceSaving, NeverUndercounts) {
+  SpaceSaving<std::uint32_t> ss(16);
+  std::map<std::uint32_t, std::uint64_t> truth;
+  amri::Rng rng(12);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng.below(200));
+    ++truth[k];
+    ss.observe(k);
+  }
+  for (const auto& [k, c] : truth) {
+    const auto est = ss.estimate(k);
+    if (est > 0) {
+      EXPECT_GE(est, c > 0 ? 1u : 0u);
+    }
+  }
+  // Tracked keys are never underestimated.
+  for (const auto& item : ss.candidates()) {
+    EXPECT_GE(item.count, truth[item.key]);
+  }
+}
+
+TEST(SpaceSaving, SizeCappedAtCapacity) {
+  SpaceSaving<int> ss(4);
+  amri::Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    ss.observe(static_cast<int>(rng.below(100)));
+    EXPECT_LE(ss.size(), 4u);
+  }
+}
+
+TEST(SpaceSaving, HotKeysDominateCandidates) {
+  SpaceSaving<int> ss(8);
+  amri::Rng rng(8);
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.uniform01() < 0.8) {
+      ss.observe(static_cast<int>(rng.below(3)));  // hot: 0,1,2
+    } else {
+      ss.observe(100 + static_cast<int>(rng.below(1000)));
+    }
+  }
+  const auto top = ss.candidates();
+  ASSERT_GE(top.size(), 3u);
+  for (int hot = 0; hot < 3; ++hot) {
+    bool found = false;
+    for (std::size_t i = 0; i < 3 && i < top.size(); ++i) {
+      if (top[i].key == hot) found = true;
+    }
+    EXPECT_TRUE(found) << "hot key " << hot << " not in top-3";
+  }
+}
+
+TEST(SpaceSaving, OverestimateFieldBoundsError) {
+  SpaceSaving<int> ss(2);
+  for (int i = 0; i < 100; ++i) ss.observe(i);  // constant churn
+  for (const auto& item : ss.candidates()) {
+    EXPECT_LE(item.overestimate, item.count);
+  }
+}
+
+TEST(SpaceSaving, ThresholdFiltersCandidates) {
+  SpaceSaving<int> ss(10);
+  for (int i = 0; i < 50; ++i) ss.observe(1);
+  ss.observe(2);
+  const auto all = ss.candidates(0);
+  const auto hot = ss.candidates(10);
+  EXPECT_GT(all.size(), hot.size());
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].key, 1);
+}
+
+}  // namespace
+}  // namespace amri::stats

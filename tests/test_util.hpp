@@ -1,0 +1,57 @@
+// Shared helpers for the AMRI test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tuple.hpp"
+
+namespace amri::testutil {
+
+/// Build a tuple with the given values; seq/ts default to 0.
+inline Tuple make_tuple(std::initializer_list<Value> values, TupleSeq seq = 0,
+                        TimeMicros ts = 0, StreamId stream = 0) {
+  Tuple t;
+  t.stream = stream;
+  t.ts = ts;
+  t.seq = seq;
+  for (const Value v : values) t.values.push_back(v);
+  return t;
+}
+
+/// A stable-addressed pool of random tuples (indexes hold Tuple pointers).
+class TuplePool {
+ public:
+  /// `num_attrs` values per tuple, each uniform in [0, domain).
+  TuplePool(std::size_t count, std::size_t num_attrs, std::int64_t domain,
+            std::uint64_t seed = 1234) {
+    Rng rng(seed);
+    tuples_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto t = std::make_unique<Tuple>();
+      t->seq = i;
+      t->ts = static_cast<TimeMicros>(i);
+      for (std::size_t a = 0; a < num_attrs; ++a) {
+        t->values.push_back(static_cast<Value>(rng.below(
+            static_cast<std::uint64_t>(domain))));
+      }
+      tuples_.push_back(std::move(t));
+    }
+  }
+
+  std::size_t size() const { return tuples_.size(); }
+  const Tuple* at(std::size_t i) const { return tuples_[i].get(); }
+
+  std::vector<const Tuple*> pointers() const {
+    std::vector<const Tuple*> out;
+    out.reserve(tuples_.size());
+    for (const auto& t : tuples_) out.push_back(t.get());
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Tuple>> tuples_;
+};
+
+}  // namespace amri::testutil

@@ -1,0 +1,168 @@
+#include "tuner/amri_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "common/rng.hpp"
+
+namespace amri::tuner {
+namespace {
+
+index::CostModel paper_model() {
+  index::WorkloadParams p;
+  p.lambda_d = 500.0;
+  p.lambda_r = 500.0;
+  p.window_units = 10.0;
+  p.hash_cost = 1.0;
+  p.compare_cost = 0.5;
+  return index::CostModel(p);
+}
+
+TunerOptions fast_options() {
+  TunerOptions o;
+  o.assessor = assessment::AssessorKind::kCdiaHighestCount;
+  o.assessor_params.epsilon = 0.01;
+  o.theta = 0.1;
+  o.reassess_every = 500;
+  o.optimizer.bit_budget = 6;
+  o.optimizer.max_bits_per_attr = 6;
+  return o;
+}
+
+TEST(AmriTuner, NotDueUntilEnoughRequests) {
+  AmriTuner tuner(0b111, 3, paper_model(), fast_options());
+  for (int i = 0; i < 499; ++i) tuner.observe_request(0b001);
+  EXPECT_FALSE(tuner.tuning_due());
+  tuner.observe_request(0b001);
+  EXPECT_TRUE(tuner.tuning_due());
+}
+
+TEST(AmriTuner, RecommendConcentratesBitsOnHotPattern) {
+  AmriTuner tuner(0b111, 3, paper_model(), fast_options());
+  for (int i = 0; i < 1000; ++i) tuner.observe_request(0b100);
+  const auto d = tuner.recommend(index::IndexConfig::zero(3));
+  EXPECT_TRUE(d.due);
+  EXPECT_EQ(d.recommended.bits(2), 6);
+  EXPECT_EQ(d.recommended.bits(0), 0);
+  EXPECT_LT(d.recommended_cost, d.current_cost);
+}
+
+TEST(AmriTuner, MaybeTuneMigratesIndex) {
+  index::BitAddressIndex idx(index::JoinAttributeSet({0, 1, 2}),
+                             index::IndexConfig({6, 0, 0}),
+                             index::BitMapper::hashing(3));
+  testutil::TuplePool pool(100, 3, 50, 77);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  AmriTuner tuner(0b111, 3, paper_model(), fast_options());
+  // Workload shifted entirely to attribute C.
+  for (int i = 0; i < 1000; ++i) tuner.observe_request(0b100);
+  const auto d = tuner.maybe_tune(idx);
+  EXPECT_TRUE(d.migrated);
+  EXPECT_EQ(idx.config().bits(2), 6);
+  EXPECT_EQ(idx.size(), 100u);
+  EXPECT_EQ(tuner.migrations(), 1u);
+}
+
+TEST(AmriTuner, NoMigrationWhenConfigAlreadyOptimal) {
+  index::BitAddressIndex idx(index::JoinAttributeSet({0, 1, 2}),
+                             index::IndexConfig({0, 0, 6}),
+                             index::BitMapper::hashing(3));
+  AmriTuner tuner(0b111, 3, paper_model(), fast_options());
+  for (int i = 0; i < 1000; ++i) tuner.observe_request(0b100);
+  const auto d = tuner.maybe_tune(idx);
+  EXPECT_FALSE(d.migrated);
+  EXPECT_EQ(idx.config(), index::IndexConfig({0, 0, 6}));
+}
+
+TEST(AmriTuner, HysteresisBlocksMarginalImprovements) {
+  TunerOptions o = fast_options();
+  o.min_improvement = 0.99;  // require a 99% cost reduction
+  index::BitAddressIndex idx(index::JoinAttributeSet({0, 1, 2}),
+                             index::IndexConfig({5, 0, 1}),
+                             index::BitMapper::hashing(3));
+  AmriTuner tuner(0b111, 3, paper_model(), o);
+  for (int i = 0; i < 1000; ++i) tuner.observe_request(0b001);
+  const auto d = tuner.maybe_tune(idx);
+  EXPECT_FALSE(d.migrated);
+}
+
+TEST(AmriTuner, RetentionKeepAccumulates) {
+  TunerOptions o = fast_options();
+  o.retention = StatsRetention::kKeep;
+  AmriTuner tuner(0b111, 3, paper_model(), o);
+  for (int i = 0; i < 600; ++i) tuner.observe_request(0b010);
+  tuner.recommend(index::IndexConfig::zero(3));
+  EXPECT_EQ(tuner.assessor().observed(), 600u);  // nothing reset
+  for (int i = 0; i < 400; ++i) tuner.observe_request(0b010);
+  EXPECT_EQ(tuner.assessor().observed(), 1000u);
+}
+
+TEST(AmriTuner, RetentionDecayAges) {
+  TunerOptions o = fast_options();
+  o.retention = StatsRetention::kDecay;
+  o.decay_factor = 0.5;
+  AmriTuner tuner(0b111, 3, paper_model(), o);
+  for (int i = 0; i < 600; ++i) tuner.observe_request(0b010);
+  tuner.recommend(index::IndexConfig::zero(3));
+  EXPECT_NEAR(static_cast<double>(tuner.assessor().observed()), 300.0, 5.0);
+}
+
+TEST(AmriTuner, RetentionDecayAdaptsFasterThanKeep) {
+  // Phase flip after a long history: decay mode must recommend the new
+  // hot attribute, keep mode is still dominated by the old regime.
+  auto run = [&](StatsRetention retention) {
+    TunerOptions o = fast_options();
+    o.retention = retention;
+    o.decay_factor = 0.1;
+    AmriTuner tuner(0b111, 3, paper_model(), o);
+    for (int i = 0; i < 5000; ++i) tuner.observe_request(0b001);
+    tuner.recommend(index::IndexConfig::zero(3));  // applies retention
+    // New regime: 450 requests — under keep that is 450/5450 ~ 8% < theta
+    // (invisible), under decay(0.1) it is 450/950 ~ 47% (dominant).
+    for (int i = 0; i < 450; ++i) tuner.observe_request(0b100);
+    return tuner.recommend(index::IndexConfig::zero(3)).recommended;
+  };
+  EXPECT_GT(run(StatsRetention::kDecay).bits(2), 0);
+  EXPECT_EQ(run(StatsRetention::kKeep).bits(2), 0);
+}
+
+TEST(AmriTuner, StatsResetAfterDecision) {
+  AmriTuner tuner(0b111, 3, paper_model(), fast_options());
+  for (int i = 0; i < 600; ++i) tuner.observe_request(0b010);
+  tuner.recommend(index::IndexConfig::zero(3));
+  EXPECT_EQ(tuner.assessor().observed(), 0u);
+  EXPECT_FALSE(tuner.tuning_due());
+}
+
+TEST(AmriTuner, TracksStatisticsMemory) {
+  MemoryTracker mem;
+  {
+    AmriTuner tuner(0b11111, 5, paper_model(), fast_options(), &mem);
+    Rng rng(3);
+    for (int i = 0; i < 400; ++i) {
+      tuner.observe_request(static_cast<AttrMask>(rng.below(32)));
+    }
+    EXPECT_GT(mem.category(MemCategory::kStatistics), 0u);
+  }
+  EXPECT_EQ(mem.category(MemCategory::kStatistics), 0u);
+}
+
+TEST(AmriTuner, AdaptsAcrossWorkloadShift) {
+  index::BitAddressIndex idx(index::JoinAttributeSet({0, 1, 2}),
+                             index::IndexConfig({6, 0, 0}),
+                             index::BitMapper::hashing(3));
+  AmriTuner tuner(0b111, 3, paper_model(), fast_options());
+  // Phase 1: all requests bind A -> stays on A.
+  for (int i = 0; i < 1000; ++i) tuner.observe_request(0b001);
+  tuner.maybe_tune(idx);
+  EXPECT_GT(idx.config().bits(0), 0);
+  // Phase 2: workload flips to B.
+  for (int i = 0; i < 1000; ++i) tuner.observe_request(0b010);
+  tuner.maybe_tune(idx);
+  EXPECT_GT(idx.config().bits(1), 0);
+  EXPECT_EQ(idx.config().bits(0), 0);
+}
+
+}  // namespace
+}  // namespace amri::tuner

@@ -1,0 +1,82 @@
+#include "tuner/hash_module_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.hpp"
+
+namespace amri::tuner {
+namespace {
+
+HashTunerOptions fast_options(std::size_t max_modules = 2) {
+  HashTunerOptions o;
+  o.assessor_params.epsilon = 0.01;
+  o.theta = 0.1;
+  o.reassess_every = 500;
+  o.max_modules = max_modules;
+  return o;
+}
+
+TEST(HashModuleTuner, SelectsModulesForHotPatterns) {
+  index::AccessModuleSet ams(index::JoinAttributeSet({0, 1, 2}), {0b001});
+  HashModuleTuner tuner(0b111, fast_options(2));
+  for (int i = 0; i < 600; ++i) tuner.observe_request(0b110);
+  for (int i = 0; i < 400; ++i) tuner.observe_request(0b011);
+  EXPECT_TRUE(tuner.tuning_due());
+  EXPECT_TRUE(tuner.maybe_tune(ams));
+  auto masks = ams.module_masks();
+  std::sort(masks.begin(), masks.end());
+  EXPECT_EQ(masks, (std::vector<AttrMask>{0b011, 0b110}));
+}
+
+TEST(HashModuleTuner, NoChangeWhenSelectionStable) {
+  index::AccessModuleSet ams(index::JoinAttributeSet({0, 1, 2}), {0b010});
+  HashModuleTuner tuner(0b111, fast_options(1));
+  for (int i = 0; i < 600; ++i) tuner.observe_request(0b010);
+  EXPECT_FALSE(tuner.maybe_tune(ams));
+  EXPECT_EQ(tuner.retunes(), 0u);
+  EXPECT_EQ(tuner.decisions(), 1u);
+}
+
+TEST(HashModuleTuner, KeepsModulesWhenNoSignal) {
+  index::AccessModuleSet ams(index::JoinAttributeSet({0, 1, 2}), {0b010});
+  HashModuleTuner tuner(0b111, fast_options(2));
+  // Only full-scan requests: nothing selectable.
+  for (int i = 0; i < 600; ++i) tuner.observe_request(0);
+  EXPECT_FALSE(tuner.maybe_tune(ams));
+  EXPECT_EQ(ams.module_count(), 1u);
+}
+
+TEST(HashModuleTuner, CapRespected) {
+  index::AccessModuleSet ams(index::JoinAttributeSet({0, 1, 2}), {});
+  HashModuleTuner tuner(0b111, fast_options(2));
+  // Four patterns above theta.
+  for (int i = 0; i < 300; ++i) {
+    tuner.observe_request(0b001);
+    tuner.observe_request(0b010);
+    tuner.observe_request(0b100);
+    tuner.observe_request(0b111);
+  }
+  tuner.maybe_tune(ams);
+  EXPECT_LE(ams.module_count(), 2u);
+}
+
+TEST(HashModuleTuner, RebuiltModulesServeProbes) {
+  index::AccessModuleSet ams(index::JoinAttributeSet({0, 1, 2}), {0b001});
+  testutil::TuplePool pool(50, 3, 8, 91);
+  for (const Tuple* t : pool.pointers()) ams.insert(t);
+  HashModuleTuner tuner(0b111, fast_options(1));
+  for (int i = 0; i < 600; ++i) tuner.observe_request(0b100);
+  ASSERT_TRUE(tuner.maybe_tune(ams));
+  index::ProbeKey k;
+  k.mask = 0b100;
+  k.values = {0, 0, pool.at(0)->at(2)};
+  std::vector<const Tuple*> out;
+  ams.probe(k, out);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(ams.scan_fallbacks(), 0u);  // served by the new module
+}
+
+}  // namespace
+}  // namespace amri::tuner

@@ -1,0 +1,129 @@
+#include "workload/bursty_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/executor.hpp"
+
+namespace amri::workload {
+namespace {
+
+engine::QuerySpec query4() {
+  return engine::make_complete_join_query(4, seconds_to_micros(10));
+}
+
+BurstyOptions opts(double rate, double seconds, std::uint64_t seed = 1) {
+  BurstyOptions o;
+  o.base_rates_per_sec.assign(4, rate);
+  o.end = seconds_to_micros(seconds);
+  o.seed = seed;
+  return o;
+}
+
+PhaseSchedule sched() {
+  return PhaseSchedule::rotating(6, 4, seconds_to_micros(10), 10, 50);
+}
+
+TEST(BurstySource, TimestampsNonDecreasingAndBounded) {
+  const auto q = query4();
+  BurstySource src(q, sched(), opts(50, 30));
+  TimeMicros prev = 0;
+  int count = 0;
+  while (const auto t = src.next()) {
+    EXPECT_GE(t->ts, prev);
+    EXPECT_LT(t->ts, seconds_to_micros(30));
+    prev = t->ts;
+    ++count;
+  }
+  EXPECT_GT(count, 100);
+}
+
+TEST(BurstySource, EntersAndLeavesBursts) {
+  const auto q = query4();
+  BurstyOptions o = opts(50, 120, 7);
+  o.mean_calm_seconds = 5.0;
+  o.mean_burst_seconds = 3.0;
+  BurstySource src(q, sched(), o);
+  while (src.next()) {
+  }
+  EXPECT_GE(src.bursts_entered(), 3u);
+}
+
+TEST(BurstySource, BurstsRaiseShortTermRate) {
+  const auto q = query4();
+  BurstyOptions o = opts(100, 200, 11);
+  o.burst_multiplier = 6.0;
+  o.mean_calm_seconds = 10.0;
+  o.mean_burst_seconds = 10.0;
+  BurstySource src(q, sched(), o);
+  // Count arrivals per second; the busiest second should far exceed the
+  // calm baseline of ~400/s across streams.
+  std::map<TimeMicros, int> per_second;
+  while (const auto t = src.next()) {
+    ++per_second[t->ts / 1000000];
+  }
+  int max_rate = 0;
+  int min_rate = 1 << 30;
+  for (const auto& [sec, n] : per_second) {
+    (void)sec;
+    max_rate = std::max(max_rate, n);
+    min_rate = std::min(min_rate, n);
+  }
+  EXPECT_GT(max_rate, min_rate * 2);
+}
+
+TEST(BurstySource, ValuesRespectDomainsAndSkew) {
+  const auto q = query4();
+  BurstyOptions o = opts(100, 60, 13);
+  o.zipf_exponent = 1.5;
+  BurstySource src(q, sched(), o);
+  std::map<Value, int> histogram;
+  while (const auto t = src.next()) {
+    for (const Value v : t->values) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+    histogram[t->at(0)] += 1;
+  }
+  // Skew: low values dominate.
+  int low = 0;
+  int high = 0;
+  for (const auto& [v, n] : histogram) {
+    if (v < 10) low += n;
+    else if (v >= 40) high += n;
+  }
+  EXPECT_GT(low, high);
+}
+
+TEST(BurstySource, DeterministicForSeed) {
+  const auto q = query4();
+  BurstySource a(q, sched(), opts(50, 10, 42));
+  BurstySource b(q, sched(), opts(50, 10, 42));
+  while (true) {
+    const auto ta = a.next();
+    const auto tb = b.next();
+    ASSERT_EQ(ta.has_value(), tb.has_value());
+    if (!ta) break;
+    EXPECT_EQ(ta->ts, tb->ts);
+    EXPECT_EQ(ta->stream, tb->stream);
+    EXPECT_EQ(ta->values, tb->values);
+  }
+}
+
+TEST(BurstySource, DrivesTheFullEngine) {
+  const auto q = query4();
+  BurstyOptions o = opts(40, 0, 17);
+  o.end = 0;  // unbounded; executor bounds the run
+  BurstySource src(q, sched(), o);
+  engine::ExecutorOptions eopts;
+  eopts.duration = seconds_to_micros(20);
+  eopts.stem.backend = engine::IndexBackend::kAmri;
+  eopts.stem.initial_config = index::IndexConfig({2, 2, 2});
+  engine::Executor ex(q, eopts);
+  const auto r = ex.run(src);
+  EXPECT_GT(r.arrivals, 0u);
+}
+
+}  // namespace
+}  // namespace amri::workload

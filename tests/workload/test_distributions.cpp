@@ -1,0 +1,73 @@
+#include "workload/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace amri::workload {
+namespace {
+
+TEST(UniformDistribution, InRangeAndRoughlyFlat) {
+  UniformDistribution d(10);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const Value v = d.sample(rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(ZipfDistribution, InRange) {
+  ZipfDistribution d(100, 1.0);
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const Value v = d.sample(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(ZipfDistribution, SkewConcentratesOnLowRanks) {
+  ZipfDistribution d(1000, 1.2);
+  Rng rng(3);
+  std::map<Value, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[d.sample(rng)];
+  // Rank 0 must dominate and the top-10 must hold the majority of mass.
+  EXPECT_GT(counts[0], counts[5]);
+  int top10 = 0;
+  for (Value v = 0; v < 10; ++v) top10 += counts[v];
+  EXPECT_GT(top10, n / 2);
+}
+
+TEST(ZipfDistribution, ZeroExponentIsUniform) {
+  ZipfDistribution d(20, 0.0);
+  Rng rng(4);
+  std::vector<int> counts(20, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(d.sample(rng))];
+  for (const int c : counts) EXPECT_NEAR(c, n / 20, n / 200);
+}
+
+TEST(ZipfDistribution, SingletonDomain) {
+  ZipfDistribution d(1, 2.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 0);
+}
+
+TEST(Factories, ProduceCorrectTypes) {
+  const auto u = make_uniform(5);
+  const auto z = make_zipf(5, 1.0);
+  EXPECT_EQ(u->domain(), 5);
+  EXPECT_EQ(z->domain(), 5);
+  Rng rng(6);
+  EXPECT_LT(u->sample(rng), 5);
+  EXPECT_LT(z->sample(rng), 5);
+}
+
+}  // namespace
+}  // namespace amri::workload

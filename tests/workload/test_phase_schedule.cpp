@@ -1,0 +1,55 @@
+#include "workload/phase_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri::workload {
+namespace {
+
+TEST(PhaseSchedule, PhaseIndexAtBoundaries) {
+  PhaseSchedule sched({{0, {10}}, {100, {20}}, {200, {30}}});
+  EXPECT_EQ(sched.phase_index_at(0), 0u);
+  EXPECT_EQ(sched.phase_index_at(99), 0u);
+  EXPECT_EQ(sched.phase_index_at(100), 1u);
+  EXPECT_EQ(sched.phase_index_at(150), 1u);
+  EXPECT_EQ(sched.phase_index_at(200), 2u);
+  EXPECT_EQ(sched.phase_index_at(10000), 2u);  // clamps to last
+}
+
+TEST(PhaseSchedule, DomainAt) {
+  PhaseSchedule sched({{0, {10, 50}}, {100, {20, 60}}});
+  EXPECT_EQ(sched.domain_at(0, 0), 10);
+  EXPECT_EQ(sched.domain_at(0, 1), 50);
+  EXPECT_EQ(sched.domain_at(150, 0), 20);
+  EXPECT_EQ(sched.domain_at(150, 1), 60);
+}
+
+TEST(PhaseSchedule, RotatingHotPredicate) {
+  const auto sched = PhaseSchedule::rotating(3, 6, 100, 5, 50);
+  EXPECT_EQ(sched.num_phases(), 6u);
+  for (std::size_t k = 0; k < 6; ++k) {
+    const Phase& ph = sched.phase(k);
+    EXPECT_EQ(ph.start, static_cast<TimeMicros>(k) * 100);
+    ASSERT_EQ(ph.predicate_domains.size(), 3u);
+    for (std::size_t p = 0; p < 3; ++p) {
+      EXPECT_EQ(ph.predicate_domains[p], p == k % 3 ? 5 : 50);
+    }
+  }
+}
+
+TEST(PhaseSchedule, RotatingWrapsHotIndex) {
+  const auto sched = PhaseSchedule::rotating(2, 5, 10, 1, 9);
+  EXPECT_EQ(sched.phase(0).predicate_domains[0], 1);
+  EXPECT_EQ(sched.phase(1).predicate_domains[1], 1);
+  EXPECT_EQ(sched.phase(2).predicate_domains[0], 1);  // wrapped
+  EXPECT_EQ(sched.phase(4).predicate_domains[0], 1);
+}
+
+TEST(PhaseSchedule, SinglePhaseConstant) {
+  const auto sched = PhaseSchedule::rotating(4, 1, 1000, 3, 30);
+  EXPECT_EQ(sched.domain_at(0, 0), 3);
+  EXPECT_EQ(sched.domain_at(999999, 0), 3);
+  EXPECT_EQ(sched.domain_at(0, 1), 30);
+}
+
+}  // namespace
+}  // namespace amri::workload

@@ -1,0 +1,63 @@
+#include "workload/request_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace amri::workload {
+namespace {
+
+TEST(RequestGenerator, HotPatternDominatesItsPhase) {
+  RequestPhase ph;
+  ph.length = 10000;
+  ph.hot.push_back({0b011, 0.7});
+  RequestGenerator gen(0b111, {ph}, 3);
+  std::map<AttrMask, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[gen.next()];
+  EXPECT_GT(counts[0b011], 6500);
+}
+
+TEST(RequestGenerator, PatternsWithinUniverse) {
+  RequestPhase ph;
+  ph.length = 1000;
+  ph.hot.push_back({0b101, 0.5});
+  RequestGenerator gen(0b111, {ph}, 4);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(is_subset(gen.next(), 0b111u));
+  }
+}
+
+TEST(RequestGenerator, PhasesAdvanceAndWrap) {
+  RequestPhase p1;
+  p1.length = 100;
+  p1.hot.push_back({0b001, 1.0});
+  RequestPhase p2;
+  p2.length = 100;
+  p2.hot.push_back({0b100, 1.0});
+  RequestGenerator gen(0b111, {p1, p2}, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.next(), 0b001u);
+  EXPECT_EQ(gen.current_phase(), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.next(), 0b100u);
+  EXPECT_EQ(gen.current_phase(), 0u);  // wrapped
+  EXPECT_EQ(gen.next(), 0b001u);
+}
+
+TEST(RequestGenerator, RotatingFactoryShiftsHotAttribute) {
+  auto gen = RequestGenerator::rotating(3, 3, 5000, 0.8, 6);
+  std::map<AttrMask, int> phase0;
+  for (int i = 0; i < 5000; ++i) ++phase0[gen.next()];
+  std::map<AttrMask, int> phase1;
+  for (int i = 0; i < 5000; ++i) ++phase1[gen.next()];
+  // Phase 0 hot single-attr pattern is bit 0; phase 1's is bit 1.
+  EXPECT_GT(phase0[0b001], phase0[0b010]);
+  EXPECT_GT(phase1[0b010], phase1[0b001]);
+}
+
+TEST(RequestGenerator, CountsProduced) {
+  auto gen = RequestGenerator::rotating(4, 2, 10, 0.5, 7);
+  for (int i = 0; i < 25; ++i) gen.next();
+  EXPECT_EQ(gen.produced(), 25u);
+}
+
+}  // namespace
+}  // namespace amri::workload

@@ -1,0 +1,79 @@
+#include "workload/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri::workload {
+namespace {
+
+TEST(Scenario, PaperShapeDefaults) {
+  Scenario sc(ScenarioOptions{});
+  EXPECT_EQ(sc.query().num_streams(), 4u);
+  EXPECT_EQ(sc.query().predicates().size(), 6u);
+  for (StreamId s = 0; s < 4; ++s) {
+    // 3 join attributes -> 7 possible non-empty access patterns (paper §V).
+    EXPECT_EQ(sc.query().layout(s).jas.size(), 3u);
+  }
+  EXPECT_EQ(sc.schedule().num_phases(), ScenarioOptions{}.num_phases);
+}
+
+TEST(Scenario, SourceProducesInterleavedStreams) {
+  ScenarioOptions o;
+  o.generate_seconds = 5.0;
+  o.rate_per_sec = 40.0;
+  Scenario sc(o);
+  const auto src = sc.make_source();
+  std::vector<int> counts(4, 0);
+  while (const auto t = src->next()) ++counts[t->stream];
+  for (const int c : counts) EXPECT_NEAR(c, 200, 40);
+}
+
+TEST(Scenario, SeedOffsetChangesData) {
+  ScenarioOptions o;
+  o.generate_seconds = 2.0;
+  Scenario sc(o);
+  const auto a = sc.make_source(0);
+  const auto b = sc.make_source(1);
+  int diffs = 0;
+  while (true) {
+    const auto ta = a->next();
+    const auto tb = b->next();
+    if (!ta || !tb) break;
+    if (ta->ts != tb->ts || !(ta->values == tb->values)) ++diffs;
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(Scenario, DefaultExecutorOptionsMirrorWorkload) {
+  ScenarioOptions o;
+  o.rate_per_sec = 80.0;
+  o.window_seconds = 15.0;
+  Scenario sc(o);
+  const auto eopts = sc.default_executor_options();
+  EXPECT_DOUBLE_EQ(eopts.model_params.lambda_d, 80.0);
+  EXPECT_DOUBLE_EQ(eopts.model_params.lambda_r, 320.0);
+  EXPECT_DOUBLE_EQ(eopts.model_params.window_units, 15.0);
+  EXPECT_DOUBLE_EQ(eopts.model_params.hash_cost, eopts.costs.hash_cost_us);
+}
+
+TEST(Scenario, EndToEndSmokeRun) {
+  // A short full-pipeline run: the scenario must produce join results.
+  ScenarioOptions o;
+  o.rate_per_sec = 40.0;
+  o.window_seconds = 5.0;
+  o.phase_seconds = 10.0;
+  o.hot_domain = 8;
+  o.cold_domain = 25;
+  Scenario sc(o);
+  auto eopts = sc.default_executor_options();
+  eopts.duration = seconds_to_micros(20);
+  eopts.stem.backend = engine::IndexBackend::kAmri;
+  eopts.stem.initial_config = index::IndexConfig({2, 2, 2});
+  engine::Executor ex(sc.query(), eopts);
+  const auto src = sc.make_source();
+  const auto result = ex.run(*src);
+  EXPECT_GT(result.outputs, 0u);
+  EXPECT_GT(result.arrivals, 0u);
+}
+
+}  // namespace
+}  // namespace amri::workload

@@ -1,0 +1,118 @@
+#include "workload/synthetic_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace amri::workload {
+namespace {
+
+engine::QuerySpec query4() {
+  return engine::make_complete_join_query(4, seconds_to_micros(10));
+}
+
+GeneratorOptions opts4(double rate, double seconds, std::uint64_t seed = 1) {
+  GeneratorOptions o;
+  o.rates_per_sec.assign(4, rate);
+  o.end = seconds_to_micros(seconds);
+  o.seed = seed;
+  return o;
+}
+
+TEST(SyntheticGenerator, TimestampsNonDecreasing) {
+  const auto q = query4();
+  SyntheticGenerator gen(q, PhaseSchedule::rotating(6, 2, seconds_to_micros(5), 10, 50),
+                         opts4(100, 10));
+  TimeMicros prev = 0;
+  int count = 0;
+  while (const auto t = gen.next()) {
+    EXPECT_GE(t->ts, prev);
+    prev = t->ts;
+    ++count;
+  }
+  EXPECT_GT(count, 0);
+}
+
+TEST(SyntheticGenerator, RespectsEndTime) {
+  const auto q = query4();
+  SyntheticGenerator gen(q, PhaseSchedule::rotating(6, 1, 1000, 10, 50),
+                         opts4(50, 2));
+  while (const auto t = gen.next()) {
+    EXPECT_LT(t->ts, seconds_to_micros(2));
+  }
+}
+
+TEST(SyntheticGenerator, ApproximatesConfiguredRates) {
+  const auto q = query4();
+  SyntheticGenerator gen(q, PhaseSchedule::rotating(6, 1, 1000, 10, 50),
+                         opts4(100, 20));
+  std::map<StreamId, int> counts;
+  while (const auto t = gen.next()) ++counts[t->stream];
+  // 100/s for 20s = ~2000 per stream (jitter gives a few % slack).
+  for (StreamId s = 0; s < 4; ++s) {
+    EXPECT_NEAR(counts[s], 2000, 200) << "stream " << s;
+  }
+}
+
+TEST(SyntheticGenerator, TupleShapeMatchesSchema) {
+  const auto q = query4();
+  SyntheticGenerator gen(q, PhaseSchedule::rotating(6, 1, 1000, 10, 50),
+                         opts4(10, 5));
+  while (const auto t = gen.next()) {
+    EXPECT_LT(t->stream, 4u);
+    EXPECT_EQ(t->values.size(), q.schema(t->stream).num_attrs());
+  }
+}
+
+TEST(SyntheticGenerator, ValuesRespectPhaseDomains) {
+  const auto q = query4();
+  // Phase 0 (t < 5s): predicate 0 domain 4, others 40.
+  // Phase 1 (t >= 5s): predicate 1 domain 4, others 40.
+  SyntheticGenerator gen(
+      q, PhaseSchedule::rotating(6, 2, seconds_to_micros(5), 4, 40),
+      opts4(200, 10));
+  // Predicate 0 is streams 0-1 (attr 0 on both, by construction).
+  while (const auto t = gen.next()) {
+    const bool phase0 = t->ts < seconds_to_micros(5);
+    if (t->stream == 0 || t->stream == 1) {
+      const Value v = t->at(0);  // the 0-1 join attribute
+      if (phase0) {
+        EXPECT_LT(v, 4);
+      } else {
+        EXPECT_LT(v, 40);
+      }
+    }
+    for (const Value v : t->values) EXPECT_LT(v, 100);
+  }
+}
+
+TEST(SyntheticGenerator, DeterministicForSeed) {
+  const auto q = query4();
+  const auto sched = PhaseSchedule::rotating(6, 2, seconds_to_micros(5), 10, 50);
+  SyntheticGenerator g1(q, sched, opts4(50, 5, 42));
+  SyntheticGenerator g2(q, sched, opts4(50, 5, 42));
+  while (true) {
+    const auto t1 = g1.next();
+    const auto t2 = g2.next();
+    ASSERT_EQ(t1.has_value(), t2.has_value());
+    if (!t1) break;
+    EXPECT_EQ(t1->stream, t2->stream);
+    EXPECT_EQ(t1->ts, t2->ts);
+    EXPECT_EQ(t1->values, t2->values);
+  }
+}
+
+TEST(SyntheticGenerator, SequenceNumbersUnique) {
+  const auto q = query4();
+  SyntheticGenerator gen(q, PhaseSchedule::rotating(6, 1, 1000, 10, 50),
+                         opts4(50, 3));
+  TupleSeq expected = 0;
+  while (const auto t = gen.next()) {
+    EXPECT_EQ(t->seq, expected++);
+  }
+  EXPECT_EQ(gen.produced(), expected);
+}
+
+}  // namespace
+}  // namespace amri::workload

@@ -1,0 +1,146 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/executor.hpp"
+#include "workload/scenario.hpp"
+
+namespace amri::workload {
+namespace {
+
+Scenario small_scenario() {
+  ScenarioOptions o;
+  o.rate_per_sec = 30.0;
+  o.window_seconds = 5.0;
+  o.generate_seconds = 6.0;
+  o.seed = 77;
+  return Scenario(o);
+}
+
+TEST(Trace, RecorderForwardsUnchanged) {
+  const auto sc = small_scenario();
+  const auto direct = sc.make_source();
+  const auto inner = sc.make_source();
+  TraceRecorder rec(*inner);
+  while (true) {
+    const auto a = direct->next();
+    const auto b = rec.next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    EXPECT_EQ(a->ts, b->ts);
+    EXPECT_EQ(a->values, b->values);
+  }
+  EXPECT_GT(rec.trace().size(), 100u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const auto sc = small_scenario();
+  const auto inner = sc.make_source();
+  TraceRecorder rec(*inner);
+  while (rec.next()) {
+  }
+  std::stringstream buffer;
+  rec.save(buffer);
+  auto replay = TraceReplaySource::load(buffer);
+  ASSERT_EQ(replay.size(), rec.trace().size());
+  std::size_t i = 0;
+  while (const auto t = replay.next()) {
+    const Tuple& orig = rec.trace()[i++];
+    EXPECT_EQ(t->stream, orig.stream);
+    EXPECT_EQ(t->ts, orig.ts);
+    EXPECT_EQ(t->seq, orig.seq);
+    EXPECT_EQ(t->values, orig.values);
+  }
+  EXPECT_EQ(i, replay.size());
+}
+
+TEST(Trace, ReplayDrivesExecutorIdentically) {
+  const auto sc = small_scenario();
+  engine::ExecutorOptions opts = sc.default_executor_options();
+  opts.duration = seconds_to_micros(100);
+  opts.stem.backend = engine::IndexBackend::kAmri;
+  opts.stem.initial_config = index::IndexConfig({2, 2, 2});
+
+  const auto live = sc.make_source();
+  TraceRecorder rec(*live);
+  engine::Executor ex1(sc.query(), opts);
+  const auto r1 = ex1.run(rec);
+
+  std::stringstream buffer;
+  rec.save(buffer);
+  auto replay = TraceReplaySource::load(buffer);
+  engine::Executor ex2(sc.query(), opts);
+  const auto r2 = ex2.run(replay);
+
+  EXPECT_EQ(r1.outputs, r2.outputs);
+  EXPECT_EQ(r1.arrivals, r2.arrivals);
+  EXPECT_EQ(r1.charged_us, r2.charged_us);
+}
+
+TEST(Trace, RewindReplaysAgain) {
+  TraceReplaySource src({Tuple{}, Tuple{}});
+  EXPECT_TRUE(src.next().has_value());
+  EXPECT_TRUE(src.next().has_value());
+  EXPECT_FALSE(src.next().has_value());
+  src.rewind();
+  EXPECT_TRUE(src.next().has_value());
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  std::stringstream is(
+      "AMRITRACE 1\n"
+      "# a comment\n"
+      "\n"
+      "0 100 0 2 5 6\n"
+      "1 200 1 1 9  # trailing comment\n");
+  auto replay = TraceReplaySource::load(is);
+  ASSERT_EQ(replay.size(), 2u);
+  const auto t0 = replay.next();
+  EXPECT_EQ(t0->stream, 0u);
+  EXPECT_EQ(t0->ts, 100);
+  ASSERT_EQ(t0->values.size(), 2u);
+  EXPECT_EQ(t0->values[1], 6);
+  const auto t1 = replay.next();
+  EXPECT_EQ(t1->values[0], 9);
+}
+
+TEST(Trace, MalformedInputsThrow) {
+  {
+    std::stringstream is("NOPE 1\n");
+    EXPECT_THROW(TraceReplaySource::load(is), std::invalid_argument);
+  }
+  {
+    std::stringstream is("AMRITRACE 2\n");
+    EXPECT_THROW(TraceReplaySource::load(is), std::invalid_argument);
+  }
+  {
+    std::stringstream is("AMRITRACE 1\n0 100 0 3 1 2\n");  // truncated
+    EXPECT_THROW(TraceReplaySource::load(is), std::invalid_argument);
+  }
+  {
+    std::stringstream is("AMRITRACE 1\nnot numbers here\n");
+    EXPECT_THROW(TraceReplaySource::load(is), std::invalid_argument);
+  }
+  {
+    std::stringstream is("AMRITRACE 1\n0 200 0 1 1\n0 100 1 1 1\n");
+    EXPECT_THROW(TraceReplaySource::load(is), std::invalid_argument);
+  }
+}
+
+TEST(Trace, FileRoundTrip) {
+  const std::string path = "/tmp/amri_trace_test.txt";
+  const auto sc = small_scenario();
+  const auto inner = sc.make_source();
+  TraceRecorder rec(*inner);
+  for (int i = 0; i < 10; ++i) rec.next();
+  rec.save_file(path);
+  auto replay = TraceReplaySource::load_file(path);
+  EXPECT_EQ(replay.size(), 10u);
+  EXPECT_THROW(TraceReplaySource::load_file("/nonexistent/trace"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amri::workload
