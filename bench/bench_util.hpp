@@ -3,6 +3,7 @@
 // overrides, and helpers to run one configuration and print curves.
 #pragma once
 
+#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -11,6 +12,8 @@
 #include "common/config.hpp"
 #include "common/table_printer.hpp"
 #include "engine/executor.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/scenario.hpp"
 
 namespace amri::bench {
@@ -160,13 +163,39 @@ inline engine::ExecutorOptions make_executor_options(
   return eopts;
 }
 
-/// Run one method over the shared scenario.
+/// Run one method over the shared scenario. With `telemetry` set the run is
+/// fully instrumented (events + metrics land in the handle for export).
 inline engine::RunResult run_method(const workload::Scenario& sc,
-                                    const EvalParams& p, const MethodSpec& m) {
-  const auto eopts = make_executor_options(sc, p, m);
+                                    const EvalParams& p, const MethodSpec& m,
+                                    telemetry::Telemetry* telemetry = nullptr) {
+  auto eopts = make_executor_options(sc, p, m);
+  eopts.telemetry = telemetry;
   engine::Executor ex(sc.query(), eopts);
   const auto src = sc.make_source();
   return ex.run(*src);
+}
+
+/// If the config carries trace_out=<prefix> (or --trace-out <prefix>),
+/// dump `telemetry` to <prefix>_<label>.jsonl. Benches call this once per
+/// method run so every method's trace lands in its own file.
+inline void maybe_write_trace(const Config& cfg,
+                              const telemetry::Telemetry& telemetry,
+                              const std::string& label) {
+  const auto prefix = cfg.get_string("trace_out");
+  if (!prefix) return;
+  std::string slug = label;
+  for (char& c : slug) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+          c == '_')) {
+      c = '_';
+    }
+  }
+  const std::string path = *prefix + "_" + slug + ".jsonl";
+  if (telemetry::write_trace_file(path, telemetry)) {
+    std::cerr << "trace: wrote " << path << "\n";
+  } else {
+    std::cerr << "trace: cannot write " << path << "\n";
+  }
 }
 
 /// If the config carries csv_dir=<path>, dump `table` to

@@ -46,7 +46,12 @@ int main(int argc, char** argv) {
     p.seed = params.seed + s;
     const auto scenario = make_scenario(p);
     for (std::size_t i = 0; i < methods.size(); ++i) {
-      auto r = run_method(scenario, p, methods[i]);
+      // Trace only the first seed: one JSONL file per method.
+      const bool tracing = s == 0 && cfg.has("trace_out");
+      telemetry::Telemetry telemetry;
+      auto r = run_method(scenario, p, methods[i],
+                          tracing ? &telemetry : nullptr);
+      if (tracing) maybe_write_trace(cfg, telemetry, methods[i].label);
       std::cerr << "[fig6] seed=" << p.seed << " " << methods[i].label
                 << ": outputs=" << r.outputs << "\n";
       total_outputs[i] += r.outputs;

@@ -41,9 +41,13 @@ int main(int argc, char** argv) {
   methods.push_back(MethodSpec{"AMRI", engine::IndexBackend::kAmri,
                                assessment::AssessorKind::kCdiaHighestCount, 0});
 
+  const bool tracing = cfg.has("trace_out");
   std::vector<engine::RunResult> results;
   for (const auto& m : methods) {
-    results.push_back(run_method(scenario, params, m));
+    telemetry::Telemetry telemetry;
+    results.push_back(run_method(scenario, params, m,
+                                 tracing ? &telemetry : nullptr));
+    if (tracing) maybe_write_trace(cfg, telemetry, m.label);
     std::cerr << "[fig6b] " << m.label << ": outputs="
               << results.back().outputs
               << (results.back().died_at

@@ -32,9 +32,13 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Figure 7: AMRI vs state-of-art AMR indexing ===\n\n";
 
+  const bool tracing = cfg.has("trace_out");
   std::vector<engine::RunResult> results;
   for (const auto& m : methods) {
-    results.push_back(run_method(scenario, params, m));
+    telemetry::Telemetry telemetry;
+    results.push_back(run_method(scenario, params, m,
+                                 tracing ? &telemetry : nullptr));
+    if (tracing) maybe_write_trace(cfg, telemetry, m.label);
     std::cerr << "[fig7] " << m.label << ": outputs="
               << results.back().outputs << "\n";
   }

@@ -7,7 +7,8 @@
 //               WHERE S.region = G.region WINDOW 20' sim_seconds=60
 //
 // Knobs (key=value): sim_seconds, rate, seed, backend=amri|bitmap|modules|
-// scan, bits, epsilon, theta.
+// scan, bits, epsilon, theta. `--trace-out run.jsonl` attaches telemetry
+// and writes the full run trace (events + final metrics) as JSON lines.
 #include <iostream>
 #include <optional>
 
@@ -16,6 +17,8 @@
 #include "engine/aggregate.hpp"
 #include "engine/executor.hpp"
 #include "engine/query_parser.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/synthetic_generator.hpp"
 
 using namespace amri;
@@ -119,6 +122,15 @@ int main(int argc, char** argv) {
     };
   }
 
+  // Telemetry attaches only when a trace is requested: the default run
+  // carries no instrumentation cost beyond null-pointer checks.
+  const std::optional<std::string> trace_out = cfg.get_string("trace_out");
+  std::optional<telemetry::Telemetry> telemetry;
+  if (trace_out.has_value()) {
+    telemetry.emplace();
+    opts.telemetry = &*telemetry;
+  }
+
   engine::Executor executor(parsed.query, opts);
   QuerySource source(parsed.query, rate, seconds_to_micros(sim_seconds),
                      static_cast<std::uint64_t>(cfg.int_or("seed", 1)));
@@ -159,9 +171,20 @@ int main(int argc, char** argv) {
               << "\n";
   }
   std::cout << "\nstates:\n";
-  for (const auto& s : result.states) {
-    std::cout << "  " << parsed.query.schema(s.stream).stream_name() << ": "
-              << s.final_index << ", " << s.migrations << " migrations\n";
+  std::vector<std::string> state_names;
+  for (StreamId s = 0; s < parsed.query.num_streams(); ++s) {
+    state_names.push_back(std::string(parsed.query.schema(s).stream_name()));
+  }
+  engine::make_state_table(result.states, state_names).print(std::cout);
+
+  if (trace_out.has_value()) {
+    if (telemetry::write_trace_file(*trace_out, *telemetry)) {
+      std::cout << "\ntrace written to " << *trace_out << " ("
+                << telemetry->events().total_emitted() << " events)\n";
+    } else {
+      std::cerr << "\nfailed to write trace to " << *trace_out << "\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -7,6 +7,17 @@
 
 namespace amri::assessment {
 
+void Assessor::bind_telemetry(telemetry::Telemetry* telemetry,
+                              const std::string& prefix) {
+  if (telemetry == nullptr) {
+    observed_counter_ = compressed_counter_ = nullptr;
+    return;
+  }
+  auto& reg = telemetry->metrics();
+  observed_counter_ = &reg.counter(prefix + ".observations");
+  compressed_counter_ = &reg.counter(prefix + ".compressed_entries");
+}
+
 std::string assessor_kind_name(AssessorKind kind) {
   switch (kind) {
     case AssessorKind::kSria: return "SRIA";

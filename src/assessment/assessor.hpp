@@ -11,6 +11,7 @@
 
 #include "common/bitops.hpp"
 #include "index/cost_model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace amri::assessment {
 
@@ -50,6 +51,30 @@ class Assessor {
   /// so new patterns can overtake old ones without a hard reset.
   /// Frequencies are preserved; entries whose count rounds to zero drop.
   virtual void decay(double factor) = 0;
+
+  /// Register observation/compression counters under `prefix` (e.g.
+  /// "stem.0.assess") in `telemetry`'s registry. Null detaches. Variants
+  /// report through note_observed()/note_compressed(); detached, those are
+  /// a null-pointer branch.
+  void bind_telemetry(telemetry::Telemetry* telemetry,
+                      const std::string& prefix);
+
+ protected:
+  /// One access pattern ingested.
+  void note_observed() {
+    if (observed_counter_ != nullptr) observed_counter_->add();
+  }
+  /// `entries` statistics entries evicted (CSRIA) or merged into a parent
+  /// (CDIA) by compression.
+  void note_compressed(std::uint64_t entries) {
+    if (compressed_counter_ != nullptr && entries > 0) {
+      compressed_counter_->add(entries);
+    }
+  }
+
+ private:
+  telemetry::Counter* observed_counter_ = nullptr;
+  telemetry::Counter* compressed_counter_ = nullptr;
 };
 
 enum class AssessorKind : std::uint8_t {

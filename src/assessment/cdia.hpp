@@ -17,7 +17,17 @@ class Cdia final : public Assessor {
        std::uint64_t seed = 0x5eedULL)
       : hhh_(universe, epsilon, policy, seed) {}
 
-  void observe(AttrMask ap) override { hhh_.observe(ap); }
+  void observe(AttrMask ap) override {
+    // HHH compression merges infrequent leaves into a parent; a shrink
+    // across one observe() counts the leaves combined away.
+    const std::size_t before = hhh_.size();
+    hhh_.observe(ap);
+    note_observed();
+    const std::size_t after = hhh_.size();
+    if (after < before) {
+      note_compressed(static_cast<std::uint64_t>(before - after));
+    }
+  }
   std::vector<AssessedPattern> results(double theta) const override;
   std::uint64_t observed() const override { return hhh_.observed(); }
   std::size_t table_size() const override { return hhh_.size(); }

@@ -6,7 +6,15 @@ namespace amri::assessment {
 
 void Csria::observe(AttrMask ap) {
   assert(is_subset(ap, universe_));
+  // Lossy counting deletes sub-epsilon entries at segment boundaries; a
+  // table shrink across one observe() is exactly that eviction sweep.
+  const std::size_t before = counter_.size();
   counter_.observe(ap);
+  note_observed();
+  const std::size_t after = counter_.size();
+  if (after < before) {
+    note_compressed(static_cast<std::uint64_t>(before - after));
+  }
 }
 
 std::vector<AssessedPattern> Csria::results(double theta) const {

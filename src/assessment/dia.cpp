@@ -8,6 +8,7 @@ namespace amri::assessment {
 void Dia::observe(AttrMask ap) {
   assert(is_subset(ap, lattice_.shape().universe()));
   lattice_.counts().add(ap);
+  note_observed();  // DIA keeps full statistics: nothing ever compressed
 }
 
 std::vector<AssessedPattern> Dia::results(double theta) const {

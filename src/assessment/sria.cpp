@@ -8,6 +8,7 @@ namespace amri::assessment {
 void Sria::observe(AttrMask ap) {
   assert(is_subset(ap, universe_));
   table_.add(ap);
+  note_observed();  // SRIA never compresses: observation count only
 }
 
 std::vector<AssessedPattern> Sria::results(double theta) const {

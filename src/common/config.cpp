@@ -18,6 +18,15 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
+// Flag keys are normalised to config keys: strip the leading dashes and
+// turn '-' into '_', so `--trace-out` stores under "trace_out".
+std::string normalize_key(std::string_view key) {
+  while (!key.empty() && key.front() == '-') key.remove_prefix(1);
+  std::string out(trim(key));
+  std::replace(out.begin(), out.end(), '-', '_');
+  return out;
+}
+
 }  // namespace
 
 Config Config::from_args(int argc, const char* const* argv) {
@@ -25,9 +34,27 @@ Config Config::from_args(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view tok = argv[i];
     const auto eq = tok.find('=');
-    if (eq == std::string_view::npos || eq == 0) continue;
-    cfg.set(std::string(trim(tok.substr(0, eq))),
-            std::string(trim(tok.substr(eq + 1))));
+    if (eq != std::string_view::npos && eq > 0) {
+      // "key=value" / "--key=value"
+      cfg.set(normalize_key(trim(tok.substr(0, eq))),
+              std::string(trim(tok.substr(eq + 1))));
+      continue;
+    }
+    if (tok.size() > 2 && tok.substr(0, 2) == "--") {
+      // "--key value" consumes the next token; a trailing "--key" or one
+      // followed by another flag becomes a boolean "true".
+      const std::string key = normalize_key(tok);
+      if (key.empty()) continue;
+      const std::string_view next =
+          i + 1 < argc ? std::string_view(argv[i + 1]) : std::string_view{};
+      if (next.empty() || next.substr(0, 2) == "--") {
+        cfg.set(key, "true");
+      } else {
+        cfg.set(key, std::string(trim(next)));
+        ++i;
+      }
+    }
+    // Bare tokens without '=' stay ignored, as before.
   }
   return cfg;
 }

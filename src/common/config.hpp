@@ -14,7 +14,11 @@ class Config {
  public:
   Config() = default;
 
-  /// Parse argv-style "key=value" tokens; tokens without '=' are ignored.
+  /// Parse argv-style tokens. Accepts "key=value", "--key=value", and
+  /// "--key value" (a trailing or value-less "--key" becomes "true").
+  /// Flag keys are normalised: leading dashes stripped, '-' → '_', so
+  /// `--trace-out x.jsonl` is read back via get_string("trace_out").
+  /// Bare tokens without '=' are ignored.
   static Config from_args(int argc, const char* const* argv);
 
   /// Parse newline-separated "key=value" text ('#' starts a comment).

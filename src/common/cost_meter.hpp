@@ -74,6 +74,9 @@ class CostMeter {
   void reset_counts() {
     hashes_ = compares_ = routes_ = inserts_ = deletes_ = bucket_visits_ = 0;
     charged_us_ = 0.0;
+    // Also drop the sub-microsecond remainder pending against the clock;
+    // otherwise it leaks into the first charge after a reset.
+    fractional_ = 0.0;
   }
 
  private:

@@ -2,16 +2,46 @@
 
 #include <cassert>
 
+#include "telemetry/json.hpp"
+
 namespace amri::engine {
 
 EddyRouter::EddyRouter(const QuerySpec& query, std::vector<StemOperator*> stems,
-                       EddyOptions options, CostMeter* meter)
+                       EddyOptions options, CostMeter* meter,
+                       telemetry::Telemetry* telemetry)
     : query_(query),
       stems_(std::move(stems)),
       options_(options),
       policy_(make_routing_policy(options.routing)),
-      meter_(meter) {
+      meter_(meter),
+      telemetry_(telemetry) {
   assert(stems_.size() == query_.num_streams());
+  if (telemetry_ != nullptr) {
+    auto& reg = telemetry_->metrics();
+    decisions_counter_ = &reg.counter("eddy.decisions");
+    results_counter_ = &reg.counter("eddy.results");
+    truncated_counter_ = &reg.counter("eddy.partials_truncated");
+    route_change_counter_ = &reg.counter("eddy.route_changes");
+  }
+}
+
+void EddyRouter::note_decision(std::uint32_t done_mask, StreamId target) {
+  decisions_counter_->add();
+  const auto it = last_target_.find(done_mask);
+  if (it != last_target_.end() && it->second == target) return;
+  const bool had_previous = it != last_target_.end();
+  if (had_previous) {
+    route_change_counter_->add();
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.field("done_mask", static_cast<std::uint64_t>(done_mask));
+    w.field("from", static_cast<std::uint64_t>(it->second));
+    w.field("to", static_cast<std::uint64_t>(target));
+    w.end_object();
+    telemetry_->emit(telemetry::EventKind::kRoutingChange, target,
+                     std::move(w).take());
+  }
+  last_target_[done_mask] = target;
 }
 
 std::uint64_t EddyRouter::route(const Tuple* stored,
@@ -61,21 +91,25 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
     // its batch lasts; only fresh decisions consult the policy (and pay
     // the routing cost).
     std::size_t pick;
+    bool fresh_decision = false;
     if (options_.batch_size > 1) {
       auto& cached = decision_cache_[p.done];
       if (cached.remaining == 0) {
         cached.pick = policy_->choose(ctx, stats_);
         cached.remaining = options_.batch_size;
+        fresh_decision = true;
         if (meter_ != nullptr) meter_->charge_route();
       }
       pick = std::min(cached.pick, ctx.candidates.size() - 1);
       --cached.remaining;
     } else {
       pick = policy_->choose(ctx, stats_);
+      fresh_decision = true;
       if (meter_ != nullptr) meter_->charge_route();
     }
     const StreamId target = ctx.candidates[pick].state;
     const AttrMask ap = ctx.candidates[pick].pattern;
+    if (telemetry_ != nullptr && fresh_decision) note_decision(p.done, target);
 
     // Bind every available join attribute of the target state,
     // translating query-local JAS positions to the (possibly wider)
@@ -120,6 +154,12 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
     }
   }
   results_ += produced;
+  if (telemetry_ != nullptr) {
+    if (produced > 0) results_counter_->add(produced);
+    if (processed > options_.max_partials_per_arrival) {
+      truncated_counter_->add();
+    }
+  }
   return produced;
 }
 

@@ -42,9 +42,12 @@ struct JoinResult {
 class EddyRouter {
  public:
   /// `stems[s]` must be the STeM of stream s. Optional `sink` collects
-  /// complete results (null = count only).
+  /// complete results (null = count only). With `telemetry` set, routing
+  /// decisions are counted and every change of routing target for a given
+  /// done-mask is logged as a routing_change event.
   EddyRouter(const QuerySpec& query, std::vector<StemOperator*> stems,
-             EddyOptions options, CostMeter* meter = nullptr);
+             EddyOptions options, CostMeter* meter = nullptr,
+             telemetry::Telemetry* telemetry = nullptr);
 
   /// Multi-query mode: the stems may index a *superset* of this query's
   /// join attributes (the union over all queries sharing the state).
@@ -89,6 +92,15 @@ class EddyRouter {
     std::size_t remaining = 0;
   };
   std::unordered_map<std::uint32_t, CachedDecision> decision_cache_;
+  void note_decision(std::uint32_t done_mask, StreamId target);
+  // Telemetry instruments (null when detached).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* decisions_counter_ = nullptr;
+  telemetry::Counter* results_counter_ = nullptr;
+  telemetry::Counter* truncated_counter_ = nullptr;
+  telemetry::Counter* route_change_counter_ = nullptr;
+  /// Last fresh routing target per done-mask, for change detection.
+  std::unordered_map<std::uint32_t, StreamId> last_target_;
 };
 
 }  // namespace amri::engine

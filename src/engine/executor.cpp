@@ -3,6 +3,8 @@
 #include <cassert>
 #include <deque>
 
+#include "telemetry/json.hpp"
+
 namespace amri::engine {
 
 Executor::Executor(const QuerySpec& query, ExecutorOptions options)
@@ -10,17 +12,42 @@ Executor::Executor(const QuerySpec& query, ExecutorOptions options)
       options_(options),
       meter_(&clock_, options.costs),
       memory_(options.memory_budget) {
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->attach_clock(&clock_);
+  }
   const index::CostModel model(options_.model_params);
   stems_.reserve(query_.num_streams());
   std::vector<StemOperator*> stem_ptrs;
   for (StreamId s = 0; s < query_.num_streams(); ++s) {
     stems_.push_back(std::make_unique<StemOperator>(
         s, query_.layout(s), query_.window(), options_.stem, model, &meter_,
-        &memory_));
+        &memory_, options_.telemetry));
     stem_ptrs.push_back(stems_.back().get());
   }
   eddy_ = std::make_unique<EddyRouter>(query_, std::move(stem_ptrs),
-                                       options_.eddy, &meter_);
+                                       options_.eddy, &meter_,
+                                       options_.telemetry);
+}
+
+void Executor::emit_oom_event() {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.field("total_bytes", static_cast<std::uint64_t>(memory_.total()));
+  w.field("budget_bytes", static_cast<std::uint64_t>(memory_.budget()));
+  w.begin_array("by_category");
+  for (std::size_t c = 0; c < static_cast<std::size_t>(MemCategory::kCount);
+       ++c) {
+    const auto cat = static_cast<MemCategory>(c);
+    telemetry::JsonWriter cw;
+    cw.begin_object();
+    cw.field("category", mem_category_name(cat));
+    cw.field("bytes", static_cast<std::uint64_t>(memory_.category(cat)));
+    cw.end_object();
+    w.value_raw(std::move(cw).take());
+  }
+  w.end_array();
+  w.end_object();
+  options_.telemetry->emit(telemetry::EventKind::kOom, 0, std::move(w).take());
 }
 
 void Executor::sync_queue_memory(std::size_t backlog) {
@@ -37,6 +64,7 @@ RunResult Executor::run(TupleSource& source) {
   RunResult result;
   const TimeMicros warmup_end = options_.warmup;
   const TimeMicros measure_end = options_.warmup + options_.duration;
+  telemetry::Telemetry* const tel = options_.telemetry;
 
   std::deque<Tuple> pending;
   std::optional<Tuple> lookahead = source.next();
@@ -45,6 +73,19 @@ RunResult Executor::run(TupleSource& source) {
   std::uint64_t outputs_offset = 0;
   std::uint64_t arrivals_measured = 0;
   TimeMicros next_sample = warmup_end + options_.sample_every;
+  bool backpressure_armed = true;
+
+  if (tel != nullptr) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.field("warmup_us", static_cast<std::uint64_t>(options_.warmup));
+    w.field("duration_us", static_cast<std::uint64_t>(options_.duration));
+    w.field("streams", static_cast<std::uint64_t>(query_.num_streams()));
+    w.field("memory_budget",
+            static_cast<std::uint64_t>(options_.memory_budget));
+    w.end_object();
+    tel->emit(telemetry::EventKind::kRunStart, 0, std::move(w).take());
+  }
 
   if (warmup_done) {
     // No training phase: stems keep their construction-time configuration.
@@ -56,7 +97,59 @@ RunResult Executor::run(TupleSource& source) {
     s.outputs = outputs_total - outputs_offset;
     s.memory_bytes = memory_.total();
     s.backlog = pending.size();
-    result.samples.push_back(s);
+    if (tel != nullptr) {
+      for (const auto& stem : stems_) {
+        StateSample ss;
+        ss.stream = stem->stream();
+        ss.stored_tuples = stem->stored_tuples();
+        ss.probes = stem->probes_served();
+        ss.migrations = stem->migrations();
+        const index::IndexConfig* ic = stem->current_config();
+        ss.index_config =
+            ic != nullptr ? ic->to_string() : stem->physical_index().name();
+        s.states.push_back(std::move(ss));
+      }
+      telemetry::JsonWriter w;
+      w.begin_object();
+      w.field("t", static_cast<std::int64_t>(s.t));
+      w.field("outputs", s.outputs);
+      w.field("memory_bytes", static_cast<std::uint64_t>(s.memory_bytes));
+      w.field("backlog", static_cast<std::uint64_t>(s.backlog));
+      w.begin_array("states");
+      for (const StateSample& ss : s.states) {
+        telemetry::JsonWriter sw;
+        sw.begin_object();
+        sw.field("stream", static_cast<std::uint64_t>(ss.stream));
+        sw.field("tuples", static_cast<std::uint64_t>(ss.stored_tuples));
+        sw.field("probes", ss.probes);
+        sw.field("migrations", ss.migrations);
+        sw.field("ic", ss.index_config);
+        sw.end_object();
+        w.value_raw(std::move(sw).take());
+      }
+      w.end_array();
+      w.end_object();
+      tel->emit(telemetry::EventKind::kSample, 0, std::move(w).take());
+    }
+    result.samples.push_back(std::move(s));
+  };
+
+  auto check_backpressure = [&] {
+    if (tel == nullptr || options_.backpressure_threshold == 0) return;
+    if (backpressure_armed &&
+        pending.size() >= options_.backpressure_threshold) {
+      backpressure_armed = false;
+      telemetry::JsonWriter w;
+      w.begin_object();
+      w.field("backlog", static_cast<std::uint64_t>(pending.size()));
+      w.field("threshold",
+              static_cast<std::uint64_t>(options_.backpressure_threshold));
+      w.end_object();
+      tel->emit(telemetry::EventKind::kBackpressure, 0, std::move(w).take());
+    } else if (!backpressure_armed &&
+               pending.size() <= options_.backpressure_threshold / 2) {
+      backpressure_armed = true;
+    }
   };
 
   auto finish_warmup = [&] {
@@ -73,6 +166,7 @@ RunResult Executor::run(TupleSource& source) {
       lookahead = source.next();
     }
     sync_queue_memory(pending.size());
+    check_backpressure();
     if (memory_.exhausted()) break;
 
     if (pending.empty()) {
@@ -132,6 +226,7 @@ RunResult Executor::run(TupleSource& source) {
   const TimeMicros end_now = std::min(clock_.now(), measure_end);
   if (memory_.exhausted()) {
     result.died_at = end_now - warmup_end;
+    if (tel != nullptr) emit_oom_event();
   } else {
     result.completed = clock_.now() >= measure_end || !lookahead.has_value();
   }
@@ -149,8 +244,23 @@ RunResult Executor::run(TupleSource& source) {
     s.stored_tuples = stem->stored_tuples();
     s.probes = stem->probes_served();
     s.migrations = stem->migrations();
+    s.migration_pause_us = stem->migration_pause_us();
+    s.state_bytes = stem->state_bytes();
     s.final_index = stem->physical_index().name();
     result.states.push_back(std::move(s));
+  }
+  if (tel != nullptr) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.field("outputs", result.outputs);
+    w.field("arrivals", result.arrivals);
+    w.field("dropped", result.arrivals_dropped);
+    w.field("completed", result.completed);
+    w.field("died", result.died_at.has_value());
+    w.field("peak_memory", static_cast<std::uint64_t>(result.peak_memory));
+    w.field("charged_us", result.charged_us);
+    w.end_object();
+    tel->emit(telemetry::EventKind::kRunEnd, 0, std::move(w).take());
   }
   return result;
 }

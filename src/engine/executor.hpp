@@ -23,6 +23,7 @@
 #include "engine/query.hpp"
 #include "engine/stem.hpp"
 #include "engine/tuple_source.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace amri::engine {
 
@@ -42,6 +43,15 @@ struct ExecutorOptions {
   /// Optional per-result callback (e.g. an AggregateSink); invoked for
   /// every complete join result, warm-up included.
   std::function<void(const JoinResult&)> on_result;
+  /// Optional telemetry sink. When set, the executor attaches the virtual
+  /// clock, threads the handle through every STeM, index, tuner, and the
+  /// eddy, records run/sample/OOM/backpressure events, and fills
+  /// Sample::states. Null (the default) keeps every telemetry touchpoint
+  /// to a pointer check.
+  telemetry::Telemetry* telemetry = nullptr;
+  /// Backlog depth (queued arrivals) that raises a backpressure event.
+  /// Re-armed once the backlog drains to half the threshold.
+  std::size_t backpressure_threshold = 10000;
 };
 
 class Executor {
@@ -62,6 +72,7 @@ class Executor {
 
  private:
   void sync_queue_memory(std::size_t backlog);
+  void emit_oom_event();
 
   const QuerySpec& query_;
   ExecutorOptions options_;

@@ -7,10 +7,20 @@
 #include <string>
 #include <vector>
 
+#include "common/table_printer.hpp"
 #include "common/tuple.hpp"
 #include "common/types.hpp"
 
 namespace amri::engine {
+
+/// Per-state detail captured with each throughput sample.
+struct StateSample {
+  StreamId stream = 0;
+  std::size_t stored_tuples = 0;
+  std::uint64_t probes = 0;       ///< cumulative probes served
+  std::uint64_t migrations = 0;   ///< cumulative migrations applied
+  std::string index_config;       ///< current physical configuration
+};
 
 /// One point on the throughput curve.
 struct Sample {
@@ -18,6 +28,9 @@ struct Sample {
   std::uint64_t outputs = 0;    ///< cumulative join results
   std::size_t memory_bytes = 0; ///< tracked memory at sample time
   std::size_t backlog = 0;      ///< queued, unprocessed arrivals
+  /// Per-state snapshots, indexed by StreamId. Populated only when the run
+  /// has telemetry attached (ExecutorOptions::telemetry); empty otherwise.
+  std::vector<StateSample> states;
 };
 
 struct StateSummary {
@@ -25,6 +38,10 @@ struct StateSummary {
   std::size_t stored_tuples = 0;
   std::uint64_t probes = 0;
   std::uint64_t migrations = 0;
+  /// Total modelled virtual time this state spent paused in migrations.
+  double migration_pause_us = 0.0;
+  /// Final logical footprint: window store plus index structure bytes.
+  std::size_t state_bytes = 0;
   std::string final_index;
 };
 
@@ -54,5 +71,27 @@ struct RunResult {
     return best;
   }
 };
+
+/// Render the per-state summaries as an aligned table. `names[s]`, when
+/// provided, labels stream s (defaults to "S<s>").
+inline TablePrinter make_state_table(const std::vector<StateSummary>& states,
+                                     const std::vector<std::string>& names = {}) {
+  TablePrinter table({"state", "tuples", "probes", "migrations", "pause_ms",
+                      "mem_kib", "final index"});
+  for (const StateSummary& s : states) {
+    const std::string name = s.stream < names.size()
+                                 ? names[s.stream]
+                                 : "S" + std::to_string(s.stream);
+    table.add_row({name,
+                   TablePrinter::fmt_int(static_cast<long long>(s.stored_tuples)),
+                   TablePrinter::fmt_int(static_cast<long long>(s.probes)),
+                   TablePrinter::fmt_int(static_cast<long long>(s.migrations)),
+                   TablePrinter::fmt(s.migration_pause_us / 1000.0, 2),
+                   TablePrinter::fmt(static_cast<double>(s.state_bytes) / 1024.0,
+                                     1),
+                   s.final_index});
+  }
+  return table;
+}
 
 }  // namespace amri::engine

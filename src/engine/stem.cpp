@@ -1,19 +1,24 @@
 #include "engine/stem.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "index/access_pattern.hpp"
 
 namespace amri::engine {
 
 StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
                            TimeMicros window, StemOptions options,
                            index::CostModel model, CostMeter* meter,
-                           MemoryTracker* memory)
+                           MemoryTracker* memory,
+                           telemetry::Telemetry* telemetry)
     : stream_(stream),
       layout_(layout),
       window_(window),
       options_(std::move(options)),
       meter_(meter),
-      memory_(memory) {
+      memory_(memory),
+      telemetry_(telemetry) {
   const std::size_t n = layout_.jas.size();
   index::BitMapper mapper = [&] {
     switch (options_.map_strategy) {
@@ -39,13 +44,18 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
           layout_.jas, std::move(ic), std::move(mapper), meter_, memory_);
       bit_index_ = idx.get();
       index_ = std::move(idx);
+      if (telemetry_ != nullptr) {
+        bit_index_->bind_telemetry(
+            telemetry_, "stem." + std::to_string(stream_) + ".index");
+      }
       // Static backends also carry a tuner so the warm-up phase can train
       // their starting configuration; finish_warmup() drops it.
       {
         tuner::TunerOptions topts =
             options_.amri_tuner.value_or(tuner::TunerOptions{});
         amri_tuner_ = std::make_unique<tuner::AmriTuner>(
-            layout_.jas.universe(), n, model, topts, memory_);
+            layout_.jas.universe(), n, model, topts, memory_, telemetry_,
+            stream_);
       }
       continuous_tuning_ = options_.backend == IndexBackend::kAmri;
       break;
@@ -68,6 +78,14 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
     case IndexBackend::kScan:
       index_ = std::make_unique<index::ScanIndex>(layout_.jas, meter_, memory_);
       break;
+  }
+  if (telemetry_ != nullptr) {
+    const std::string prefix = "stem." + std::to_string(stream_);
+    auto& reg = telemetry_->metrics();
+    probe_counter_ = &reg.counter(prefix + ".probe.count");
+    probe_cost_hist_ = &reg.histogram(
+        prefix + ".probe.cost_us",
+        telemetry::Histogram::exponential_bounds(0.05, 2.0, 16));
   }
 }
 
@@ -105,10 +123,34 @@ void StemOperator::expire(TimeMicros now) {
   sync_tuple_memory();
 }
 
+telemetry::Histogram* StemOperator::pattern_histogram(AttrMask mask) {
+  const auto it = pattern_hists_.find(mask);
+  if (it != pattern_hists_.end()) return it->second;
+  const std::string name =
+      "stem." + std::to_string(stream_) + ".ap." +
+      index::pattern_to_string(mask, layout_.jas.size()) + ".probe_us";
+  auto* hist = &telemetry_->metrics().histogram(
+      name, telemetry::Histogram::exponential_bounds(0.05, 2.0, 16));
+  pattern_hists_.emplace(mask, hist);
+  return hist;
+}
+
 index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
                                       std::vector<const Tuple*>& out) {
   ++probes_;
+  const double charged_before =
+      (telemetry_ != nullptr && meter_ != nullptr) ? meter_->charged_us() : 0.0;
   const auto stats = index_->probe(key, out);
+  if (telemetry_ != nullptr) {
+    probe_counter_->add();
+    if (meter_ != nullptr) {
+      // Modelled probe latency: the virtual time this probe charged to the
+      // clock (hashes, bucket visits, comparisons), per access pattern.
+      const double cost = meter_->charged_us() - charged_before;
+      probe_cost_hist_->observe(cost);
+      pattern_histogram(key.mask)->observe(cost);
+    }
+  }
   if (amri_tuner_ != nullptr) {
     amri_tuner_->observe_request(key.mask);
     if (continuous_tuning_ && amri_tuner_->tuning_due()) {
@@ -134,6 +176,11 @@ std::uint64_t StemOperator::migrations() const {
                                      : 0);
 }
 
+double StemOperator::migration_pause_us() const {
+  return warmup_pause_us_ +
+         (amri_tuner_ != nullptr ? amri_tuner_->migration_pause_us() : 0.0);
+}
+
 void StemOperator::force_tune() {
   if (amri_tuner_ != nullptr && bit_index_ != nullptr) {
     amri_tuner_->maybe_tune(*bit_index_);
@@ -146,7 +193,10 @@ void StemOperator::finish_warmup() {
   force_tune();
   if (!continuous_tuning_) {
     // The non-adapting baselines keep the trained configuration forever.
-    if (amri_tuner_ != nullptr) warmup_migrations_ = amri_tuner_->migrations();
+    if (amri_tuner_ != nullptr) {
+      warmup_migrations_ = amri_tuner_->migrations();
+      warmup_pause_us_ = amri_tuner_->migration_pause_us();
+    }
     if (module_tuner_ != nullptr) warmup_migrations_ = module_tuner_->retunes();
     amri_tuner_.reset();
     module_tuner_.reset();

@@ -8,6 +8,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/cost_meter.hpp"
@@ -17,6 +18,7 @@
 #include "index/access_module_set.hpp"
 #include "index/bit_address_index.hpp"
 #include "index/scan_index.hpp"
+#include "telemetry/telemetry.hpp"
 #include "tuner/amri_tuner.hpp"
 #include "tuner/hash_module_tuner.hpp"
 
@@ -48,10 +50,14 @@ struct StemOptions {
 class StemOperator {
  public:
   /// `layout` comes from the QuerySpec; `window` is the sliding-window
-  /// length; `model` parameterises tuner cost decisions.
+  /// length; `model` parameterises tuner cost decisions. With `telemetry`
+  /// set the STeM records probe histograms (fan-out, per-access-pattern
+  /// latency) and threads the handle into its index and tuner; null keeps
+  /// every telemetry path to a pointer check.
   StemOperator(StreamId stream, const StateLayout& layout, TimeMicros window,
                StemOptions options, index::CostModel model,
-               CostMeter* meter = nullptr, MemoryTracker* memory = nullptr);
+               CostMeter* meter = nullptr, MemoryTracker* memory = nullptr,
+               telemetry::Telemetry* telemetry = nullptr);
 
   ~StemOperator();
 
@@ -83,6 +89,14 @@ class StemOperator {
   std::uint64_t probes_served() const { return probes_; }
   std::uint64_t migrations() const;
 
+  /// Total modelled virtual time this state spent paused in migrations.
+  double migration_pause_us() const;
+
+  /// Final logical footprint: window store plus index structure bytes.
+  std::size_t state_bytes() const {
+    return tracked_tuple_bytes_ + index_->memory_bytes();
+  }
+
   /// Force a tuning decision now (used after the warm-up phase). For the
   /// static backends (kStaticBitmap / kStaticModules) this applies the
   /// warm-up statistics once and then *drops* the tuner: the paper's
@@ -95,6 +109,7 @@ class StemOperator {
 
  private:
   void sync_tuple_memory();
+  telemetry::Histogram* pattern_histogram(AttrMask mask);
 
   StreamId stream_;
   StateLayout layout_;
@@ -110,8 +125,16 @@ class StemOperator {
   std::unique_ptr<tuner::HashModuleTuner> module_tuner_;
   bool continuous_tuning_ = false;
   std::uint64_t warmup_migrations_ = 0;
+  double warmup_pause_us_ = 0.0;
   std::uint64_t probes_ = 0;
   std::size_t tracked_tuple_bytes_ = 0;
+  // Telemetry instruments (null when detached).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter* probe_counter_ = nullptr;
+  telemetry::Histogram* probe_cost_hist_ = nullptr;
+  /// Per-access-pattern probe latency histograms, created lazily on the
+  /// first probe carrying each pattern.
+  std::unordered_map<AttrMask, telemetry::Histogram*> pattern_hists_;
 };
 
 }  // namespace amri::engine

@@ -29,6 +29,27 @@ BitAddressIndex::~BitAddressIndex() {
   }
 }
 
+void BitAddressIndex::bind_telemetry(telemetry::Telemetry* telemetry,
+                                     const std::string& prefix) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    wildcard_hist_ = chain_hist_ = nullptr;
+    probes_enumerated_ = probes_filtered_ = nullptr;
+    imbalance_gauge_ = nullptr;
+    return;
+  }
+  auto& reg = telemetry_->metrics();
+  wildcard_hist_ =
+      &reg.histogram(prefix + ".probe.wildcard_buckets",
+                     telemetry::Histogram::exponential_bounds(1.0, 2.0, 14));
+  chain_hist_ =
+      &reg.histogram(prefix + ".bucket.chain_len",
+                     telemetry::Histogram::exponential_bounds(1.0, 2.0, 12));
+  probes_enumerated_ = &reg.counter(prefix + ".probe.enumerated");
+  probes_filtered_ = &reg.counter(prefix + ".probe.filtered");
+  imbalance_gauge_ = &reg.gauge(prefix + ".occupancy.imbalance");
+}
+
 BucketId BitAddressIndex::bucket_of(const Tuple& t) {
   BucketId id = 0;
   for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
@@ -45,8 +66,12 @@ BucketId BitAddressIndex::bucket_of(const Tuple& t) {
 void BitAddressIndex::insert(const Tuple* t) {
   assert(t != nullptr);
   const BucketId id = bucket_of(*t);
-  buckets_[id].push_back(t);
+  Bucket& bucket = buckets_[id];
+  bucket.push_back(t);
   ++size_;
+  if (chain_hist_ != nullptr) {
+    chain_hist_->observe(static_cast<double>(bucket.size()));
+  }
   if (meter_ != nullptr) meter_->charge_insert();
   // Memory delta sync (pointer + possible directory growth).
   const std::size_t now = memory_bytes();
@@ -112,6 +137,11 @@ ProbeStats BitAddressIndex::probe(const ProbeKey& key,
   };
 
   const std::uint64_t enum_count = std::uint64_t{1} << layout.wildcard_bits;
+  if (wildcard_hist_ != nullptr) {
+    wildcard_hist_->observe(static_cast<double>(enum_count));
+    (enum_count <= buckets_.size() ? probes_enumerated_ : probes_filtered_)
+        ->add();
+  }
   if (enum_count <= buckets_.size()) {
     // Enumerate the wildcard combinations and look each bucket id up.
     // Distribute the enumeration counter's bits into the unfixed positions.
@@ -352,6 +382,9 @@ void BitAddressIndex::reconfigure(const IndexConfig& new_config) {
     }
   }
   tracked_bytes_ = now;
+  if (imbalance_gauge_ != nullptr) {
+    imbalance_gauge_->set(occupancy().imbalance);
+  }
 }
 
 }  // namespace amri::index

@@ -21,6 +21,7 @@
 #include "index/bit_mapper.hpp"
 #include "index/index_config.hpp"
 #include "index/tuple_index.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace amri::index {
 
@@ -63,6 +64,12 @@ class BitAddressIndex final : public TupleIndex {
 
   /// Number of occupied buckets (sparse directory size).
   std::size_t occupied_buckets() const { return buckets_.size(); }
+
+  /// Register probe/occupancy instrumentation under `prefix` (e.g.
+  /// "stem.0.index") in `telemetry`'s registry. Null detaches. The hot
+  /// paths only ever pay a null-pointer branch when detached.
+  void bind_telemetry(telemetry::Telemetry* telemetry,
+                      const std::string& prefix);
 
   /// Bucket balance diagnostics (paper §III: "the optimal index key map is
   /// configured so that no bucket stores more tuples than any other").
@@ -125,6 +132,13 @@ class BitAddressIndex final : public TupleIndex {
   std::unordered_map<BucketId, Bucket> buckets_;
   std::size_t size_ = 0;
   std::size_t tracked_bytes_ = 0;
+  // Telemetry instruments (null when detached; see bind_telemetry).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Histogram* wildcard_hist_ = nullptr;  ///< buckets enumerable/probe
+  telemetry::Histogram* chain_hist_ = nullptr;     ///< bucket size after insert
+  telemetry::Counter* probes_enumerated_ = nullptr;
+  telemetry::Counter* probes_filtered_ = nullptr;
+  telemetry::Gauge* imbalance_gauge_ = nullptr;
 };
 
 }  // namespace amri::index

@@ -1,6 +1,22 @@
 #include "index/index_migrator.hpp"
 
+#include "telemetry/json.hpp"
+
 namespace amri::index {
+
+IndexMigrator::IndexMigrator(ThreadPool* pool, telemetry::Telemetry* telemetry,
+                             StreamId stream)
+    : pool_(pool), telemetry_(telemetry), stream_(stream) {
+  if (telemetry_ != nullptr) {
+    auto& reg = telemetry_->metrics();
+    const std::string prefix = "stem." + std::to_string(stream_);
+    migration_count_ = &reg.counter(prefix + ".migration.count");
+    tuples_moved_ = &reg.counter(prefix + ".migration.tuples_moved");
+    pause_hist_ = &reg.histogram(
+        prefix + ".migration.pause_us",
+        telemetry::Histogram::exponential_bounds(10.0, 4.0, 12));
+  }
+}
 
 MigrationReport IndexMigrator::migrate(BitAddressIndex& index,
                                        const IndexConfig& target) const {
@@ -12,11 +28,38 @@ MigrationReport IndexMigrator::migrate(BitAddressIndex& index,
   report.hashes_charged =
       report.tuples_moved *
       static_cast<std::uint64_t>(target.indexed_attr_count());
+  if (telemetry_ != nullptr) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.field("from", report.from.to_string());
+    w.field("to", report.to.to_string());
+    w.field("tuples", report.tuples_moved);
+    w.end_object();
+    telemetry_->emit(telemetry::EventKind::kMigrationStart, stream_,
+                     std::move(w).take());
+  }
+  const TimeMicros started =
+      telemetry_ != nullptr ? telemetry_->now() : TimeMicros{0};
   // The reconfigure path recomputes bucket ids sequentially and charges the
   // meter as it goes. A thread pool could precompute ids for very large
   // states; the modelled cost is identical, so we keep the deterministic
   // sequential path and reserve the pool for bulk-load helpers.
   index.reconfigure(target);
+  if (telemetry_ != nullptr) {
+    report.pause_us = telemetry_->now() - started;
+    migration_count_->add();
+    tuples_moved_->add(report.tuples_moved);
+    pause_hist_->observe(static_cast<double>(report.pause_us));
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.field("to", report.to.to_string());
+    w.field("tuples_moved", report.tuples_moved);
+    w.field("hashes_charged", report.hashes_charged);
+    w.field("pause_us", static_cast<std::int64_t>(report.pause_us));
+    w.end_object();
+    telemetry_->emit(telemetry::EventKind::kMigrationEnd, stream_,
+                     std::move(w).take());
+  }
   return report;
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/thread_pool.hpp"
 #include "index/bit_address_index.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace amri::index {
 
@@ -20,18 +21,31 @@ struct MigrationReport {
   std::uint64_t hashes_charged = 0;
   IndexConfig from;
   IndexConfig to;
+  /// Virtual time the state was paused while rebuilding (0 without an
+  /// attached telemetry clock; the modelled pause is hashes * C_h either
+  /// way).
+  TimeMicros pause_us = 0;
 };
 
 class IndexMigrator {
  public:
-  /// `pool` may be null (sequential migration).
-  explicit IndexMigrator(ThreadPool* pool = nullptr) : pool_(pool) {}
+  /// `pool` may be null (sequential migration). With `telemetry` set the
+  /// migrator emits migration_start/migration_end events for `stream` and
+  /// records pause-duration/tuples-moved metrics under "stem.<stream>".
+  explicit IndexMigrator(ThreadPool* pool = nullptr,
+                         telemetry::Telemetry* telemetry = nullptr,
+                         StreamId stream = 0);
 
   /// Rebuild `index` under `target`. No-op (zero-cost) if the IC is equal.
   MigrationReport migrate(BitAddressIndex& index, const IndexConfig& target) const;
 
  private:
   ThreadPool* pool_;
+  telemetry::Telemetry* telemetry_;
+  StreamId stream_;
+  telemetry::Counter* migration_count_ = nullptr;
+  telemetry::Counter* tuples_moved_ = nullptr;
+  telemetry::Histogram* pause_hist_ = nullptr;
 };
 
 }  // namespace amri::index

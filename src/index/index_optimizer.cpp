@@ -17,12 +17,21 @@ OptimizerResult IndexOptimizer::optimize(
   OptimizerResult result;
   double best = std::numeric_limits<double>::infinity();
   std::uint64_t evaluated = 0;
+  const std::size_t top_k = options_.track_top_k;
   enumerate_allocations(
       num_attrs, options_.bit_budget, options_.max_bits_per_attr,
       [&](const std::vector<std::uint8_t>& alloc) {
         IndexConfig ic(alloc);
         const double cost = evaluate(ic, patterns);
         ++evaluated;
+        if (top_k > 0 &&
+            (result.top.size() < top_k || cost < result.top.back().cost)) {
+          const auto at = std::upper_bound(
+              result.top.begin(), result.top.end(), cost,
+              [](double c, const ScoredConfig& s) { return c < s.cost; });
+          result.top.insert(at, ScoredConfig{ic, cost});
+          if (result.top.size() > top_k) result.top.pop_back();
+        }
         if (cost < best) {
           best = cost;
           result.config = std::move(ic);

@@ -19,12 +19,25 @@ struct OptimizerOptions {
   int bit_budget = 12;        ///< total bits available for the IC
   int max_bits_per_attr = 8;  ///< hard cap per attribute chunk
   bool use_extended_cost = false;  ///< include wildcard bucket-visit term
+  /// Also collect the `track_top_k` cheapest configurations into
+  /// OptimizerResult::top (0 = best only). Used by telemetry to log the
+  /// scored candidates behind every tuning decision.
+  std::size_t track_top_k = 0;
+};
+
+/// One candidate configuration with its cost-model estimate.
+struct ScoredConfig {
+  IndexConfig config;
+  double cost = 0.0;
 };
 
 struct OptimizerResult {
   IndexConfig config;
   double cost = 0.0;
   std::uint64_t configs_evaluated = 0;
+  /// The cheapest `track_top_k` configurations, ascending cost (includes
+  /// `config` itself as the first entry). Empty when tracking is off.
+  std::vector<ScoredConfig> top;
 };
 
 class IndexOptimizer {

@@ -1,0 +1,50 @@
+#include "telemetry/event_log.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace amri::telemetry {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRunStart: return "run_start";
+    case EventKind::kRunEnd: return "run_end";
+    case EventKind::kSample: return "sample";
+    case EventKind::kTunerDecision: return "tuner_decision";
+    case EventKind::kMigrationStart: return "migration_start";
+    case EventKind::kMigrationEnd: return "migration_end";
+    case EventKind::kRoutingChange: return "routing_change";
+    case EventKind::kOom: return "oom";
+    case EventKind::kBackpressure: return "backpressure";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::uint64_t EventLog::emit(Event e) {
+  e.seq = next_seq_++;
+  if (sink_) sink_(e);
+  const std::size_t slot = static_cast<std::size_t>(e.seq % capacity_);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(e);
+  } else {
+    ring_.push_back(std::move(e));  // still filling toward capacity_
+  }
+  return next_seq_ - 1;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::vector<Event> out(ring_);
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void EventLog::clear() {
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace amri::telemetry

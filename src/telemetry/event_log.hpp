@@ -1,0 +1,77 @@
+// Structured event log for tuner/engine decisions: a fixed-capacity ring
+// buffer of timestamped events (oldest entries overwritten under pressure)
+// plus an optional streaming sink that sees every event as it is emitted,
+// before any overwriting. Events carry their payload as a prebuilt JSON
+// object fragment — producers use JsonWriter — so the log itself stays
+// independent of every engine-layer type.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace amri::telemetry {
+
+enum class EventKind : std::uint8_t {
+  kRunStart = 0,
+  kRunEnd,
+  kSample,          ///< periodic engine snapshot (throughput curve point)
+  kTunerDecision,   ///< assessment + index selection outcome
+  kMigrationStart,  ///< index reconfiguration begins
+  kMigrationEnd,    ///< index reconfiguration done (tuples moved, pause)
+  kRoutingChange,   ///< eddy picked a different target for a done-mask
+  kOom,             ///< memory budget exhausted, run dies
+  kBackpressure,    ///< arrival backlog crossed the pressure threshold
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kRunStart;
+  TimeMicros t = 0;        ///< virtual time at emission
+  StreamId stream = 0;     ///< owning state, 0 for engine-level events
+  std::uint64_t seq = 0;   ///< global emission order (assigned by the log)
+  std::string payload;     ///< JSON object fragment, e.g. {"tuples":12}
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 8192);
+
+  /// Streaming sink invoked for every emitted event (after seq assignment).
+  /// The sink outlives overwriting, so it sees the full stream even when
+  /// the ring wraps. Pass nullptr to detach.
+  void set_sink(std::function<void(const Event&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Record an event; assigns the sequence number. Returns it.
+  std::uint64_t emit(Event e);
+
+  /// Retained events, oldest first (ordered by seq).
+  std::vector<Event> snapshot() const;
+
+  std::uint64_t total_emitted() const { return next_seq_; }
+  /// Events lost to ring overwrite (total_emitted - retained).
+  std::uint64_t overwritten() const {
+    return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+  }
+  std::size_t size() const {
+    return next_seq_ < capacity_ ? static_cast<std::size_t>(next_seq_)
+                                 : capacity_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;  ///< grows to capacity_, then wraps by seq
+  std::uint64_t next_seq_ = 0;
+  std::function<void(const Event&)> sink_;
+};
+
+}  // namespace amri::telemetry

@@ -1,0 +1,182 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+
+#include "telemetry/json.hpp"
+
+namespace amri::telemetry {
+
+namespace {
+
+std::string sanitise(std::string_view name) {
+  std::string out = "amri_";
+  for (const char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+void histogram_json(JsonWriter& w, const Histogram& h) {
+  w.field("count", h.count());
+  w.field("sum", h.sum());
+  w.field("mean", h.mean());
+  w.field("max", h.max_observed());
+  w.begin_array("buckets");
+  const auto& bounds = h.bounds();
+  const auto& buckets = h.bucket_counts();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    JsonWriter b;
+    b.begin_object();
+    if (i < bounds.size()) {
+      b.field("le", bounds[i]);
+    } else {
+      b.field("le", "inf");
+    }
+    b.field("n", buckets[i]);
+    b.end_object();
+    w.value_raw(std::move(b).take());
+  }
+  w.end_array();
+}
+
+}  // namespace
+
+std::string event_to_json(const Event& e) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("type", "event");
+  w.field("kind", event_kind_name(e.kind));
+  w.field("t", static_cast<std::int64_t>(e.t));
+  w.field("stream", static_cast<std::uint64_t>(e.stream));
+  w.field("seq", e.seq);
+  if (!e.payload.empty()) w.raw_field("data", e.payload);
+  w.end_object();
+  return std::move(w).take();
+}
+
+void write_trace_jsonl(std::ostream& os, const Telemetry& telemetry,
+                       const TraceWriteOptions& options) {
+  const EventLog& log = telemetry.events();
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.field("type", "trace_header");
+    w.field("version", std::uint64_t{1});
+    w.field("t_end", static_cast<std::int64_t>(telemetry.now()));
+    w.field("events_total", log.total_emitted());
+    w.field("events_retained", static_cast<std::uint64_t>(log.size()));
+    w.field("events_overwritten", log.overwritten());
+    w.end_object();
+    os << w.str() << '\n';
+  }
+  for (const Event& e : log.snapshot()) {
+    os << event_to_json(e) << '\n';
+  }
+  if (!options.include_metrics) return;
+  const TimeMicros t_end = telemetry.now();
+  const MetricsRegistry& reg = telemetry.metrics();
+  for (const auto& [name, c] : reg.counters()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("type", "metric");
+    w.field("kind", "counter");
+    w.field("t", static_cast<std::int64_t>(t_end));
+    w.field("name", name);
+    w.field("value", c.value());
+    w.end_object();
+    os << w.str() << '\n';
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("type", "metric");
+    w.field("kind", "gauge");
+    w.field("t", static_cast<std::int64_t>(t_end));
+    w.field("name", name);
+    w.field("value", g.value());
+    w.end_object();
+    os << w.str() << '\n';
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    JsonWriter w;
+    w.begin_object();
+    w.field("type", "metric");
+    w.field("kind", "histogram");
+    w.field("t", static_cast<std::int64_t>(t_end));
+    w.field("name", name);
+    histogram_json(w, h);
+    w.end_object();
+    os << w.str() << '\n';
+  }
+}
+
+bool write_trace_file(const std::string& path, const Telemetry& telemetry,
+                      const TraceWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace_jsonl(out, telemetry, options);
+  return static_cast<bool>(out);
+}
+
+void write_metrics_text(std::ostream& os, const MetricsRegistry& registry) {
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string id = sanitise(name);
+    os << "# TYPE " << id << " counter\n" << id << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string id = sanitise(name);
+    os << "# TYPE " << id << " gauge\n"
+       << id << ' ' << json_number(g.value()) << '\n';
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string id = sanitise(name);
+    os << "# TYPE " << id << " histogram\n";
+    std::uint64_t cumulative = 0;
+    const auto& bounds = h.bounds();
+    const auto& buckets = h.bucket_counts();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      os << id << "_bucket{le=\"";
+      if (i < bounds.size()) {
+        os << json_number(bounds[i]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << '\n';
+    }
+    os << id << "_sum " << json_number(h.sum()) << '\n';
+    os << id << "_count " << h.count() << '\n';
+  }
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsRegistry& registry) {
+  os << "metric,kind,field,value\n";
+  // Metric names are dot/alnum identifiers chosen by this codebase — no
+  // commas or quotes — so plain comma joining is CSV-safe here.
+  for (const auto& [name, c] : registry.counters()) {
+    os << name << ",counter,value," << c.value() << '\n';
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    os << name << ",gauge,value," << json_number(g.value()) << '\n';
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    os << name << ",histogram,count," << h.count() << '\n';
+    os << name << ",histogram,sum," << json_number(h.sum()) << '\n';
+    os << name << ",histogram,mean," << json_number(h.mean()) << '\n';
+    const auto& bounds = h.bounds();
+    const auto& buckets = h.bucket_counts();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      os << name << ",histogram,le_";
+      if (i < bounds.size()) {
+        os << json_number(bounds[i]);
+      } else {
+        os << "inf";
+      }
+      os << ',' << buckets[i] << '\n';
+    }
+  }
+}
+
+}  // namespace amri::telemetry

@@ -1,0 +1,172 @@
+// Minimal hand-rolled JSON emission for the telemetry trace: enough to
+// build one object per event/metric line with correct escaping, and
+// nothing more (no parsing, no DOM). Producers build payload fragments
+// with JsonWriter; exporters wrap them into JSON-lines.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace amri::telemetry {
+
+/// Escape the characters RFC 8259 requires inside a JSON string literal.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Render a double as a JSON number (JSON has no NaN/Inf; map them to 0
+/// rather than emitting an unparsable token).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Streaming builder for one JSON object or array tree. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field("name", "stem.0");
+///   w.begin_array("values");
+///   w.value(1.5);
+///   w.end_array();
+///   w.end_object();
+///   std::string json = std::move(w).take();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& begin_object(std::string_view key) {
+    field_key(key);
+    out_ += '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    fresh_ = false;
+    return *this;
+  }
+
+  JsonWriter& begin_array(std::string_view key) {
+    field_key(key);
+    out_ += '[';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    fresh_ = false;
+    return *this;
+  }
+
+  JsonWriter& field(std::string_view key, std::string_view v) {
+    field_key(key);
+    string_value(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonWriter& field(std::string_view key, double v) {
+    field_key(key);
+    out_ += json_number(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, std::uint64_t v) {
+    field_key(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, std::int64_t v) {
+    field_key(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& field(std::string_view key, bool v) {
+    field_key(key);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  /// Splice a prebuilt JSON fragment (object/array/number) as the value.
+  JsonWriter& raw_field(std::string_view key, std::string_view raw_json) {
+    field_key(key);
+    out_ += raw_json;
+    return *this;
+  }
+
+  /// Array-element values.
+  JsonWriter& value(double v) {
+    comma();
+    out_ += json_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    comma();
+    string_value(v);
+    return *this;
+  }
+  /// Splice a prebuilt JSON fragment as an array element.
+  JsonWriter& value_raw(std::string_view raw_json) {
+    comma();
+    out_ += raw_json;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() && { return std::move(out_); }
+
+ private:
+  void comma() {
+    if (!fresh_ && !out_.empty()) out_ += ',';
+    fresh_ = false;
+  }
+  void field_key(std::string_view key) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(key);
+    out_ += "\":";
+  }
+  void string_value(std::string_view v) {
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace amri::telemetry

@@ -1,0 +1,115 @@
+// Metric primitives for the always-compiled telemetry layer: named
+// counters, gauges, and fixed-bucket histograms collected in a
+// MetricsRegistry owned by the component that runs an experiment (one per
+// Executor). Producers resolve a metric once at construction and hold the
+// returned reference/pointer; the disabled path is a null-pointer branch,
+// so hot loops pay nothing when telemetry is off.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amri::telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with cumulative-on-export semantics (Prometheus
+/// style): bucket i holds observations v <= bounds[i] and > bounds[i-1];
+/// one implicit +inf overflow bucket follows the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// `count` bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t count);
+  /// `count` bounds: start, start+step, start+2*step, ...
+  static std::vector<double> linear_bounds(double start, double step,
+                                           std::size_t count);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double max_observed() const { return count_ == 0 ? 0.0 : max_; }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size == bounds().size() + 1, the
+  /// final entry being the +inf overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;       ///< ascending upper bounds
+  std::vector<std::uint64_t> buckets_;  ///< bounds_.size() + 1 entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name-keyed metric store. Lookup is O(log n) string compare — producers
+/// are expected to resolve names once, outside hot paths. References stay
+/// stable for the registry's lifetime (node-based map storage), and
+/// iteration order is deterministic (sorted by name) so exports diff
+/// cleanly between runs.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Creates the histogram with `bounds` on first use; subsequent calls
+  /// with the same name return the existing histogram and ignore `bounds`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  void clear();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace amri::telemetry

@@ -1,0 +1,59 @@
+// The telemetry facade handed (as a nullable pointer) through the engine,
+// index, assessment, and tuner layers. One instance per experiment run
+// bundles the metric registry and the event log, and stamps events with
+// the owning executor's virtual clock. The disabled path everywhere is a
+// null-pointer check — no Telemetry object, no cost.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+#include "common/virtual_clock.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace amri::telemetry {
+
+struct TelemetryOptions {
+  std::size_t event_capacity = 8192;  ///< ring-buffer slots
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryOptions options = {})
+      : options_(options), events_(options.event_capacity) {}
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
+
+  /// The executor attaches its virtual clock so events carry run time.
+  /// Unattached (unit tests), events are stamped 0.
+  void attach_clock(const VirtualClock* clock) { clock_ = clock; }
+  TimeMicros now() const { return clock_ != nullptr ? clock_->now() : 0; }
+
+  /// Emit an event stamped with the current virtual time. `payload` is a
+  /// JSON object fragment (see JsonWriter); empty means no payload.
+  std::uint64_t emit(EventKind kind, StreamId stream,
+                     std::string payload = {}) {
+    Event e;
+    e.kind = kind;
+    e.t = now();
+    e.stream = stream;
+    e.payload = std::move(payload);
+    return events_.emit(std::move(e));
+  }
+
+ private:
+  TelemetryOptions options_;
+  MetricsRegistry metrics_;
+  EventLog events_;
+  const VirtualClock* clock_ = nullptr;
+};
+
+}  // namespace amri::telemetry

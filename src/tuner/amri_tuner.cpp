@@ -1,21 +1,38 @@
 #include "tuner/amri_tuner.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/bitops.hpp"
+#include "index/access_pattern.hpp"
+#include "telemetry/json.hpp"
 
 namespace amri::tuner {
 
 AmriTuner::AmriTuner(AttrMask universe, std::size_t num_attrs,
                      index::CostModel model, TunerOptions options,
-                     MemoryTracker* memory)
+                     MemoryTracker* memory, telemetry::Telemetry* telemetry,
+                     StreamId stream)
     : universe_(universe),
       num_attrs_(num_attrs),
       model_(std::move(model)),
       options_(options),
       assessor_(assessment::make_assessor(options.assessor, universe,
                                           options.assessor_params)),
+      telemetry_(telemetry),
+      stream_(stream),
+      migrator_(nullptr, telemetry, stream),
       memory_(memory) {
   assert(assessor_ != nullptr);
   assert(popcount(universe) == static_cast<int>(num_attrs));
+  if (telemetry_ != nullptr) {
+    const std::string prefix = "stem." + std::to_string(stream_);
+    assessor_->bind_telemetry(telemetry_, prefix + ".assess");
+    auto& reg = telemetry_->metrics();
+    decision_counter_ = &reg.counter(prefix + ".tuner.decisions");
+    stats_entries_gauge_ = &reg.gauge(prefix + ".assess.table_size");
+    stats_bytes_gauge_ = &reg.gauge(prefix + ".assess.bytes");
+  }
 }
 
 AmriTuner::~AmriTuner() {
@@ -53,13 +70,26 @@ TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
   decision.frequent_patterns = frequent.size();
   const auto pattern_freqs = assessment::to_pattern_frequencies(frequent);
 
-  const index::IndexOptimizer optimizer(model_, options_.optimizer);
-  const auto best = optimizer.optimize(num_attrs_, pattern_freqs);
+  index::OptimizerOptions oopts = options_.optimizer;
+  if (telemetry_ != nullptr) oopts.track_top_k = options_.telemetry_top_k;
+  const index::IndexOptimizer optimizer(model_, oopts);
+  auto best = optimizer.optimize(num_attrs_, pattern_freqs);
   decision.recommended = best.config;
   decision.recommended_cost = best.cost;
+  decision.candidates = std::move(best.top);
   decision.current_cost = options_.optimizer.use_extended_cost
                               ? model_.extended_cost(current, pattern_freqs)
                               : model_.paper_cost(current, pattern_freqs);
+  if (telemetry_ != nullptr) {
+    decision.top_patterns.assign(
+        frequent.begin(),
+        frequent.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(frequent.size(), options_.telemetry_top_k)));
+    decision_counter_->add();
+    stats_entries_gauge_->set(static_cast<double>(assessor_->table_size()));
+    stats_bytes_gauge_->set(static_cast<double>(assessor_->approx_bytes()));
+  }
 
   switch (options_.retention) {
     case StatsRetention::kReset:
@@ -75,16 +105,59 @@ TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
   return decision;
 }
 
+void AmriTuner::emit_decision_event(const TuneDecision& decision,
+                                    const index::IndexConfig& current) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.field("assessor", assessor_->name());
+  w.field("observed", observed_);
+  w.field("frequent_patterns",
+          static_cast<std::uint64_t>(decision.frequent_patterns));
+  w.begin_array("top_patterns");
+  for (const auto& p : decision.top_patterns) {
+    telemetry::JsonWriter pw;
+    pw.begin_object();
+    pw.field("mask", index::pattern_to_string(p.mask, num_attrs_));
+    pw.field("count", p.count);
+    pw.field("frequency", p.frequency);
+    pw.end_object();
+    w.value_raw(std::move(pw).take());
+  }
+  w.end_array();
+  w.begin_array("candidates");
+  for (const auto& c : decision.candidates) {
+    telemetry::JsonWriter cw;
+    cw.begin_object();
+    cw.field("ic", c.config.to_string());
+    cw.field("cost", c.cost);
+    cw.end_object();
+    w.value_raw(std::move(cw).take());
+  }
+  w.end_array();
+  w.field("current_ic", current.to_string());
+  w.field("current_cost", decision.current_cost);
+  w.field("chosen_ic", decision.recommended.to_string());
+  w.field("chosen_cost", decision.recommended_cost);
+  w.field("migrated", decision.migrated);
+  w.end_object();
+  telemetry_->emit(telemetry::EventKind::kTunerDecision, stream_,
+                   std::move(w).take());
+}
+
 TuneDecision AmriTuner::maybe_tune(index::BitAddressIndex& index) {
-  TuneDecision decision = recommend(index.config());
+  const index::IndexConfig before = index.config();
+  TuneDecision decision = recommend(before);
   const double current = decision.current_cost;
   const double proposed = decision.recommended_cost;
   if (decision.recommended != index.config() &&
       proposed < current * (1.0 - options_.min_improvement)) {
-    migrator_.migrate(index, decision.recommended);
+    const auto report = migrator_.migrate(index, decision.recommended);
+    migration_pause_us_ += static_cast<double>(report.hashes_charged) *
+                           model_.params().hash_cost;
     decision.migrated = true;
     ++migrations_;
   }
+  if (telemetry_ != nullptr) emit_decision_event(decision, before);
   return decision;
 }
 

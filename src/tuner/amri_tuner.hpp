@@ -14,11 +14,14 @@
 #include <memory>
 #include <optional>
 
+#include <vector>
+
 #include "assessment/assessor.hpp"
 #include "common/memory_tracker.hpp"
 #include "index/bit_address_index.hpp"
 #include "index/index_migrator.hpp"
 #include "index/index_optimizer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace amri::tuner {
 
@@ -38,6 +41,9 @@ struct TunerOptions {
   index::OptimizerOptions optimizer{};
   StatsRetention retention = StatsRetention::kReset;
   double decay_factor = 0.25;        ///< for kDecay
+  /// With telemetry attached, every decision carries the `telemetry_top_k`
+  /// most frequent assessed patterns and cheapest candidate ICs.
+  std::size_t telemetry_top_k = 5;
 };
 
 struct TuneDecision {
@@ -47,12 +53,22 @@ struct TuneDecision {
   double recommended_cost = 0.0;
   double current_cost = 0.0;
   std::size_t frequent_patterns = 0;
+  /// Decision provenance (populated when the tuner has telemetry attached):
+  /// the assessment snapshot behind the decision and the scored runner-up
+  /// configurations, ascending cost.
+  std::vector<assessment::AssessedPattern> top_patterns;
+  std::vector<index::ScoredConfig> candidates;
 };
 
 class AmriTuner {
  public:
+  /// With `telemetry` set the tuner logs every decision (assessment top-k,
+  /// scored candidate ICs, chosen IC, migration outcome) as a
+  /// tuner_decision event for `stream`, and binds assessor/migration
+  /// instruments; null keeps all telemetry paths to a pointer check.
   AmriTuner(AttrMask universe, std::size_t num_attrs, index::CostModel model,
-            TunerOptions options, MemoryTracker* memory = nullptr);
+            TunerOptions options, MemoryTracker* memory = nullptr,
+            telemetry::Telemetry* telemetry = nullptr, StreamId stream = 0);
 
   ~AmriTuner();
 
@@ -82,14 +98,23 @@ class AmriTuner {
   std::uint64_t migrations() const { return migrations_; }
   std::uint64_t observed_requests() const { return observed_; }
 
+  /// Total modelled virtual time spent paused in migrations (the hashes a
+  /// rebuild charges, priced by the cost model's C_h). Tracked with or
+  /// without telemetry.
+  double migration_pause_us() const { return migration_pause_us_; }
+
  private:
   void sync_memory();
+  void emit_decision_event(const TuneDecision& decision,
+                           const index::IndexConfig& current);
 
   AttrMask universe_;
   std::size_t num_attrs_;
   index::CostModel model_;
   TunerOptions options_;
   std::unique_ptr<assessment::Assessor> assessor_;
+  telemetry::Telemetry* telemetry_;
+  StreamId stream_;
   index::IndexMigrator migrator_;
   MemoryTracker* memory_;
   std::size_t tracked_bytes_ = 0;
@@ -97,6 +122,10 @@ class AmriTuner {
   std::uint64_t observed_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t migrations_ = 0;
+  double migration_pause_us_ = 0.0;
+  telemetry::Counter* decision_counter_ = nullptr;
+  telemetry::Gauge* stats_entries_gauge_ = nullptr;
+  telemetry::Gauge* stats_bytes_gauge_ = nullptr;
 };
 
 }  // namespace amri::tuner

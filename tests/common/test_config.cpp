@@ -14,6 +14,26 @@ TEST(Config, FromArgs) {
   EXPECT_FALSE(cfg.has("flag"));  // no '=' -> ignored
 }
 
+TEST(Config, FromArgsFlagSyntax) {
+  const char* argv[] = {"prog",        "--trace-out", "run.jsonl",
+                        "--rate=40",   "--verbose",   "--sim-seconds",
+                        "12"};
+  const Config cfg = Config::from_args(7, argv);
+  // "--key value" with '-' -> '_' normalisation.
+  EXPECT_EQ(cfg.get_string("trace_out"), "run.jsonl");
+  EXPECT_EQ(cfg.get_int("sim_seconds"), 12);
+  // "--key=value" also normalises.
+  EXPECT_EQ(cfg.get_int("rate"), 40);
+  // A flag followed by another flag is a boolean.
+  EXPECT_EQ(cfg.get_bool("verbose"), true);
+}
+
+TEST(Config, FromArgsTrailingFlagIsTrue) {
+  const char* argv[] = {"prog", "--dump"};
+  const Config cfg = Config::from_args(2, argv);
+  EXPECT_EQ(cfg.get_bool("dump"), true);
+}
+
 TEST(Config, FromText) {
   const Config cfg = Config::from_text(
       "# comment\n"

@@ -66,6 +66,22 @@ TEST(CostMeter, ResetCounts) {
   EXPECT_DOUBLE_EQ(meter.charged_us(), 0.0);
 }
 
+TEST(CostMeter, ResetCountsDropsFractionalRemainder) {
+  VirtualClock clock;
+  CostParams params;
+  params.compare_cost_us = 0.6;
+  CostMeter meter(&clock, params);
+  meter.charge_compare();  // 0.6 us pending, clock still at 0
+  EXPECT_EQ(clock.now(), 0);
+  meter.reset_counts();
+  // The pending remainder must not leak into post-reset charges: another
+  // 0.6 us stays below a whole microsecond.
+  meter.charge_compare();
+  EXPECT_EQ(clock.now(), 0);
+  meter.charge_compare();
+  EXPECT_EQ(clock.now(), 1);
+}
+
 TEST(CostMeter, AttachLater) {
   CostMeter meter;
   meter.charge_hash(100);  // uncharged: no clock yet

@@ -1,0 +1,99 @@
+#include "telemetry/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hpp"
+
+namespace amri::telemetry {
+namespace {
+
+Event make_event(EventKind kind, TimeMicros t) {
+  Event e;
+  e.kind = kind;
+  e.t = t;
+  return e;
+}
+
+TEST(EventLog, AssignsMonotonicSequence) {
+  EventLog log(8);
+  EXPECT_EQ(log.emit(make_event(EventKind::kRunStart, 0)), 0u);
+  EXPECT_EQ(log.emit(make_event(EventKind::kSample, 10)), 1u);
+  EXPECT_EQ(log.emit(make_event(EventKind::kRunEnd, 20)), 2u);
+  EXPECT_EQ(log.total_emitted(), 3u);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.overwritten(), 0u);
+}
+
+TEST(EventLog, RingOverwritesOldestKeepsNewest) {
+  EventLog log(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    log.emit(make_event(EventKind::kSample, static_cast<TimeMicros>(i)));
+  }
+  EXPECT_EQ(log.total_emitted(), 10u);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.overwritten(), 6u);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and exactly the last four emitted (seq 6..9).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+  }
+}
+
+TEST(EventLog, SnapshotIsSequenceOrdered) {
+  EventLog log(16);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    log.emit(make_event(EventKind::kSample, static_cast<TimeMicros>(100 - i)));
+  }
+  const auto events = log.snapshot();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+}
+
+TEST(EventLog, SinkSeesEveryEventDespiteOverwrite) {
+  EventLog log(2);
+  std::vector<std::uint64_t> seen;
+  log.set_sink([&seen](const Event& e) { seen.push_back(e.seq); });
+  for (int i = 0; i < 6; ++i) {
+    log.emit(make_event(EventKind::kMigrationStart, 0));
+  }
+  ASSERT_EQ(seen.size(), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_EQ(log.size(), 2u);  // ring retained only the tail
+}
+
+TEST(EventLog, ClearForgetsEverything) {
+  EventLog log(4);
+  log.emit(make_event(EventKind::kOom, 5));
+  log.clear();
+  EXPECT_EQ(log.total_emitted(), 0u);
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(EventKindName, CoversEveryKind) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kBackpressure); ++k) {
+    const char* name = event_kind_name(static_cast<EventKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+  }
+}
+
+TEST(Telemetry, StampsEventsWithAttachedClock) {
+  Telemetry telemetry;
+  telemetry.emit(EventKind::kRunStart, 0);  // no clock: stamped 0
+  VirtualClock clock;
+  clock.advance(42);
+  telemetry.attach_clock(&clock);
+  telemetry.emit(EventKind::kSample, 1, "{\"x\":1}");
+  const auto events = telemetry.events().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].t, 0);
+  EXPECT_EQ(events[1].t, 42);
+  EXPECT_EQ(events[1].stream, 1u);
+  EXPECT_EQ(events[1].payload, "{\"x\":1}");
+}
+
+}  // namespace
+}  // namespace amri::telemetry

@@ -1,0 +1,111 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amri::telemetry {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set(-7.0);  // gauges go down
+  EXPECT_DOUBLE_EQ(g.value(), -7.0);
+}
+
+TEST(Histogram, BucketsObservations) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (<= 1.0)
+  h.observe(1.0);   // bucket 0 (boundary counts in its bucket)
+  h.observe(3.0);   // bucket 2 (<= 4.0)
+  h.observe(100.0); // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.max_observed(), 100.0);
+  const auto& buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(Histogram, MeanAndReset) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", Histogram::linear_bounds(1.0, 1.0, 4));
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // empty histogram
+  h.observe(2.0);
+  h.observe(4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto bounds = Histogram::exponential_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsRegistry, SameNameSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("n");
+  Counter& b = reg.counter("n");
+  EXPECT_EQ(&a, &b);
+  a.add(2);
+  EXPECT_EQ(b.value(), 2u);
+}
+
+TEST(MetricsRegistry, StableReferencesAcrossInserts) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("a");
+  first.add(7);
+  // Registering many more instruments must not invalidate `first`.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(first.value(), 7u);
+  EXPECT_EQ(reg.counter("a").value(), 7u);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("missing"), nullptr);
+  EXPECT_EQ(reg.find_histogram("missing"), nullptr);
+  reg.counter("present");
+  EXPECT_NE(reg.find_counter("present"), nullptr);
+}
+
+TEST(MetricsRegistry, SizeAndClear) {
+  MetricsRegistry reg;
+  reg.counter("a");
+  reg.gauge("b");
+  reg.histogram("c", {1.0});
+  EXPECT_EQ(reg.size(), 3u);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+}  // namespace
+}  // namespace amri::telemetry

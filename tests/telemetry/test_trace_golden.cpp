@@ -1,0 +1,236 @@
+// End-to-end trace golden test: run a small amri_sim-style scenario with
+// telemetry attached, export the JSON-lines trace, and assert the file is
+// well-formed — every line parses, events are time-ordered, at least one
+// complete tuner decision is recorded, and migration start/end events pair
+// up. This is the acceptance gate for the telemetry subsystem.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+#include "workload/scenario.hpp"
+
+namespace amri {
+namespace {
+
+/// Minimal structural JSON check: the line is one object with balanced
+/// braces/brackets outside of strings and no trailing garbage. Not a full
+/// parser, but catches truncated lines, stray commas-at-top-level, and
+/// unescaped quotes — the failure modes of hand-rolled writers.
+bool is_json_object_line(const std::string& line) {
+  if (line.empty() || line.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        --depth;
+        if (depth < 0) return false;
+        if (depth == 0 && i + 1 != line.size()) return false;  // trailing
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+/// Extract a top-level integer field ("\"t\":123") from a JSON line.
+long long int_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(line.c_str() + pos + needle.size());
+}
+
+bool has_kind(const std::string& line, const std::string& kind) {
+  return line.find("\"type\":\"event\"") != std::string::npos &&
+         line.find("\"kind\":\"" + kind + "\"") != std::string::npos;
+}
+
+TEST(TraceGolden, ShortRunEmitsWellFormedTrace) {
+  // An amri_sim-style run, scaled down: 4-way join, drifting selectivity,
+  // AMRI backend with frequent reassessment so decisions (and migrations)
+  // land inside a few simulated seconds.
+  workload::ScenarioOptions sopts;
+  sopts.rate_per_sec = 40.0;
+  sopts.window_seconds = 5.0;
+  sopts.phase_seconds = 4.0;
+  sopts.seed = 7;
+  const workload::Scenario scenario{workload::ScenarioOptions(sopts)};
+
+  auto eopts = scenario.default_executor_options();
+  eopts.warmup = seconds_to_micros(3);
+  eopts.duration = seconds_to_micros(9);
+  eopts.sample_every = seconds_to_micros(3);
+  eopts.stem.backend = engine::IndexBackend::kAmri;
+  const std::size_t n = scenario.query().layout(0).jas.size();
+  eopts.stem.initial_config =
+      index::IndexConfig(std::vector<std::uint8_t>(n, 2));
+  tuner::TunerOptions topts;
+  topts.reassess_every = 150;
+  topts.min_improvement = 0.0;  // migrate on any cost improvement
+  topts.optimizer.bit_budget = 6;
+  eopts.stem.amri_tuner = topts;
+
+  telemetry::Telemetry telemetry;
+  eopts.telemetry = &telemetry;
+
+  engine::Executor executor(scenario.query(), eopts);
+  const auto source = scenario.make_source();
+  const auto result = executor.run(*source);
+  EXPECT_GT(result.outputs, 0u);
+
+  std::uint64_t total_migrations = 0;
+  double total_pause = 0.0;
+  for (const auto& s : result.states) {
+    total_migrations += s.migrations;
+    total_pause += s.migration_pause_us;
+    EXPECT_GT(s.state_bytes, 0u);
+  }
+  ASSERT_GE(total_migrations, 1u) << "scenario produced no migrations; "
+                                     "the trace cannot be validated";
+  EXPECT_GT(total_pause, 0.0);
+
+  // Round-trip through the file exporter, as amri_sim --trace-out does.
+  const std::string path = "trace_golden_test.jsonl";
+  ASSERT_TRUE(telemetry::write_trace_file(path, telemetry));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  in.close();
+  std::remove(path.c_str());
+  ASSERT_GE(lines.size(), 3u);
+
+  // 1. Every line is a standalone, structurally valid JSON object.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_TRUE(is_json_object_line(lines[i])) << "line " << i << ": "
+                                               << lines[i];
+  }
+
+  // 2. Header first, carrying the emission totals.
+  EXPECT_NE(lines[0].find("\"type\":\"trace_header\""), std::string::npos);
+  EXPECT_GT(int_field(lines[0], "events_total"), 0);
+
+  // 3. Events are time-ordered (seq order implies non-decreasing t).
+  long long last_t = -1;
+  std::size_t events = 0;
+  for (const auto& line : lines) {
+    if (line.find("\"type\":\"event\"") == std::string::npos) continue;
+    ++events;
+    const long long t = int_field(line, "t");
+    EXPECT_GE(t, last_t) << line;
+    last_t = t;
+  }
+  EXPECT_GT(events, 0u);
+
+  // 4. Run framing: exactly one run_start and one run_end.
+  std::size_t run_starts = 0, run_ends = 0, samples = 0;
+  for (const auto& line : lines) {
+    if (has_kind(line, "run_start")) ++run_starts;
+    if (has_kind(line, "run_end")) ++run_ends;
+    if (has_kind(line, "sample")) ++samples;
+  }
+  EXPECT_EQ(run_starts, 1u);
+  EXPECT_EQ(run_ends, 1u);
+  EXPECT_GE(samples, 2u);
+
+  // 5. At least one complete tuner decision: assessment top-k, scored
+  //    candidates, and the chosen IC all present in the payload.
+  std::size_t complete_decisions = 0;
+  for (const auto& line : lines) {
+    if (!has_kind(line, "tuner_decision")) continue;
+    if (line.find("\"top_patterns\":[") != std::string::npos &&
+        line.find("\"candidates\":[") != std::string::npos &&
+        line.find("\"chosen_ic\":") != std::string::npos &&
+        line.find("\"assessor\":") != std::string::npos) {
+      ++complete_decisions;
+    }
+  }
+  EXPECT_GE(complete_decisions, 1u);
+
+  // 6. Every migration_start has a matching migration_end, in order.
+  std::size_t starts = 0, ends = 0;
+  for (const auto& line : lines) {
+    if (has_kind(line, "migration_start")) {
+      ++starts;
+    } else if (has_kind(line, "migration_end")) {
+      ++ends;
+      EXPECT_LE(ends, starts) << "migration_end before its start";
+      EXPECT_NE(line.find("\"tuples_moved\":"), std::string::npos);
+      EXPECT_NE(line.find("\"pause_us\":"), std::string::npos);
+    }
+  }
+  EXPECT_GE(starts, 1u);
+  EXPECT_EQ(starts, ends);
+
+  // 7. Final metrics include the instrumented probe counters.
+  std::ostringstream all;
+  for (const auto& line : lines) all << line << '\n';
+  const std::string text = all.str();
+  EXPECT_NE(text.find("\"name\":\"eddy.decisions\""), std::string::npos);
+  EXPECT_NE(text.find("probe.count"), std::string::npos);
+  EXPECT_NE(text.find("migration.pause_us"), std::string::npos);
+}
+
+TEST(TraceGolden, SampleEventsCarryPerStateDetail) {
+  workload::ScenarioOptions sopts;
+  sopts.rate_per_sec = 30.0;
+  sopts.window_seconds = 4.0;
+  const workload::Scenario scenario{workload::ScenarioOptions(sopts)};
+
+  auto eopts = scenario.default_executor_options();
+  eopts.warmup = 0;
+  eopts.duration = seconds_to_micros(6);
+  eopts.sample_every = seconds_to_micros(2);
+  eopts.stem.backend = engine::IndexBackend::kAmri;
+  const std::size_t n = scenario.query().layout(0).jas.size();
+  eopts.stem.initial_config =
+      index::IndexConfig(std::vector<std::uint8_t>(n, 2));
+
+  telemetry::Telemetry telemetry;
+  eopts.telemetry = &telemetry;
+  engine::Executor executor(scenario.query(), eopts);
+  const auto source = scenario.make_source();
+  const auto result = executor.run(*source);
+
+  // RunResult samples mirror the per-state detail of the sample events.
+  ASSERT_FALSE(result.samples.empty());
+  for (const auto& s : result.samples) {
+    ASSERT_EQ(s.states.size(), scenario.query().num_streams());
+    for (StreamId st = 0; st < scenario.query().num_streams(); ++st) {
+      EXPECT_EQ(s.states[st].stream, st);
+      EXPECT_FALSE(s.states[st].index_config.empty());
+    }
+  }
+  // Without telemetry the per-state vectors stay empty (zero-cost default).
+  auto plain = eopts;
+  plain.telemetry = nullptr;
+  engine::Executor plain_exec(scenario.query(), plain);
+  const auto plain_source = scenario.make_source();
+  const auto plain_result = plain_exec.run(*plain_source);
+  for (const auto& s : plain_result.samples) EXPECT_TRUE(s.states.empty());
+}
+
+}  // namespace
+}  // namespace amri
