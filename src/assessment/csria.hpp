@@ -27,6 +27,10 @@ class Csria final : public Assessor {
 
   double epsilon() const { return counter_.epsilon(); }
 
+  /// δ-bound consistency of the underlying lossy counter (see
+  /// LossyCounting::check_invariants). Callable from tests in any build.
+  void check_invariants() const { counter_.check_invariants(); }
+
  private:
   AttrMask universe_;
   stats::LossyCounting<AttrMask> counter_;

@@ -9,6 +9,7 @@ void Dia::observe(AttrMask ap) {
   assert(is_subset(ap, lattice_.shape().universe()));
   lattice_.counts().add(ap);
   note_observed();  // DIA keeps full statistics: nothing ever compressed
+  AMRI_CHECK_INVARIANTS(*this);
 }
 
 std::vector<AssessedPattern> Dia::results(double theta) const {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "assessment/assessor.hpp"
+#include "common/assertions.hpp"
 #include "stats/lattice.hpp"
 
 namespace amri::assessment {
@@ -28,6 +29,24 @@ class Dia final : public Assessor {
   void decay(double factor) override { lattice_.counts().scale(factor); }
 
   const stats::PartialLattice& lattice() const { return lattice_; }
+
+  /// Lattice consistency: every materialised node lies within the state's
+  /// attribute universe, carries a live count, and the retained count mass
+  /// never exceeds the stream length (decay rounds down; DIA itself never
+  /// compresses). Always compiled; observe() invokes it only under
+  /// AMRI_ASSERTIONS.
+  void check_invariants() const {
+    const AttrMask universe = lattice_.shape().universe();
+    std::uint64_t sum = 0;
+    for (const auto& [mask, entry] : lattice_.counts()) {
+      AMRI_CHECK(is_subset(mask, universe),
+                 "lattice node outside the attribute universe");
+      AMRI_CHECK(entry.count >= 1, "lattice node with zero count");
+      sum += entry.count;
+    }
+    AMRI_CHECK(sum <= lattice_.counts().total_observed(),
+               "retained lattice mass exceeds total observations");
+  }
 
  private:
   stats::PartialLattice lattice_;

@@ -16,9 +16,10 @@ using AttrMask = std::uint32_t;
 /// Number of set bits (attributes) in a mask.
 constexpr int popcount(AttrMask m) { return std::popcount(m); }
 
-/// Mask with the lowest `n` bits set. `n` must be <= 31 for AttrMask.
+/// Mask with the lowest `n` bits set, n in [0, 32]. The n == 32 case takes
+/// the guarded branch — a plain 32-wide shift on a 32-bit operand is UB.
 constexpr AttrMask low_bits(int n) {
-  assert(n >= 0 && n < 32);
+  assert(n >= 0 && n <= 32);
   return (n >= 32) ? ~AttrMask{0} : ((AttrMask{1} << n) - 1u);
 }
 
@@ -26,6 +27,15 @@ constexpr AttrMask low_bits(int n) {
 constexpr std::uint64_t low_bits64(int n) {
   assert(n >= 0 && n <= 64);
   return (n >= 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1u);
+}
+
+/// 2^n for n in [0, 63]; n >= 64 saturates to UINT64_MAX instead of
+/// invoking UB via an oversized shift. Used for wildcard enumeration
+/// counts, where saturation simply means "too many to enumerate — filter
+/// the sparse directory instead".
+constexpr std::uint64_t pow2_saturating(int n) {
+  assert(n >= 0);
+  return n >= 64 ? ~std::uint64_t{0} : std::uint64_t{1} << n;
 }
 
 /// True iff `sub` is a subset of `super` (every attribute of sub in super).

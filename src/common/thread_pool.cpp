@@ -1,7 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+#include <utility>
 
 namespace amri {
 
@@ -16,25 +17,41 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // A task error nobody waited for is dropped here by design: the pool
+  // cannot throw from its destructor.
+  stop();
+}
+
+void ThreadPool::stop() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
+    if (stop_) {
+      throw std::runtime_error("ThreadPool::submit on a stopped pool");
+    }
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  cv_idle_.wait(lk, [this] { return tasks_.empty() && active_ == 0; });
+  std::exception_ptr err;
+  {
+    UniqueLock lk(mu_);
+    while (!(tasks_.empty() && active_ == 0)) cv_idle_.wait(lk);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(
@@ -61,16 +78,21 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      UniqueLock lk(mu_);
+      while (!stop_ && tasks_.empty()) cv_task_.wait(lk);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
       ++active_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      MutexLock lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
       --active_;
       if (tasks_.empty() && active_ == 0) cv_idle_.notify_all();
     }

@@ -1,15 +1,21 @@
 // Minimal work-stealing-free thread pool with a blocking parallel_for.
 // Used for parallel index migration and benchmark data preparation; the
 // simulation core itself is single-threaded and deterministic.
+//
+// Exception contract: a throwing task does not tear the pool down. The
+// first exception thrown by any task is captured and rethrown from the
+// next wait_idle() (and therefore from parallel_for, which waits);
+// remaining queued tasks still run. Submitting to a stopped pool throws.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace amri {
 
@@ -24,29 +30,37 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns immediately.
-  void submit(std::function<void()> task);
+  /// Enqueue a task; returns immediately. Throws std::runtime_error if the
+  /// pool is shutting down (submit-after-stop was previously a silent
+  /// enqueue that could never run).
+  void submit(std::function<void()> task) AMRI_EXCLUDES(mu_);
 
-  /// Block until all submitted tasks have finished.
-  void wait_idle();
+  /// Idempotent shutdown: lets already-queued tasks drain, then joins the
+  /// workers. Every submit() after this throws. The destructor calls it.
+  void stop() AMRI_EXCLUDES(mu_);
+
+  /// Block until all submitted tasks have finished. Rethrows the first
+  /// exception any task threw since the last wait_idle().
+  void wait_idle() AMRI_EXCLUDES(mu_);
 
   /// Split [begin, end) into contiguous chunks and run `fn(lo, hi)` on the
   /// pool, blocking until done. Falls back to inline execution for tiny
-  /// ranges or a single-thread pool.
+  /// ranges or a single-thread pool. Rethrows the first chunk exception.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn,
-                    std::size_t min_chunk = 1024);
+                    std::size_t min_chunk = 1024) AMRI_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() AMRI_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ AMRI_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t active_ AMRI_GUARDED_BY(mu_) = 0;
+  bool stop_ AMRI_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ AMRI_GUARDED_BY(mu_);
 };
 
 }  // namespace amri

@@ -26,6 +26,7 @@ EddyRouter::EddyRouter(const QuerySpec& query, std::vector<StemOperator*> stems,
 }
 
 void EddyRouter::note_decision(std::uint32_t done_mask, StreamId target) {
+  if (telemetry_ == nullptr) return;  // counters resolve with telemetry
   decisions_counter_->add();
   const auto it = last_target_.find(done_mask);
   if (it != last_target_.end() && it->second == target) return;

@@ -30,6 +30,7 @@ Executor::Executor(const QuerySpec& query, ExecutorOptions options)
 }
 
 void Executor::emit_oom_event() {
+  if (options_.telemetry == nullptr) return;
   telemetry::JsonWriter w;
   w.begin_object();
   w.field("total_bytes", static_cast<std::uint64_t>(memory_.total()));

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <string>
 
+#include "common/assertions.hpp"
 #include "index/access_pattern.hpp"
 
 namespace amri::engine {
@@ -121,9 +122,25 @@ void StemOperator::expire(TimeMicros now) {
     window_store_.pop_front();
   }
   sync_tuple_memory();
+  AMRI_CHECK_INVARIANTS(*this);
+}
+
+void StemOperator::check_invariants() const {
+  for (std::size_t i = 1; i < window_store_.size(); ++i) {
+    AMRI_CHECK(window_store_[i - 1].ts <= window_store_[i].ts,
+               "window store timestamps must be non-decreasing");
+  }
+  AMRI_CHECK(index_->size() == window_store_.size(),
+             "physical index size disagrees with the window store");
+  AMRI_CHECK(memory_ == nullptr ||
+                 tracked_tuple_bytes_ ==
+                     window_store_.size() * (sizeof(Tuple) + 8),
+             "tuple memory accounting is stale");
+  if (bit_index_ != nullptr) bit_index_->check_invariants();
 }
 
 telemetry::Histogram* StemOperator::pattern_histogram(AttrMask mask) {
+  assert(telemetry_ != nullptr);  // only reached from telemetry-guarded code
   const auto it = pattern_hists_.find(mask);
   if (it != pattern_hists_.end()) return it->second;
   const std::string name =

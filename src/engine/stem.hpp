@@ -107,6 +107,14 @@ class StemOperator {
   /// Apply a pending tuning decision immediately (adaptive backends).
   void force_tune();
 
+  /// Window-store / index consistency: the store's timestamps are
+  /// non-decreasing (expire() pops from the front and relies on it), the
+  /// bit-address index holds exactly the stored tuples (checked deeply via
+  /// BitAddressIndex::check_invariants), and tuple memory accounting
+  /// matches the store. Always compiled; expire() invokes it only under
+  /// AMRI_ASSERTIONS.
+  void check_invariants() const;
+
  private:
   void sync_tuple_memory();
   telemetry::Histogram* pattern_histogram(AttrMask mask);

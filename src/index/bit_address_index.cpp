@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/assertions.hpp"
+
 namespace amri::index {
 
 namespace {
@@ -48,6 +50,17 @@ void BitAddressIndex::bind_telemetry(telemetry::Telemetry* telemetry,
   probes_enumerated_ = &reg.counter(prefix + ".probe.enumerated");
   probes_filtered_ = &reg.counter(prefix + ".probe.filtered");
   imbalance_gauge_ = &reg.gauge(prefix + ".occupancy.imbalance");
+}
+
+BucketId BitAddressIndex::bucket_of_uncharged(const Tuple& t) const {
+  BucketId id = 0;
+  for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+    const int bits = config_.bits(pos);
+    if (bits == 0) continue;
+    id |= mapper_.map(pos, t.at(jas_.tuple_attr(pos)), bits)
+          << config_.shift_of(pos);
+  }
+  return id;
 }
 
 BucketId BitAddressIndex::bucket_of(const Tuple& t) {
@@ -136,7 +149,7 @@ ProbeStats BitAddressIndex::probe(const ProbeKey& key,
     }
   };
 
-  const std::uint64_t enum_count = std::uint64_t{1} << layout.wildcard_bits;
+  const std::uint64_t enum_count = pow2_saturating(layout.wildcard_bits);
   if (wildcard_hist_ != nullptr) {
     wildcard_hist_->observe(static_cast<double>(enum_count));
     (enum_count <= buckets_.size() ? probes_enumerated_ : probes_filtered_)
@@ -328,14 +341,7 @@ void BitAddressIndex::bulk_load(const std::vector<const Tuple*>& tuples,
   std::vector<BucketId> ids(tuples.size());
   auto compute = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
-      BucketId id = 0;
-      for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
-        const int bits = config_.bits(pos);
-        if (bits == 0) continue;
-        id |= mapper_.map(pos, tuples[i]->at(jas_.tuple_attr(pos)), bits)
-              << config_.shift_of(pos);
-      }
-      ids[i] = id;
+      ids[i] = bucket_of_uncharged(*tuples[i]);
     }
   };
   if (pool != nullptr) {
@@ -358,6 +364,29 @@ void BitAddressIndex::bulk_load(const std::vector<const Tuple*>& tuples,
     memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
   }
   tracked_bytes_ = now;
+  AMRI_CHECK_INVARIANTS(*this);
+}
+
+void BitAddressIndex::check_invariants() const {
+  const BucketId id_mask = low_bits64(config_.total_bits());
+  std::size_t tuples = 0;
+  for (const auto& [id, bucket] : buckets_) {
+    AMRI_CHECK(!bucket.empty(),
+               "sparse directory must not retain empty buckets");
+    AMRI_CHECK((id & ~id_mask) == 0,
+               "bucket id uses bits outside the IC's total_bits");
+    tuples += bucket.size();
+    for (const Tuple* t : bucket) {
+      AMRI_CHECK(t != nullptr, "stored tuple pointer is null");
+      AMRI_CHECK(bucket_of_uncharged(*t) == id,
+                 "stored tuple does not rehash to its bucket under the "
+                 "current IC (missed relocation during migration?)");
+    }
+  }
+  AMRI_CHECK(tuples == size_,
+             "size_ disagrees with the sum of bucket sizes");
+  AMRI_CHECK(memory_ == nullptr || tracked_bytes_ == memory_bytes(),
+             "memory-tracker bookkeeping is stale");
 }
 
 void BitAddressIndex::reconfigure(const IndexConfig& new_config) {
@@ -385,6 +414,7 @@ void BitAddressIndex::reconfigure(const IndexConfig& new_config) {
   if (imbalance_gauge_ != nullptr) {
     imbalance_gauge_->set(occupancy().imbalance);
   }
+  AMRI_CHECK_INVARIANTS(*this);
 }
 
 }  // namespace amri::index

@@ -106,6 +106,14 @@ class BitAddressIndex final : public TupleIndex {
   void bulk_load(const std::vector<const Tuple*>& tuples,
                  ThreadPool* pool = nullptr);
 
+  /// Deep structural validation: directory/count consistency, every stored
+  /// tuple rehashes to its bucket, bucket ids fit in total_bits, and the
+  /// memory-tracker bookkeeping matches. Aborts with a diagnostic on the
+  /// first violation. Always compiled (tests call it in every build);
+  /// structural transition points invoke it automatically only under
+  /// AMRI_ASSERTIONS. Does not charge the cost meter.
+  void check_invariants() const;
+
  private:
   using Bucket = std::vector<const Tuple*>;
 
@@ -118,6 +126,8 @@ class BitAddressIndex final : public TupleIndex {
   };
 
   ProbeLayout layout_for(const ProbeKey& key);
+  /// bucket_of without meter charges (migration precompute, invariants).
+  BucketId bucket_of_uncharged(const Tuple& t) const;
   void account_bucket_alloc(const Bucket& b, bool created);
   void account_bucket_release(const Bucket& b, bool destroyed);
   std::size_t bucket_bytes(const Bucket& b) const {

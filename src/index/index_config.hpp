@@ -46,9 +46,7 @@ class IndexConfig {
   int shift_of(std::size_t jas_pos) const { return shifts_[jas_pos]; }
 
   /// Total logical buckets, 2^total_bits.
-  std::uint64_t bucket_count() const {
-    return std::uint64_t{1} << total_bits_;
-  }
+  std::uint64_t bucket_count() const { return pow2_saturating(total_bits_); }
 
   bool operator==(const IndexConfig& o) const { return bits_ == o.bits_; }
   bool operator!=(const IndexConfig& o) const { return !(*this == o); }

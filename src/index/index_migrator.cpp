@@ -1,5 +1,6 @@
 #include "index/index_migrator.hpp"
 
+#include "common/assertions.hpp"
 #include "telemetry/json.hpp"
 
 namespace amri::index {
@@ -20,6 +21,7 @@ IndexMigrator::IndexMigrator(ThreadPool* pool, telemetry::Telemetry* telemetry,
 
 MigrationReport IndexMigrator::migrate(BitAddressIndex& index,
                                        const IndexConfig& target) const {
+  MutexLock lk(mu_);
   MigrationReport report;
   report.from = index.config();
   report.to = target;
@@ -45,6 +47,7 @@ MigrationReport IndexMigrator::migrate(BitAddressIndex& index,
   // states; the modelled cost is identical, so we keep the deterministic
   // sequential path and reserve the pool for bulk-load helpers.
   index.reconfigure(target);
+  AMRI_CHECK_INVARIANTS(index);
   if (telemetry_ != nullptr) {
     report.pause_us = telemetry_->now() - started;
     migration_count_->add();

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "index/bit_address_index.hpp"
 #include "telemetry/telemetry.hpp"
@@ -37,9 +38,15 @@ class IndexMigrator {
                          StreamId stream = 0);
 
   /// Rebuild `index` under `target`. No-op (zero-cost) if the IC is equal.
-  MigrationReport migrate(BitAddressIndex& index, const IndexConfig& target) const;
+  /// Concurrent calls on one migrator serialize: the per-instance mutex
+  /// covers the whole rebuild plus its telemetry emission, so a stream's
+  /// migrator can be driven from pool threads without interleaving two
+  /// reconfigurations of the same index.
+  MigrationReport migrate(BitAddressIndex& index,
+                          const IndexConfig& target) const AMRI_EXCLUDES(mu_);
 
  private:
+  mutable Mutex mu_;
   ThreadPool* pool_;
   telemetry::Telemetry* telemetry_;
   StreamId stream_;

@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/assertions.hpp"
+
 namespace amri::stats {
 
 template <typename Key>
@@ -59,7 +61,10 @@ class LossyCounting {
     }
     it->second.count += weight;
     observed_ += weight;
-    if (observed_ % segment_width_ == 0) compress();
+    if (observed_ % segment_width_ == 0) {
+      compress();
+      AMRI_CHECK_INVARIANTS(*this);
+    }
   }
 
   /// Segment-boundary eviction: drop entries with count + delta <= s_id.
@@ -71,6 +76,30 @@ class LossyCounting {
       } else {
         ++it;
       }
+    }
+#ifdef AMRI_ASSERTIONS
+    // Eviction completeness: everything the Manku–Motwani rule says to drop
+    // at this boundary is gone, so the per-entry undercount bound holds.
+    for (const auto& [k, item] : table_) {
+      AMRI_ASSERT(item.count + item.max_error > sid,
+                  "lossy-counting entry survived its eviction bound");
+    }
+#endif
+  }
+
+  /// Always-true δ-bound consistency (the Manku–Motwani guarantees CSRIA's
+  /// correctness argument rests on): every retained entry has a live count,
+  /// its recorded max undercount never exceeds floor(epsilon * N), and no
+  /// count exceeds the stream length. Always compiled; hot paths invoke it
+  /// only under AMRI_ASSERTIONS (after each segment-boundary compression).
+  void check_invariants() const {
+    const std::uint64_t sid = segment_id();
+    for (const auto& [k, item] : table_) {
+      AMRI_CHECK(item.count >= 1, "retained entry with zero count");
+      AMRI_CHECK(item.max_error <= sid,
+                 "delta exceeds floor(epsilon * N): undercount bound broken");
+      AMRI_CHECK(item.count <= observed_,
+                 "entry count exceeds total observations");
     }
   }
 

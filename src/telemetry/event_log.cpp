@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace amri::telemetry {
 
@@ -23,7 +24,13 @@ const char* event_kind_name(EventKind kind) {
 EventLog::EventLog(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
+void EventLog::set_sink(std::function<void(const Event&)> sink) {
+  MutexLock lk(mu_);
+  sink_ = std::move(sink);
+}
+
 std::uint64_t EventLog::emit(Event e) {
+  MutexLock lk(mu_);
   e.seq = next_seq_++;
   if (sink_) sink_(e);
   const std::size_t slot = static_cast<std::size_t>(e.seq % capacity_);
@@ -36,13 +43,34 @@ std::uint64_t EventLog::emit(Event e) {
 }
 
 std::vector<Event> EventLog::snapshot() const {
-  std::vector<Event> out(ring_);
+  std::vector<Event> out;
+  {
+    MutexLock lk(mu_);
+    out = ring_;
+  }
   std::sort(out.begin(), out.end(),
             [](const Event& a, const Event& b) { return a.seq < b.seq; });
   return out;
 }
 
+std::uint64_t EventLog::total_emitted() const {
+  MutexLock lk(mu_);
+  return next_seq_;
+}
+
+std::uint64_t EventLog::overwritten() const {
+  MutexLock lk(mu_);
+  return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+}
+
+std::size_t EventLog::size() const {
+  MutexLock lk(mu_);
+  return next_seq_ < capacity_ ? static_cast<std::size_t>(next_seq_)
+                               : capacity_;
+}
+
 void EventLog::clear() {
+  MutexLock lk(mu_);
   ring_.clear();
   next_seq_ = 0;
 }

@@ -4,6 +4,11 @@
 // before any overwriting. Events carry their payload as a prebuilt JSON
 // object fragment — producers use JsonWriter — so the log itself stays
 // independent of every engine-layer type.
+//
+// Thread safety: emit/snapshot/accessors are mutex-guarded so concurrent
+// migrations on pool threads can log through one shared Telemetry handle.
+// The sink is invoked under the log's mutex (events reach it in seq order
+// exactly once); sinks must not re-enter the log.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace amri::telemetry {
@@ -44,34 +50,29 @@ class EventLog {
   /// Streaming sink invoked for every emitted event (after seq assignment).
   /// The sink outlives overwriting, so it sees the full stream even when
   /// the ring wraps. Pass nullptr to detach.
-  void set_sink(std::function<void(const Event&)> sink) {
-    sink_ = std::move(sink);
-  }
+  void set_sink(std::function<void(const Event&)> sink) AMRI_EXCLUDES(mu_);
 
   /// Record an event; assigns the sequence number. Returns it.
-  std::uint64_t emit(Event e);
+  std::uint64_t emit(Event e) AMRI_EXCLUDES(mu_);
 
   /// Retained events, oldest first (ordered by seq).
-  std::vector<Event> snapshot() const;
+  std::vector<Event> snapshot() const AMRI_EXCLUDES(mu_);
 
-  std::uint64_t total_emitted() const { return next_seq_; }
+  std::uint64_t total_emitted() const AMRI_EXCLUDES(mu_);
   /// Events lost to ring overwrite (total_emitted - retained).
-  std::uint64_t overwritten() const {
-    return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
-  }
-  std::size_t size() const {
-    return next_seq_ < capacity_ ? static_cast<std::size_t>(next_seq_)
-                                 : capacity_;
-  }
+  std::uint64_t overwritten() const AMRI_EXCLUDES(mu_);
+  std::size_t size() const AMRI_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
 
-  void clear();
+  void clear() AMRI_EXCLUDES(mu_);
 
  private:
-  std::size_t capacity_;
-  std::vector<Event> ring_;  ///< grows to capacity_, then wraps by seq
-  std::uint64_t next_seq_ = 0;
-  std::function<void(const Event&)> sink_;
+  std::size_t capacity_;  ///< immutable after construction
+  mutable Mutex mu_;
+  std::vector<Event> ring_
+      AMRI_GUARDED_BY(mu_);  ///< grows to capacity_, then wraps by seq
+  std::uint64_t next_seq_ AMRI_GUARDED_BY(mu_) = 0;
+  std::function<void(const Event&)> sink_ AMRI_GUARDED_BY(mu_);
 };
 
 }  // namespace amri::telemetry

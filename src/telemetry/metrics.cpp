@@ -8,6 +8,7 @@ namespace amri::telemetry {
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)) {
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  MutexLock lk(mu_);
   buckets_.assign(bounds_.size() + 1, 0);
 }
 
@@ -37,13 +38,41 @@ std::vector<double> Histogram::linear_bounds(double start, double step,
 
 void Histogram::observe(double v) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  const auto slot = static_cast<std::size_t>(it - bounds_.begin());
+  MutexLock lk(mu_);
+  ++buckets_[slot];
   ++count_;
   sum_ += v;
   if (count_ == 1 || v > max_) max_ = v;
 }
 
+std::uint64_t Histogram::count() const {
+  MutexLock lk(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  MutexLock lk(mu_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  MutexLock lk(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::max_observed() const {
+  MutexLock lk(mu_);
+  return count_ == 0 ? 0.0 : max_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  MutexLock lk(mu_);
+  return buckets_;
+}
+
 void Histogram::reset() {
+  MutexLock lk(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -51,41 +80,53 @@ void Histogram::reset() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  MutexLock lk(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  return counters_.try_emplace(std::string(name)).first->second;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  MutexLock lk(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return it->second;
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
+  MutexLock lk(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
+  return histograms_.try_emplace(std::string(name), std::move(bounds))
       .first->second;
 }
 
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  MutexLock lk(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  MutexLock lk(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  MutexLock lk(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+std::size_t MetricsRegistry::size() const {
+  MutexLock lk(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 void MetricsRegistry::clear() {
+  MutexLock lk(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

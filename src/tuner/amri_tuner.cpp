@@ -107,6 +107,7 @@ TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
 
 void AmriTuner::emit_decision_event(const TuneDecision& decision,
                                     const index::IndexConfig& current) {
+  if (telemetry_ == nullptr) return;
   telemetry::JsonWriter w;
   w.begin_object();
   w.field("assessor", assessor_->name());

@@ -89,5 +89,17 @@ TEST(Csria, FactoryAppliesEpsilon) {
   EXPECT_DOUBLE_EQ(c->epsilon(), 0.25);
 }
 
+TEST(Csria, InvariantsHoldUnderLoad) {
+  Csria c(0b111, 0.02);
+  Rng rng(9);
+  for (int i = 0; i < 30000; ++i) {
+    c.observe(static_cast<AttrMask>(rng.below(8)));
+    if (i % 5000 == 0) c.check_invariants();
+  }
+  c.check_invariants();
+  c.decay(0.5);
+  c.check_invariants();
+}
+
 }  // namespace
 }  // namespace amri::assessment

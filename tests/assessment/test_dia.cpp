@@ -60,5 +60,18 @@ TEST(Dia, FactoryName) {
   EXPECT_EQ(a->name(), "DIA");
 }
 
+TEST(Dia, InvariantsHoldUnderLoad) {
+  Dia d(0b111);
+  Rng rng(10);
+  for (int i = 0; i < 20000; ++i) {
+    d.observe(static_cast<AttrMask>(rng.below(8)));
+  }
+  d.check_invariants();
+  d.decay(0.25);
+  d.check_invariants();
+  d.reset();
+  d.check_invariants();
+}
+
 }  // namespace
 }  // namespace amri::assessment

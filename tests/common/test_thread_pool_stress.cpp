@@ -1,0 +1,139 @@
+// Concurrency stress and exception-contract tests for ThreadPool. The
+// stress cases are sized to provoke data races under ThreadSanitizer
+// (debug-tsan preset) while staying fast under plain builds.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace amri {
+namespace {
+
+TEST(ThreadPoolStress, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStress, ConcurrentWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  // Several threads block on the same idle barrier; all must wake.
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&pool] { pool.wait_idle(); });
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolStress, ParallelForFromMultipleThreads) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(4096), b(4096);
+  auto bump = [](std::vector<std::atomic<int>>& v) {
+    return [&v](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) v[i].fetch_add(1);
+    };
+  };
+  std::thread t1([&] { pool.parallel_for(0, a.size(), bump(a), 64); });
+  std::thread t2([&] { pool.parallel_for(0, b.size(), bump(b), 64); });
+  t1.join();
+  t2.join();
+  for (const auto& x : a) EXPECT_EQ(x.load(), 1);
+  for (const auto& x : b) EXPECT_EQ(x.load(), 1);
+}
+
+TEST(ThreadPoolException, RethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error was consumed; the pool remains usable.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolException, FirstErrorWinsAndOthersRun) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 10 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 50);  // a failing task never cancels the queue
+  pool.wait_idle();           // only the first error is kept; now clean
+}
+
+TEST(ThreadPoolException, ParallelForPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          0, 10000,
+          [](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              if (i == 1234) throw std::logic_error("bad element");
+            }
+          },
+          128),
+      std::logic_error);
+}
+
+TEST(ThreadPoolException, InlineParallelForPropagates) {
+  ThreadPool pool(1);  // single thread => inline fast path
+  EXPECT_THROW(pool.parallel_for(
+                   0, 10,
+                   [](std::size_t, std::size_t) {
+                     throw std::logic_error("inline");
+                   }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolStop, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  pool.stop();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPoolStop, StopDrainsQueuedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.stop();  // workers drain the queue before exiting
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolStop, StopIsIdempotent) {
+  ThreadPool pool(2);
+  pool.stop();
+  pool.stop();
+  SUCCEED();  // destructor's implicit stop() must also be safe
+}
+
+}  // namespace
+}  // namespace amri

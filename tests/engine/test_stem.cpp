@@ -201,5 +201,23 @@ TEST(StemOperator, MemoryAccountsTuplesAndIndex) {
   EXPECT_EQ(mem.total(), 0u);
 }
 
+TEST(StemOperator, InvariantsHoldAcrossWindowCycle) {
+  const QuerySpec q = query4();
+  StemOperator stem(1, q.layout(1), q.window(), amri_options(), model());
+  for (TimeMicros i = 1; i <= 300; ++i) {
+    stem.insert(arrival(1, seconds_to_micros(0.05 * static_cast<double>(i)),
+                        {static_cast<Value>(i % 9),
+                         static_cast<Value>(i % 5),
+                         static_cast<Value>(i % 3)}));
+    if (i % 60 == 0) stem.check_invariants();
+  }
+  stem.check_invariants();
+  stem.expire(seconds_to_micros(12));
+  stem.check_invariants();
+  stem.expire(seconds_to_micros(100));
+  EXPECT_EQ(stem.stored_tuples(), 0u);
+  stem.check_invariants();
+}
+
 }  // namespace
 }  // namespace amri::engine

@@ -213,5 +213,18 @@ TEST(BitAddressIndex, ClearEmptiesAndReleasesMemory) {
   EXPECT_EQ(mem.category(MemCategory::kIndexStructure), 0u);
 }
 
+TEST(BitAddressIndex, InvariantsHoldAcrossMutations) {
+  BitAddressIndex idx(jas3(), IndexConfig({3, 3, 0}), BitMapper::hashing(3));
+  testutil::TuplePool pool(300, 3, 16, 77);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+  idx.check_invariants();
+  idx.reconfigure(IndexConfig({2, 2, 2}));
+  idx.check_invariants();
+  for (std::size_t i = 0; i < 150; ++i) idx.erase(pool.at(i));
+  idx.check_invariants();
+  idx.clear();
+  idx.check_invariants();
+}
+
 }  // namespace
 }  // namespace amri::index

@@ -149,5 +149,14 @@ TEST(LossyCounting, ClearResets) {
   EXPECT_EQ(lc.estimate(1), 0u);
 }
 
+TEST(LossyCounting, InvariantsHoldAcrossCompressions) {
+  LossyCounting<int> lc(0.01);
+  for (int i = 0; i < 50000; ++i) {
+    lc.observe(i % 317);
+    if (i % 7000 == 0) lc.check_invariants();
+  }
+  lc.check_invariants();
+}
+
 }  // namespace
 }  // namespace amri::stats

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""AMRI project lint: repo-specific invariants no generic tool enforces.
+
+Rules
+-----
+AMRI001  deterministic randomness only: no rand()/srand()/std::random_device/
+         std::mt19937/std::default_random_engine outside src/common/rng.hpp.
+         Every simulation result must be reproducible from a seed.
+AMRI002  no raw new/delete: ownership goes through containers and
+         std::make_unique; logical allocation accounting goes through
+         MemoryTracker (src/common/memory_tracker.hpp is the one exemption).
+AMRI003  telemetry pointers are nullable by contract: a `telemetry->` /
+         `telemetry_->` dereference must be preceded (within 40 lines)
+         by a null check or assert on the same pointer. The disabled
+         telemetry path is a null pointer, so an unguarded deref is a crash
+         on every untraced run.
+AMRI004  every header starts with `#pragma once` (or a classic include
+         guard) near the top.
+AMRI005  library code (src/) never writes to stdout: no std::cout /
+         printf / puts. Reports go through std::ostream parameters or the
+         telemetry exporters; stderr (fprintf(stderr, ...)) is allowed for
+         fatal diagnostics.
+
+A finding can be waived in place with `// amri-lint: allow(AMRI00N)` on the
+offending line.
+
+Usage:  amri_lint.py [paths...]      (default: src/ next to this script)
+Exit:   0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from dataclasses import dataclass
+
+CXX_SUFFIXES = {".hpp", ".h", ".cpp", ".cc", ".cxx"}
+HEADER_SUFFIXES = {".hpp", ".h"}
+
+# Files exempt from specific rules (matched on posix path suffix).
+RULE_EXEMPT = {
+    "AMRI001": ("src/common/rng.hpp",),
+    "AMRI002": ("src/common/memory_tracker.hpp",),
+}
+
+RANDOMNESS_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand)\s*\(|std::random_device"
+    r"|std::mt19937(?:_64)?|std::default_random_engine"
+)
+NEW_RE = re.compile(r"\bnew\s+[A-Za-z_:(<]|\bnew\s*\[")
+DELETE_RE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
+# Not flagged: `= delete` (deleted functions) and `::operator new/delete`
+# (raw-storage management inside container implementations).
+NON_OWNING_USES_RE = re.compile(r"=\s*delete\b|\boperator\s+(?:new|delete)\b")
+TELEMETRY_DEREF_RE = re.compile(r"\b(telemetry_|telemetry)\s*->")
+TELEMETRY_GUARD_RE = re.compile(
+    r"\b(telemetry_|telemetry)\s*(?:!=|==)\s*nullptr"
+    r"|if\s*\(\s*(telemetry_|telemetry)\s*\)"
+)
+STDOUT_RE = re.compile(r"std::cout|\bprintf\s*\(|\bputs\s*\(")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once", re.MULTILINE)
+INCLUDE_GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+\s*\n\s*#\s*define\s+\w+",
+                              re.MULTILINE)
+WAIVER_RE = re.compile(r"amri-lint:\s*allow\(([A-Z0-9, ]+)\)")
+
+TELEMETRY_GUARD_WINDOW = 40  # lines of lookback for AMRI003
+
+
+@dataclass
+class Finding:
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line breaks
+    so line numbers keep matching the original file."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif mode in ("string", "char"):
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def is_exempt(rule: str, path: pathlib.Path) -> bool:
+    posix = path.as_posix()
+    return any(posix.endswith(sfx) for sfx in RULE_EXEMPT.get(rule, ()))
+
+
+def lint_text(path: pathlib.Path, text: str,
+              library_code: bool = True) -> list[Finding]:
+    """Lint one file's contents. `library_code` applies the src/-only rules
+    (AMRI005); headers are detected from the suffix."""
+    findings: list[Finding] = []
+    raw_lines = text.splitlines()
+    waivers: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = WAIVER_RE.search(line)
+        if m:
+            waivers[idx] = {r.strip() for r in m.group(1).split(",")}
+
+    code = strip_comments_and_strings(text)
+    code_lines = code.splitlines()
+
+    def add(line_no: int, rule: str, message: str) -> None:
+        if rule in waivers.get(line_no, ()) or is_exempt(rule, path):
+            return
+        findings.append(Finding(path, line_no, rule, message))
+
+    for idx, line in enumerate(code_lines, start=1):
+        if RANDOMNESS_RE.search(line):
+            add(idx, "AMRI001",
+                "non-deterministic/ad-hoc randomness; use amri::Rng "
+                "(src/common/rng.hpp) seeded from the run config")
+        ownership_line = NON_OWNING_USES_RE.sub("", line)
+        if NEW_RE.search(ownership_line):
+            add(idx, "AMRI002",
+                "raw `new`; use std::make_unique / containers (logical "
+                "accounting goes through MemoryTracker)")
+        if DELETE_RE.search(ownership_line):
+            add(idx, "AMRI002",
+                "raw `delete`; ownership must be RAII-managed")
+        for m in TELEMETRY_DEREF_RE.finditer(line):
+            lo = max(0, idx - TELEMETRY_GUARD_WINDOW)
+            window = code_lines[lo:idx]  # includes the deref line itself
+            if not any(TELEMETRY_GUARD_RE.search(w) for w in window):
+                add(idx, "AMRI003",
+                    f"`{m.group(1)}->` without a null check within "
+                    f"{TELEMETRY_GUARD_WINDOW} lines; telemetry handles are "
+                    "nullable (detached) by contract")
+        if library_code and STDOUT_RE.search(line):
+            add(idx, "AMRI005",
+                "stdout write in library code; take a std::ostream& or use "
+                "the telemetry exporters")
+
+    if path.suffix in HEADER_SUFFIXES:
+        head = "\n".join(raw_lines[:30])
+        if not (PRAGMA_ONCE_RE.search(head) or INCLUDE_GUARD_RE.search(head)):
+            add(1, "AMRI004",
+                "header lacks `#pragma once` (or an include guard) in its "
+                "first 30 lines")
+
+    return findings
+
+
+def lint_file(path: pathlib.Path, library_code: bool) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [Finding(path, 1, "AMRI000", f"unreadable: {err}")]
+    return lint_text(path, text, library_code=library_code)
+
+
+def collect_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(f for f in p.rglob("*")
+                                if f.suffix in CXX_SUFFIXES))
+        elif p.suffix in CXX_SUFFIXES:
+            files.append(p)
+        else:
+            raise ValueError(f"not a C++ file or directory: {p}")
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="files or directories (default: src/)")
+    parser.add_argument("--no-library-rules", action="store_true",
+                        help="skip src/-only rules (AMRI005) for test/bench "
+                             "trees that legitimately print")
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [pathlib.Path(__file__).resolve().parent.parent /
+                           "src"]
+    try:
+        files = collect_files(paths)
+    except ValueError as err:
+        print(f"amri_lint: {err}", file=sys.stderr)
+        return 2
+    if not files:
+        print("amri_lint: no C++ files found", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, library_code=not args.no_library_rules))
+
+    for finding in findings:
+        print(finding.render())
+    print(f"amri_lint: {len(files)} files, {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

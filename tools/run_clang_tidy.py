@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the AMRI sources against the repo .clang-tidy.
+
+Looks for a compile_commands.json (pass --build-dir, or it probes the usual
+build directories), fans the translation units out over a process pool, and
+exits non-zero if any diagnostic is emitted — the project baseline is zero
+warnings on src/.
+
+Without clang-tidy on PATH the script reports SKIP and exits 0 so that
+developer machines without an LLVM toolchain aren't blocked; CI passes
+--strict, which turns a missing tool into a failure.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir build] [--jobs N] [--strict] [paths...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx"}
+TIDY_CANDIDATES = (
+    "clang-tidy",
+    "clang-tidy-19",
+    "clang-tidy-18",
+    "clang-tidy-17",
+    "clang-tidy-16",
+)
+BUILD_DIR_CANDIDATES = ("build", "build-tidy", "build-asan", "build-ubsan")
+
+
+def find_clang_tidy() -> str | None:
+    for name in TIDY_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def find_compile_commands(build_dir: str | None) -> pathlib.Path | None:
+    candidates = [build_dir] if build_dir else list(BUILD_DIR_CANDIDATES)
+    for d in candidates:
+        cc = REPO_ROOT / d / "compile_commands.json"
+        if cc.is_file():
+            return cc
+    return None
+
+
+def translation_units(cc_path: pathlib.Path,
+                      wanted: list[pathlib.Path]) -> list[pathlib.Path]:
+    """Files present in the compilation database, filtered to `wanted` roots."""
+    with cc_path.open(encoding="utf-8") as fh:
+        db = json.load(fh)
+    roots = [p.resolve() for p in wanted]
+    out: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    for entry in db:
+        f = pathlib.Path(entry["file"])
+        if not f.is_absolute():
+            f = pathlib.Path(entry["directory"]) / f
+        f = f.resolve()
+        if f.suffix not in CXX_SUFFIXES or f in seen:
+            continue
+        if any(root == f or root in f.parents for root in roots):
+            seen.add(f)
+            out.append(f)
+    return sorted(out)
+
+
+def run_one(tidy: str, cc_dir: pathlib.Path,
+            tu: pathlib.Path) -> tuple[pathlib.Path, int, str]:
+    proc = subprocess.run(
+        [tidy, "-p", str(cc_dir), "--quiet", str(tu)],
+        capture_output=True, text=True, check=False)
+    # clang-tidy prints diagnostics on stdout; suppress the noise-only
+    # "N warnings generated" counters that land on stderr.
+    return tu, proc.returncode, proc.stdout.strip()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=pathlib.Path,
+                        help="source roots to lint (default: src/)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir containing compile_commands.json")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="parallel clang-tidy processes (default: ncpu)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (exit 3) instead of SKIP when clang-tidy "
+                             "or the compilation database is missing")
+    args = parser.parse_args(argv)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH"
+              + ("" if args.strict else " -- SKIP"), file=sys.stderr)
+        return 3 if args.strict else 0
+
+    cc_path = find_compile_commands(args.build_dir)
+    if cc_path is None:
+        print("run_clang_tidy: no compile_commands.json (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+              + ("" if args.strict else " -- SKIP"), file=sys.stderr)
+        return 3 if args.strict else 0
+
+    wanted = args.paths or [REPO_ROOT / "src"]
+    tus = translation_units(cc_path, wanted)
+    if not tus:
+        print("run_clang_tidy: no translation units matched", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs or None  # None => ProcessPoolExecutor default (ncpu)
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(run_one, tidy, cc_path.parent, tu)
+                   for tu in tus]
+        for fut in concurrent.futures.as_completed(futures):
+            tu, rc, output = fut.result()
+            if rc != 0 or output:
+                failed += 1
+                rel = tu.relative_to(REPO_ROOT) if tu.is_relative_to(
+                    REPO_ROOT) else tu
+                print(f"--- {rel}")
+                if output:
+                    print(output)
+    print(f"run_clang_tidy: {len(tus)} TUs, {failed} with diagnostics",
+          file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Unit tests for amri_lint.py, run on inline fixture snippets.
+
+Executed by ctest as `amri_lint_selftest` and runnable directly:
+  python3 tools/test_amri_lint.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from amri_lint import lint_text, strip_comments_and_strings  # noqa: E402
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def lint(text, path="src/fixture.cpp", library_code=True):
+    return lint_text(pathlib.Path(path), text, library_code=library_code)
+
+
+class StripTest(unittest.TestCase):
+    def test_preserves_line_count(self):
+        text = 'int a; // c1\n/* b1\n b2 */ int b;\nauto s = "x\\"y";\n'
+        stripped = strip_comments_and_strings(text)
+        self.assertEqual(stripped.count("\n"), text.count("\n"))
+
+    def test_blanks_comments_and_strings(self):
+        stripped = strip_comments_and_strings(
+            'call(); // new Foo\nauto s = "delete p";\n')
+        self.assertNotIn("new Foo", stripped)
+        self.assertNotIn("delete p", stripped)
+        self.assertIn("call();", stripped)
+
+    def test_char_literal_with_escape(self):
+        stripped = strip_comments_and_strings("char c = '\\''; int x;")
+        self.assertIn("int x;", stripped)
+
+
+class RandomnessRuleTest(unittest.TestCase):
+    def test_flags_rand_and_engines(self):
+        for snippet in ("int x = rand();", "srand(42);",
+                        "std::random_device rd;", "std::mt19937 gen;",
+                        "std::mt19937_64 gen;",
+                        "std::default_random_engine e;"):
+            self.assertIn("AMRI001", rules_of(lint(snippet)), snippet)
+
+    def test_ignores_lookalikes_and_comments(self):
+        for snippet in ("int operand = 3;", "// use std::mt19937 here?",
+                        'log("rand()");', "int random_device_count = 0;"):
+            self.assertNotIn("AMRI001", rules_of(lint(snippet)), snippet)
+
+    def test_rng_header_exempt(self):
+        findings = lint("std::mt19937_64 engine_;",
+                        path="src/common/rng.hpp")
+        self.assertNotIn("AMRI001", rules_of(findings))
+
+
+class OwnershipRuleTest(unittest.TestCase):
+    def test_flags_raw_new_delete(self):
+        self.assertIn("AMRI002", rules_of(lint("auto* p = new Foo();")))
+        self.assertIn("AMRI002", rules_of(lint("auto* p = new int[8];")))
+        self.assertIn("AMRI002", rules_of(lint("delete p;")))
+        self.assertIn("AMRI002", rules_of(lint("delete[] arr;")))
+
+    def test_allows_deleted_functions_and_placement_machinery(self):
+        for snippet in ("Foo(const Foo&) = delete;",
+                        "Foo& operator=(Foo&&) = delete;",
+                        "void* operator new(std::size_t);",
+                        "void operator delete(void*) noexcept;"):
+            self.assertNotIn("AMRI002", rules_of(lint(snippet)), snippet)
+
+    def test_memory_tracker_exempt(self):
+        findings = lint("auto* p = new char[n];",
+                        path="src/common/memory_tracker.hpp")
+        self.assertNotIn("AMRI002", rules_of(findings))
+
+    def test_waiver(self):
+        snippet = "delete p;  // amri-lint: allow(AMRI002)"
+        self.assertNotIn("AMRI002", rules_of(lint(snippet)))
+
+
+class TelemetryRuleTest(unittest.TestCase):
+    def test_flags_unguarded_deref(self):
+        self.assertIn("AMRI003", rules_of(lint("telemetry_->emit(e);")))
+
+    def test_guard_on_same_line(self):
+        snippet = "if (telemetry_ != nullptr) telemetry_->emit(e);"
+        self.assertNotIn("AMRI003", rules_of(lint(snippet)))
+
+    def test_guard_within_window(self):
+        snippet = ("void f() {\n"
+                   "  if (telemetry_ == nullptr) return;\n"
+                   + "  work();\n" * 10 +
+                   "  telemetry_->emit(e);\n}\n")
+        self.assertNotIn("AMRI003", rules_of(lint(snippet)))
+
+    def test_guard_outside_window_flags(self):
+        snippet = ("if (telemetry_ != nullptr) { g(); }\n"
+                   + "work();\n" * 60 +
+                   "telemetry_->emit(e);\n")
+        self.assertIn("AMRI003", rules_of(lint(snippet)))
+
+    def test_truthiness_guard_accepted(self):
+        snippet = "if (telemetry_) { telemetry_->emit(e); }"
+        self.assertNotIn("AMRI003", rules_of(lint(snippet)))
+
+
+class HeaderGuardRuleTest(unittest.TestCase):
+    def test_header_without_guard_flagged(self):
+        findings = lint("#include <vector>\nint f();\n",
+                        path="src/index/foo.hpp")
+        self.assertIn("AMRI004", rules_of(findings))
+
+    def test_pragma_once_ok(self):
+        findings = lint("#pragma once\nint f();\n", path="src/index/foo.hpp")
+        self.assertNotIn("AMRI004", rules_of(findings))
+
+    def test_classic_guard_ok(self):
+        text = "#ifndef AMRI_FOO_HPP\n#define AMRI_FOO_HPP\n#endif\n"
+        findings = lint(text, path="src/index/foo.hpp")
+        self.assertNotIn("AMRI004", rules_of(findings))
+
+    def test_cpp_file_not_checked(self):
+        findings = lint("#include <vector>\nint f() { return 1; }\n",
+                        path="src/index/foo.cpp")
+        self.assertNotIn("AMRI004", rules_of(findings))
+
+
+class StdoutRuleTest(unittest.TestCase):
+    def test_flags_cout_printf_puts(self):
+        for snippet in ('std::cout << "x";', 'printf("%d", x);',
+                        'puts("hello");'):
+            self.assertIn("AMRI005", rules_of(lint(snippet)), snippet)
+
+    def test_allows_stderr_and_snprintf(self):
+        for snippet in ('fprintf(stderr, "fatal\\n");',
+                        "snprintf(buf, sizeof(buf), fmt);"):
+            self.assertNotIn("AMRI005", rules_of(lint(snippet)), snippet)
+
+    def test_non_library_code_skips_rule(self):
+        findings = lint('std::cout << "bench result";',
+                        path="bench/report.cpp", library_code=False)
+        self.assertNotIn("AMRI005", rules_of(findings))
+
+
+class WaiverTest(unittest.TestCase):
+    def test_multi_rule_waiver(self):
+        snippet = "auto* p = new Foo(); // amri-lint: allow(AMRI002, AMRI005)"
+        self.assertEqual(rules_of(lint(snippet)), [])
+
+    def test_waiver_only_applies_to_its_line(self):
+        snippet = ("delete p;  // amri-lint: allow(AMRI002)\n"
+                   "delete q;\n")
+        findings = lint(snippet)
+        self.assertEqual(rules_of(findings), ["AMRI002"])
+        self.assertEqual(findings[0].line, 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
