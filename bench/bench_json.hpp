@@ -1,0 +1,165 @@
+// Machine-readable bench output: every bench binary accepts
+// `--json <path>` (or `--json=<path>`) and writes an array of
+// {"bench", "metric", "value"} records alongside its normal console
+// output. tools/run_bench.py aggregates these per-binary files into the
+// committed BENCH_<date>.json trajectory (see docs/benchmarking.md).
+//
+// Two entry points:
+//   * AMRI_BENCHMARK_MAIN() — drop-in replacement for BENCHMARK_MAIN() in
+//     google-benchmark binaries; records real/cpu time and every user
+//     counter (items_per_second etc.) per benchmark run;
+//   * maybe_write_json(cfg, records) — for the plain figure/ablation
+//     binaries, which collect their own records and honour json=<path>.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace amri::bench {
+
+/// One measured scalar: which benchmark produced it, what it measures
+/// (metric names carry their unit suffix, e.g. "real_time_ns"), and the
+/// value itself.
+struct BenchRecord {
+  std::string bench;
+  std::string metric;
+  double value = 0.0;
+};
+
+inline void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Serialise `records` as a JSON array (one object per line, so diffs and
+/// greps stay readable). Returns false if the file cannot be written.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  std::string body = "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    body += "  {\"bench\": \"";
+    append_json_escaped(body, records[i].bench);
+    body += "\", \"metric\": \"";
+    append_json_escaped(body, records[i].metric);
+    body += "\", \"value\": ";
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.17g", records[i].value);
+    body += num;
+    body += i + 1 < records.size() ? "},\n" : "}\n";
+  }
+  body += "]\n";
+  out << body;
+  return static_cast<bool>(out);
+}
+
+}  // namespace amri::bench
+
+// The google-benchmark harness below is only available to binaries that
+// link the library; the plain figure/ablation benches include this header
+// without it.
+#if defined(BENCHMARK_BENCHMARK_H_)
+
+namespace amri::bench {
+
+/// A ConsoleReporter that also records every per-iteration run. Subclassing
+/// the display reporter (instead of passing a file reporter) sidesteps
+/// google-benchmark's requirement that file reporters come with
+/// --benchmark_out, and keeps the familiar console table intact.
+class RecordingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      // With repetitions, record the aggregate rows (mean/median/stddev —
+      // the name carries the suffix) and skip the individual repetitions;
+      // without, record the single iteration run.
+      if (run.run_type == Run::RT_Iteration && run.repetitions > 1) continue;
+      const std::string unit = benchmark::GetTimeUnitString(run.time_unit);
+      const std::string name = run.benchmark_name();
+      records_.push_back(
+          {name, "real_time_" + unit, run.GetAdjustedRealTime()});
+      records_.push_back({name, "cpu_time_" + unit, run.GetAdjustedCPUTime()});
+      for (const auto& [counter_name, counter] : run.counters) {
+        records_.push_back({name, counter_name, counter.value});
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+/// BENCHMARK_MAIN() body plus `--json <path>` handling: the flag is
+/// stripped before google-benchmark sees argv (it rejects unknown flags).
+inline int gbench_main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pargc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pargc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pargc, passthrough.data())) {
+    return 1;
+  }
+  RecordingConsoleReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    if (!write_bench_json(json_path, reporter.records())) {
+      std::cerr << "bench-json: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cerr << "bench-json: wrote " << json_path << " ("
+              << reporter.records().size() << " records)\n";
+  }
+  return 0;
+}
+
+}  // namespace amri::bench
+
+#define AMRI_BENCHMARK_MAIN()                 \
+  int main(int argc, char** argv) {           \
+    return amri::bench::gbench_main(argc, argv); \
+  }
+
+#endif  // defined(BENCHMARK_BENCHMARK_H_)

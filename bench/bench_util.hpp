@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/config.hpp"
 #include "common/table_printer.hpp"
 #include "engine/executor.hpp"
@@ -196,6 +197,36 @@ inline void maybe_write_trace(const Config& cfg,
   } else {
     std::cerr << "trace: cannot write " << path << "\n";
   }
+}
+
+/// If the config carries json=<path> (or --json <path>), dump `records`
+/// to that path in the shared bench-JSON schema (bench_json.hpp), the
+/// format tools/run_bench.py aggregates into BENCH_<date>.json.
+inline void maybe_write_json(const Config& cfg,
+                             const std::vector<BenchRecord>& records) {
+  const auto path = cfg.get_string("json");
+  if (!path) return;
+  if (write_bench_json(*path, records)) {
+    std::cerr << "bench-json: wrote " << *path << " (" << records.size()
+              << " records)\n";
+  } else {
+    std::cerr << "bench-json: cannot write " << *path << "\n";
+  }
+}
+
+/// The standard per-method summary records every figure bench emits:
+/// final outputs, death time (-1 while alive), and peak memory.
+inline void append_run_records(std::vector<BenchRecord>& records,
+                               const std::string& bench,
+                               const std::string& label,
+                               const engine::RunResult& r) {
+  const std::string key = bench + "/" + label;
+  records.push_back(
+      {key, "outputs", static_cast<double>(r.outputs)});
+  records.push_back({key, "died_at_sec",
+                     r.died_at ? micros_to_seconds(*r.died_at) : -1.0});
+  records.push_back(
+      {key, "peak_memory_bytes", static_cast<double>(r.peak_memory)});
 }
 
 /// If the config carries csv_dir=<path>, dump `table` to

@@ -89,6 +89,17 @@ int main(int argc, char** argv) {
                               seconds_to_micros(params.duration_seconds),
                               seconds_to_micros(params.sample_seconds)),
                   "fig6_assessment_curves");
+  std::vector<BenchRecord> records;
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    records.push_back({"fig6_assessment/" + methods[i].label, "outputs",
+                       static_cast<double>(total_outputs[i])});
+    records.push_back({"fig6_assessment/" + methods[i].label, "migrations",
+                       static_cast<double>(total_migrations[i])});
+    records.push_back({"fig6_assessment/" + methods[i].label,
+                       "peak_memory_bytes",
+                       static_cast<double>(peak_memory[i])});
+  }
+  maybe_write_json(cfg, records);
 
   const double sria = static_cast<double>(total_outputs[0]);
   const double csria = static_cast<double>(total_outputs[1]);

@@ -73,6 +73,12 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   maybe_write_csv(cfg, table, "fig6_hash_baseline");
+  std::vector<BenchRecord> records;
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    append_run_records(records, "fig6_hash_baseline", methods[i].label,
+                       results[i]);
+  }
+  maybe_write_json(cfg, records);
 
   // Paper claim: AMRI produces ~93% more results than the best hash config.
   std::uint64_t best_hash = 0;

@@ -64,6 +64,11 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   maybe_write_csv(cfg, table, "fig7_totals");
+  std::vector<BenchRecord> records;
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    append_run_records(records, "fig7_overall", methods[i].label, results[i]);
+  }
+  maybe_write_json(cfg, records);
   maybe_write_csv(cfg,
                   curve_table(methods, results,
                               seconds_to_micros(params.duration_seconds),

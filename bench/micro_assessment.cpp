@@ -3,6 +3,8 @@
 // access-pattern workload, swept over epsilon.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "assessment/assessor.hpp"
 #include "workload/request_generator.hpp"
 
@@ -61,4 +63,4 @@ BENCHMARK(BM_Assess_CDIA_HC)->Arg(10)->Arg(50)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AMRI_BENCHMARK_MAIN()

@@ -5,6 +5,8 @@
 // retained table size.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <vector>
 
 #include "common/rng.hpp"
@@ -103,4 +105,4 @@ BENCHMARK(BM_HierarchicalHH_Results);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AMRI_BENCHMARK_MAIN()

@@ -7,7 +7,10 @@
 //   * migration (IC change) rehashes each stored tuple once.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -76,14 +79,21 @@ void BM_AccessModules_Insert(benchmark::State& state) {
 }
 BENCHMARK(BM_AccessModules_Insert)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
 
+// IC sized so occupancy stays near the paper's balanced-bucket goal
+// (~1.5 tuples/bucket) at every scale arg.
+IndexConfig config_for(std::size_t tuples) {
+  return tuples <= 20000 ? IndexConfig({4, 4, 4}) : IndexConfig({6, 5, 5});
+}
+
 void BM_BitAddress_ProbeExact(benchmark::State& state) {
-  const auto tuples = make_tuples(kTuples, 2);
-  BitAddressIndex idx(jas3(), IndexConfig({4, 4, 4}), BitMapper::hashing(3));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tuples = make_tuples(n, 2);
+  BitAddressIndex idx(jas3(), config_for(n), BitMapper::hashing(3));
   for (const auto& t : tuples) idx.insert(t.get());
   Rng rng(3);
   std::vector<const Tuple*> out;
   for (auto _ : state) {
-    const Tuple& target = *tuples[rng.below(kTuples)];
+    const Tuple& target = *tuples[rng.below(n)];
     ProbeKey key;
     key.mask = 0b111;
     key.values = {target.at(0), target.at(1), target.at(2)};
@@ -92,7 +102,155 @@ void BM_BitAddress_ProbeExact(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_BitAddress_ProbeExact);
+BENCHMARK(BM_BitAddress_ProbeExact)->Arg(10000)->Arg(100000);
+
+// The pre-rewrite bucket directory — a sparse unordered_map of vectors —
+// kept alive as an in-binary baseline so one run measures the flat
+// open-addressing directory against it (the probe+insert speedup recorded
+// in BENCH_<date>.json tracks this pair).
+struct UnorderedDirectoryIndex {
+  JoinAttributeSet jas = jas3();
+  IndexConfig config;
+  BitMapper mapper = BitMapper::hashing(3);
+  std::unordered_map<BucketId, std::vector<const Tuple*>> buckets;
+  std::size_t size = 0;
+
+  explicit UnorderedDirectoryIndex(IndexConfig c) : config(std::move(c)) {}
+
+  BucketId bucket_of(const Tuple& t) const {
+    BucketId id = 0;
+    for (std::size_t pos = 0; pos < config.num_attrs(); ++pos) {
+      const int bits = config.bits(pos);
+      if (bits == 0) continue;
+      id |= mapper.map(pos, t.at(jas.tuple_attr(pos)), bits)
+            << config.shift_of(pos);
+    }
+    return id;
+  }
+
+  void insert(const Tuple* t) {
+    buckets[bucket_of(*t)].push_back(t);
+    ++size;
+  }
+
+  void erase(const Tuple* t) {
+    const auto it = buckets.find(bucket_of(*t));
+    if (it == buckets.end()) return;
+    auto& bucket = it->second;
+    const auto pos = std::find(bucket.begin(), bucket.end(), t);
+    if (pos == bucket.end()) return;
+    *pos = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) buckets.erase(it);
+    --size;
+  }
+
+  void probe_exact(const ProbeKey& key, std::vector<const Tuple*>& out) const {
+    BucketId id = 0;
+    for (std::size_t pos = 0; pos < config.num_attrs(); ++pos) {
+      const int bits = config.bits(pos);
+      if (bits == 0) continue;
+      id |= mapper.map(pos, key.values[pos], bits) << config.shift_of(pos);
+    }
+    const auto it = buckets.find(id);
+    if (it == buckets.end()) return;
+    for (const Tuple* t : it->second) {
+      if (key.matches(*t, jas)) out.push_back(t);
+    }
+  }
+};
+
+void BM_UnorderedBaseline_Insert(benchmark::State& state) {
+  const auto tuples = make_tuples(kTuples, 1);
+  const auto bits = static_cast<std::uint8_t>(state.range(0));
+  for (auto _ : state) {
+    UnorderedDirectoryIndex idx(IndexConfig({bits, bits, bits}));
+    for (const auto& t : tuples) idx.insert(t.get());
+    benchmark::DoNotOptimize(idx.size);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTuples));
+}
+BENCHMARK(BM_UnorderedBaseline_Insert)->Arg(2)->Arg(4);
+
+void BM_UnorderedBaseline_ProbeExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto tuples = make_tuples(n, 2);
+  UnorderedDirectoryIndex idx(config_for(n));
+  for (const auto& t : tuples) idx.insert(t.get());
+  Rng rng(3);
+  std::vector<const Tuple*> out;
+  for (auto _ : state) {
+    const Tuple& target = *tuples[rng.below(n)];
+    ProbeKey key;
+    key.mask = 0b111;
+    key.values = {target.at(0), target.at(1), target.at(2)};
+    out.clear();
+    idx.probe_exact(key, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnorderedBaseline_ProbeExact)->Arg(10000)->Arg(100000);
+
+// The sliding-window hot loop (the workload every STeM runs forever):
+// insert the newest arrival, expire the oldest, probe. One item = one
+// insert+erase+probe round, so items_per_second is the directory's
+// steady-state churn throughput. This is the headline flat-vs-unordered
+// comparison: churn is where per-bucket node allocation and erase-side
+// rehashing hurt the map, while the flat directory recycles slots in place.
+void BM_BitAddress_InsertProbeChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t window = n / 2;
+  const auto tuples = make_tuples(n, 21);
+  BitAddressIndex idx(jas3(), config_for(n), BitMapper::hashing(3));
+  for (std::size_t i = 0; i < window; ++i) idx.insert(tuples[i].get());
+  Rng rng(22);
+  std::vector<const Tuple*> out;
+  std::size_t newest = window;
+  std::size_t oldest = 0;
+  for (auto _ : state) {
+    idx.insert(tuples[newest].get());
+    idx.erase(tuples[oldest].get());
+    newest = (newest + 1) % n;
+    oldest = (oldest + 1) % n;
+    const Tuple& target = *tuples[(oldest + rng.below(window)) % n];
+    ProbeKey key;
+    key.mask = 0b111;
+    key.values = {target.at(0), target.at(1), target.at(2)};
+    out.clear();
+    benchmark::DoNotOptimize(idx.probe(key, out));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BitAddress_InsertProbeChurn)->Arg(10000)->Arg(100000);
+
+void BM_UnorderedBaseline_InsertProbeChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t window = n / 2;
+  const auto tuples = make_tuples(n, 21);
+  UnorderedDirectoryIndex idx(config_for(n));
+  for (std::size_t i = 0; i < window; ++i) idx.insert(tuples[i].get());
+  Rng rng(22);
+  std::vector<const Tuple*> out;
+  std::size_t newest = window;
+  std::size_t oldest = 0;
+  for (auto _ : state) {
+    idx.insert(tuples[newest].get());
+    idx.erase(tuples[oldest].get());
+    newest = (newest + 1) % n;
+    oldest = (oldest + 1) % n;
+    const Tuple& target = *tuples[(oldest + rng.below(window)) % n];
+    ProbeKey key;
+    key.mask = 0b111;
+    key.values = {target.at(0), target.at(1), target.at(2)};
+    out.clear();
+    idx.probe_exact(key, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnorderedBaseline_InsertProbeChurn)->Arg(10000)->Arg(100000);
 
 void BM_BitAddress_ProbeWildcard(benchmark::State& state) {
   const auto tuples = make_tuples(kTuples, 2);
@@ -259,4 +417,4 @@ BENCHMARK(BM_AccessModules_Retune);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AMRI_BENCHMARK_MAIN()

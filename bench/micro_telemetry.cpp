@@ -7,6 +7,8 @@
 //     emit) bound the per-call price of each instrumentation site.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <memory>
 #include <vector>
 
@@ -101,4 +103,4 @@ BENCHMARK(BM_Event_Emit);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+AMRI_BENCHMARK_MAIN()

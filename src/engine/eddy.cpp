@@ -61,7 +61,6 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
   std::vector<Partial> stack;
   stack.push_back(std::move(root));
 
-  std::vector<const Tuple*> matches;
   while (!stack.empty()) {
     if (++processed > options_.max_partials_per_arrival) {
       ++truncated_;
@@ -128,7 +127,9 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
       key.values[stem_pos] = p.members[peer.stream]->at(peer.attr);
     });
 
-    matches.clear();
+    // The target STeM's scratch arena: cleared here, capacity retained
+    // across arrivals, so the steady-state probe path allocates nothing.
+    std::vector<const Tuple*>& matches = stems_[target]->probe_scratch();
     const auto probe_stats = stems_[target]->probe(key, matches);
     stats_.record(target, ap, static_cast<double>(probe_stats.matches),
                   static_cast<double>(probe_stats.tuples_compared));

@@ -80,6 +80,15 @@ class StemOperator {
   index::ProbeStats probe(const index::ProbeKey& key,
                           std::vector<const Tuple*>& out);
 
+  /// Reusable probe-output arena: returned cleared, capacity persists
+  /// across calls, so steady-state probing through this buffer performs no
+  /// allocation. The contents are valid until the next probe_scratch()
+  /// call on this STeM; callers needing longer-lived results must copy.
+  std::vector<const Tuple*>& probe_scratch() {
+    probe_scratch_.clear();
+    return probe_scratch_;
+  }
+
   std::size_t stored_tuples() const { return window_store_.size(); }
   const index::TupleIndex& physical_index() const { return *index_; }
 
@@ -136,6 +145,7 @@ class StemOperator {
   double warmup_pause_us_ = 0.0;
   std::uint64_t probes_ = 0;
   std::size_t tracked_tuple_bytes_ = 0;
+  std::vector<const Tuple*> probe_scratch_;
   // Telemetry instruments (null when detached).
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* probe_counter_ = nullptr;

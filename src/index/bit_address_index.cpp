@@ -8,11 +8,6 @@
 
 namespace amri::index {
 
-namespace {
-// Sparse-directory node overhead estimate: hash node + key.
-constexpr std::size_t kBucketOverhead = 48;
-}  // namespace
-
 BitAddressIndex::BitAddressIndex(JoinAttributeSet jas, IndexConfig config,
                                  BitMapper mapper, CostMeter* meter,
                                  MemoryTracker* memory)
@@ -76,42 +71,58 @@ BucketId BitAddressIndex::bucket_of(const Tuple& t) {
   return id;
 }
 
+std::uint64_t BitAddressIndex::tuple_tag(const Tuple& t) const {
+  // FNV-1a over the tuple's JAS values in position order. Must stay in
+  // lockstep with key_tag(): a fully bound probe key's tag equals the tag
+  // of every tuple it can match.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t pos = 0; pos < jas_.size(); ++pos) {
+    h ^= static_cast<std::uint64_t>(t.at(jas_.tuple_attr(pos)));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t BitAddressIndex::key_tag(const ProbeKey& key) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t pos = 0; pos < jas_.size(); ++pos) {
+    h ^= static_cast<std::uint64_t>(key.values[pos]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void BitAddressIndex::sync_memory() {
+  const std::size_t now = memory_bytes();
+  if (memory_ != nullptr) {
+    if (now > tracked_bytes_) {
+      memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
+    } else if (now < tracked_bytes_) {
+      memory_->release(MemCategory::kIndexStructure, tracked_bytes_ - now);
+    }
+  }
+  tracked_bytes_ = now;
+}
+
 void BitAddressIndex::insert(const Tuple* t) {
   assert(t != nullptr);
   const BucketId id = bucket_of(*t);
-  Bucket& bucket = buckets_[id];
-  bucket.push_back(t);
+  const std::size_t chain = buckets_.insert(id, t, tuple_tag(*t));
   ++size_;
   if (chain_hist_ != nullptr) {
-    chain_hist_->observe(static_cast<double>(bucket.size()));
+    chain_hist_->observe(static_cast<double>(chain));
   }
   if (meter_ != nullptr) meter_->charge_insert();
-  // Memory delta sync (pointer + possible directory growth).
-  const std::size_t now = memory_bytes();
-  if (memory_ != nullptr && now > tracked_bytes_) {
-    memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
-  }
-  tracked_bytes_ = now;
+  sync_memory();
 }
 
 void BitAddressIndex::erase(const Tuple* t) {
   assert(t != nullptr);
   const BucketId id = bucket_of(*t);
-  const auto it = buckets_.find(id);
-  if (it == buckets_.end()) return;
-  Bucket& bucket = it->second;
-  const auto pos = std::find(bucket.begin(), bucket.end(), t);
-  if (pos == bucket.end()) return;
-  *pos = bucket.back();
-  bucket.pop_back();
+  if (!buckets_.erase(id, t)) return;
   --size_;
-  if (bucket.empty()) buckets_.erase(it);
   if (meter_ != nullptr) meter_->charge_delete();
-  const std::size_t now = memory_bytes();
-  if (memory_ != nullptr && now < tracked_bytes_) {
-    memory_->release(MemCategory::kIndexStructure, tracked_bytes_ - now);
-  }
-  tracked_bytes_ = now;
+  sync_memory();
 }
 
 BitAddressIndex::ProbeLayout BitAddressIndex::layout_for(const ProbeKey& key) {
@@ -137,13 +148,11 @@ ProbeStats BitAddressIndex::probe(const ProbeKey& key,
   const ProbeLayout layout = layout_for(key);
 
   auto scan_bucket = [&](const Bucket& bucket) {
-    ++stats.buckets_visited;
-    if (meter_ != nullptr) meter_->charge_bucket_visit();
-    for (const Tuple* t : bucket) {
+    for (const BucketEntry& e : bucket) {
       ++stats.tuples_compared;
       if (meter_ != nullptr) meter_->charge_compare();
-      if (key.matches(*t, jas_)) {
-        out.push_back(t);
+      if (key.matches(*e.tuple, jas_)) {
+        out.push_back(e.tuple);
         ++stats.matches;
       }
     }
@@ -155,7 +164,33 @@ ProbeStats BitAddressIndex::probe(const ProbeKey& key,
     (enum_count <= buckets_.size() ? probes_enumerated_ : probes_filtered_)
         ->add();
   }
-  if (enum_count <= buckets_.size()) {
+  if (layout.wildcard_bits == 0) {
+    // Fully bound: exactly one bucket, no enumeration machinery.
+    if (meter_ != nullptr) meter_->charge_bucket_visit();
+    ++stats.buckets_visited;
+    const Bucket* bucket = buckets_.find(layout.fixed);
+    if (bucket != nullptr) {
+      if (static_cast<std::size_t>(key.bound_count()) == jas_.size()) {
+        // Every JAS attribute is bound, so the stored whole-tuple tag is
+        // decisive: mismatching entries are rejected in the cached bucket
+        // memory without touching the tuple. The tag check is the modelled
+        // comparison (same tuples_compared / C_c charge as the slow path);
+        // matches() then guards against tag collisions.
+        const std::uint64_t tag = key_tag(key);
+        for (const BucketEntry& e : *bucket) {
+          ++stats.tuples_compared;
+          if (meter_ != nullptr) meter_->charge_compare();
+          if (e.tag != tag) continue;
+          if (key.matches(*e.tuple, jas_)) {
+            out.push_back(e.tuple);
+            ++stats.matches;
+          }
+        }
+      } else {
+        scan_bucket(*bucket);
+      }
+    }
+  } else if (enum_count <= buckets_.size()) {
     // Enumerate the wildcard combinations and look each bucket id up.
     // Distribute the enumeration counter's bits into the unfixed positions.
     // Precompute the unfixed indexed bit positions (ascending).
@@ -171,26 +206,19 @@ ProbeStats BitAddressIndex::probe(const ProbeKey& key,
       for (std::size_t i = 0; i < free_positions.size(); ++i) {
         if ((w >> i) & 1u) id |= BucketId{1} << free_positions[i];
       }
-      const auto it = buckets_.find(id);
       if (meter_ != nullptr) meter_->charge_bucket_visit();
       ++stats.buckets_visited;
-      if (it == buckets_.end()) continue;
-      // scan_bucket would double-count the visit; inline the scan.
-      for (const Tuple* t : it->second) {
-        ++stats.tuples_compared;
-        if (meter_ != nullptr) meter_->charge_compare();
-        if (key.matches(*t, jas_)) {
-          out.push_back(t);
-          ++stats.matches;
-        }
-      }
+      const Bucket* bucket = buckets_.find(id);
+      if (bucket != nullptr) scan_bucket(*bucket);
     }
   } else {
-    // Cheaper to filter the sparse directory by the fixed bits.
-    for (const auto& [id, bucket] : buckets_) {
-      if ((id & layout.fixed_mask) != layout.fixed) continue;
+    // Cheaper to filter the flat directory by the fixed bits.
+    buckets_.for_each([&](BucketId id, const Bucket& bucket) {
+      if ((id & layout.fixed_mask) != layout.fixed) return;
+      ++stats.buckets_visited;
+      if (meter_ != nullptr) meter_->charge_bucket_visit();
       scan_bucket(bucket);
-    }
+    });
   }
   return stats;
 }
@@ -231,11 +259,11 @@ ProbeStats BitAddressIndex::probe_range(const RangeProbeKey& key,
   }
 
   auto scan_bucket = [&](const Bucket& bucket) {
-    for (const Tuple* t : bucket) {
+    for (const BucketEntry& e : bucket) {
       ++stats.tuples_compared;
       if (meter_ != nullptr) meter_->charge_compare();
-      if (key.matches(*t, jas_)) {
-        out.push_back(t);
+      if (key.matches(*e.tuple, jas_)) {
+        out.push_back(e.tuple);
         ++stats.matches;
       }
     }
@@ -252,8 +280,8 @@ ProbeStats BitAddressIndex::probe_range(const RangeProbeKey& key,
       }
       ++stats.buckets_visited;
       if (meter_ != nullptr) meter_->charge_bucket_visit();
-      const auto it = buckets_.find(id);
-      if (it != buckets_.end()) scan_bucket(it->second);
+      const Bucket* bucket = buckets_.find(id);
+      if (bucket != nullptr) scan_bucket(*bucket);
       // Advance the odometer; when every digit wraps, we are done.
       std::size_t i = 0;
       for (; i < ranges.size(); ++i) {
@@ -268,24 +296,19 @@ ProbeStats BitAddressIndex::probe_range(const RangeProbeKey& key,
   } else {
     // Cheaper to filter the directory: extract each indexed attribute's
     // chunk from the bucket id and test it against the chunk range.
-    for (const auto& [id, bucket] : buckets_) {
-      bool in_range = true;
+    buckets_.for_each([&](BucketId id, const Bucket& bucket) {
       for (std::size_t pos = 0, r = 0; pos < config_.num_attrs(); ++pos) {
         const int bits = config_.bits(pos);
         if (bits == 0) continue;
         const std::uint64_t chunk =
             (id >> config_.shift_of(pos)) & low_bits64(bits);
-        if (chunk < ranges[r].lo || chunk > ranges[r].hi) {
-          in_range = false;
-          break;
-        }
+        if (chunk < ranges[r].lo || chunk > ranges[r].hi) return;
         ++r;
       }
-      if (!in_range) continue;
       ++stats.buckets_visited;
       if (meter_ != nullptr) meter_->charge_bucket_visit();
       scan_bucket(bucket);
-    }
+    });
   }
   return stats;
 }
@@ -298,14 +321,13 @@ BitAddressIndex::OccupancyStats BitAddressIndex::occupancy() const {
   stats.min = SIZE_MAX;
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (const auto& [id, bucket] : buckets_) {
-    (void)id;
+  buckets_.for_each([&](BucketId, const Bucket& bucket) {
     const std::size_t n = bucket.size();
     stats.min = std::min(stats.min, n);
     stats.max = std::max(stats.max, n);
     sum += static_cast<double>(n);
     sum_sq += static_cast<double>(n) * static_cast<double>(n);
-  }
+  });
   const auto k = static_cast<double>(buckets_.size());
   stats.mean = sum / k;
   const double var = sum_sq / k - stats.mean * stats.mean;
@@ -316,8 +338,10 @@ BitAddressIndex::OccupancyStats BitAddressIndex::occupancy() const {
 }
 
 std::size_t BitAddressIndex::memory_bytes() const {
-  return buckets_.size() * (sizeof(Bucket) + kBucketOverhead) +
-         size_ * sizeof(const Tuple*);
+  // Capacity-aware: the directory's whole slot array (empty slots are real
+  // memory) plus heap-spilled bucket storage. Inline tuple pointers live
+  // inside the slots, so nothing is counted twice.
+  return buckets_.memory_bytes();
 }
 
 std::string BitAddressIndex::name() const {
@@ -335,13 +359,16 @@ void BitAddressIndex::clear() {
 
 void BitAddressIndex::bulk_load(const std::vector<const Tuple*>& tuples,
                                 ThreadPool* pool) {
-  // Phase 1: bucket ids, parallel when a pool is provided. Uses an
-  // uncharged local computation identical to bucket_of(); the modelled
-  // cost is charged once below so parallelism changes wall time only.
+  // Phase 1: bucket ids and value tags, parallel when a pool is provided.
+  // Uses an uncharged local computation identical to bucket_of(); the
+  // modelled cost is charged once below so parallelism changes wall time
+  // only.
   std::vector<BucketId> ids(tuples.size());
+  std::vector<std::uint64_t> tags(tuples.size());
   auto compute = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       ids[i] = bucket_of_uncharged(*tuples[i]);
+      tags[i] = tuple_tag(*tuples[i]);
     }
   };
   if (pool != nullptr) {
@@ -351,7 +378,7 @@ void BitAddressIndex::bulk_load(const std::vector<const Tuple*>& tuples,
   }
   // Phase 2: serial, deterministic directory insertion.
   for (std::size_t i = 0; i < tuples.size(); ++i) {
-    buckets_[ids[i]].push_back(tuples[i]);
+    buckets_.insert(ids[i], tuples[i], tags[i]);
   }
   size_ += tuples.size();
   if (meter_ != nullptr) {
@@ -359,30 +386,42 @@ void BitAddressIndex::bulk_load(const std::vector<const Tuple*>& tuples,
                         static_cast<std::uint64_t>(config_.indexed_attr_count()));
     meter_->charge_insert(tuples.size());
   }
-  const std::size_t now = memory_bytes();
-  if (memory_ != nullptr && now > tracked_bytes_) {
-    memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
+  // Feed the same instruments insert() feeds: final chain length once per
+  // occupied bucket, and a fresh occupancy-imbalance reading. Without this
+  // a bulk-loaded stem reported an empty chain_len histogram and a stale
+  // imbalance gauge.
+  if (chain_hist_ != nullptr) {
+    buckets_.for_each([&](BucketId, const Bucket& bucket) {
+      chain_hist_->observe(static_cast<double>(bucket.size()));
+    });
   }
-  tracked_bytes_ = now;
+  if (imbalance_gauge_ != nullptr) {
+    imbalance_gauge_->set(occupancy().imbalance);
+  }
+  sync_memory();
   AMRI_CHECK_INVARIANTS(*this);
 }
 
 void BitAddressIndex::check_invariants() const {
+  buckets_.check_invariants();
   const BucketId id_mask = low_bits64(config_.total_bits());
   std::size_t tuples = 0;
-  for (const auto& [id, bucket] : buckets_) {
+  buckets_.for_each([&](BucketId id, const Bucket& bucket) {
     AMRI_CHECK(!bucket.empty(),
                "sparse directory must not retain empty buckets");
     AMRI_CHECK((id & ~id_mask) == 0,
                "bucket id uses bits outside the IC's total_bits");
     tuples += bucket.size();
-    for (const Tuple* t : bucket) {
-      AMRI_CHECK(t != nullptr, "stored tuple pointer is null");
-      AMRI_CHECK(bucket_of_uncharged(*t) == id,
+    for (const BucketEntry& e : bucket) {
+      AMRI_CHECK(e.tuple != nullptr, "stored tuple pointer is null");
+      AMRI_CHECK(bucket_of_uncharged(*e.tuple) == id,
                  "stored tuple does not rehash to its bucket under the "
                  "current IC (missed relocation during migration?)");
+      AMRI_CHECK(e.tag == tuple_tag(*e.tuple),
+                 "stored value tag disagrees with a recomputation over the "
+                 "tuple's JAS values");
     }
-  }
+  });
   AMRI_CHECK(tuples == size_,
              "size_ disagrees with the sum of bucket sizes");
   AMRI_CHECK(memory_ == nullptr || tracked_bytes_ == memory_bytes(),
@@ -391,26 +430,22 @@ void BitAddressIndex::check_invariants() const {
 
 void BitAddressIndex::reconfigure(const IndexConfig& new_config) {
   assert(new_config.num_attrs() == jas_.size());
-  std::vector<const Tuple*> all;
+  // Tags hash the tuples' JAS values, not the IC, so they survive the
+  // reconfiguration verbatim — collect entries, not bare tuple pointers.
+  std::vector<BucketEntry> all;
   all.reserve(size_);
-  for_each_tuple([&](const Tuple* t) { all.push_back(t); });
+  buckets_.for_each([&](BucketId, const Bucket& bucket) {
+    for (const BucketEntry& e : bucket) all.push_back(e);
+  });
   buckets_.clear();
   size_ = 0;
   config_ = new_config;
-  for (const Tuple* t : all) {
-    const BucketId id = bucket_of(*t);  // charges N_A hashes per tuple
-    buckets_[id].push_back(t);
+  for (const BucketEntry& e : all) {
+    const BucketId id = bucket_of(*e.tuple);  // charges N_A hashes per tuple
+    buckets_.insert(id, e.tuple, e.tag);
     ++size_;
   }
-  const std::size_t now = memory_bytes();
-  if (memory_ != nullptr) {
-    if (now > tracked_bytes_) {
-      memory_->allocate(MemCategory::kIndexStructure, now - tracked_bytes_);
-    } else {
-      memory_->release(MemCategory::kIndexStructure, tracked_bytes_ - now);
-    }
-  }
-  tracked_bytes_ = now;
+  sync_memory();
   if (imbalance_gauge_ != nullptr) {
     imbalance_gauge_->set(occupancy().imbalance);
   }

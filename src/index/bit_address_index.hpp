@@ -8,17 +8,18 @@
 //   * attributes without bits contribute nothing and are verified by the
 //     final comparison pass.
 //
-// Buckets are stored sparsely (bucket id -> vector of tuple pointers), so
-// the bucket-id word can be wide while memory tracks only occupied buckets.
+// Buckets are stored sparsely in a flat open-addressing directory
+// (index/bucket_directory.hpp), so the bucket-id word can be wide while
+// memory tracks only occupied slots, and small buckets stay heap-free.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "index/bit_mapper.hpp"
+#include "index/bucket_directory.hpp"
 #include "index/index_config.hpp"
 #include "index/tuple_index.hpp"
 #include "telemetry/telemetry.hpp"
@@ -65,6 +66,9 @@ class BitAddressIndex final : public TupleIndex {
   /// Number of occupied buckets (sparse directory size).
   std::size_t occupied_buckets() const { return buckets_.size(); }
 
+  /// The flat directory behind the index (tests and diagnostics).
+  const BucketDirectory& directory() const { return buckets_; }
+
   /// Register probe/occupancy instrumentation under `prefix` (e.g.
   /// "stem.0.index") in `telemetry`'s registry. Null detaches. The hot
   /// paths only ever pay a null-pointer branch when detached.
@@ -88,10 +92,9 @@ class BitAddressIndex final : public TupleIndex {
   /// Visit every stored tuple (used by migration and full scans).
   template <typename Fn>
   void for_each_tuple(Fn&& fn) const {
-    for (const auto& [id, bucket] : buckets_) {
-      (void)id;
-      for (const Tuple* t : bucket) fn(t);
-    }
+    buckets_.for_each([&](BucketId, const Bucket& bucket) {
+      for (const BucketEntry& e : bucket) fn(e.tuple);
+    });
   }
 
   /// Replace the IC and re-bucket every stored tuple (the paper's index
@@ -115,7 +118,7 @@ class BitAddressIndex final : public TupleIndex {
   void check_invariants() const;
 
  private:
-  using Bucket = std::vector<const Tuple*>;
+  using Bucket = BucketDirectory::Bucket;
 
   /// Probe layout: the fixed bits contributed by bound attributes and the
   /// list of wildcard chunks to enumerate.
@@ -128,18 +131,20 @@ class BitAddressIndex final : public TupleIndex {
   ProbeLayout layout_for(const ProbeKey& key);
   /// bucket_of without meter charges (migration precompute, invariants).
   BucketId bucket_of_uncharged(const Tuple& t) const;
-  void account_bucket_alloc(const Bucket& b, bool created);
-  void account_bucket_release(const Bucket& b, bool destroyed);
-  std::size_t bucket_bytes(const Bucket& b) const {
-    return sizeof(Bucket) + b.capacity() * sizeof(const Tuple*) + 16;
-  }
+  /// Hash tag over a stored tuple's JAS values; fully-bound probes compare
+  /// this against the probe key's tag before dereferencing the tuple.
+  std::uint64_t tuple_tag(const Tuple& t) const;
+  /// The same tag computed from a fully-bound probe key's values.
+  std::uint64_t key_tag(const ProbeKey& key) const;
+  /// Sync tracked_bytes_ (and the MemoryTracker) to memory_bytes().
+  void sync_memory();
 
   JoinAttributeSet jas_;
   IndexConfig config_;
   BitMapper mapper_;
   CostMeter* meter_;
   MemoryTracker* memory_;
-  std::unordered_map<BucketId, Bucket> buckets_;
+  BucketDirectory buckets_;
   std::size_t size_ = 0;
   std::size_t tracked_bytes_ = 0;
   // Telemetry instruments (null when detached; see bind_telemetry).

@@ -1,0 +1,242 @@
+#include "index/bucket_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "common/rng.hpp"
+
+namespace amri::index {
+namespace {
+
+TEST(BucketDirectory, EmptyDirectory) {
+  BucketDirectory dir;
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_TRUE(dir.empty());
+  EXPECT_EQ(dir.capacity(), 0u);
+  EXPECT_EQ(dir.memory_bytes(), 0u);
+  const Tuple t = testutil::make_tuple({1}, 1);
+  EXPECT_EQ(dir.find(7), nullptr);
+  EXPECT_FALSE(dir.erase(7, &t));
+  std::size_t visited = 0;
+  dir.for_each([&](BucketId, const BucketDirectory::Bucket&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  dir.check_invariants();
+}
+
+TEST(BucketDirectory, InsertReportsChainLength) {
+  BucketDirectory dir;
+  const Tuple a = testutil::make_tuple({1}, 1);
+  const Tuple b = testutil::make_tuple({2}, 2);
+  const Tuple c = testutil::make_tuple({3}, 3);
+  EXPECT_EQ(dir.insert(42, &a), 1u);
+  EXPECT_EQ(dir.insert(42, &b), 2u);
+  EXPECT_EQ(dir.insert(42, &c), 3u);
+  EXPECT_EQ(dir.size(), 1u);
+  const auto* bucket = dir.find(42);
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 3u);
+  dir.check_invariants();
+}
+
+TEST(BucketDirectory, FindAcrossGrowth) {
+  BucketDirectory dir;
+  testutil::TuplePool pool(5000, 1, 1000000, 11);
+  // Distinct keys force repeated doublings past the 7/8 load bound.
+  for (std::size_t i = 0; i < 5000; ++i) {
+    dir.insert(static_cast<BucketId>(i * 2654435761ULL), pool.at(i));
+  }
+  EXPECT_EQ(dir.size(), 5000u);
+  // Power-of-two capacity with room under the load bound.
+  EXPECT_NE(dir.capacity(), 0u);
+  EXPECT_EQ(dir.capacity() & (dir.capacity() - 1), 0u);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const auto* bucket = dir.find(static_cast<BucketId>(i * 2654435761ULL));
+    ASSERT_NE(bucket, nullptr);
+    ASSERT_EQ(bucket->size(), 1u);
+    EXPECT_EQ((*bucket)[0].tuple, pool.at(i));
+  }
+  dir.check_invariants();
+}
+
+TEST(BucketDirectory, EraseMissingKeyOrTuple) {
+  BucketDirectory dir;
+  const Tuple a = testutil::make_tuple({1}, 1);
+  const Tuple b = testutil::make_tuple({2}, 2);
+  dir.insert(5, &a);
+  EXPECT_FALSE(dir.erase(6, &a));   // absent key
+  EXPECT_FALSE(dir.erase(5, &b));   // absent tuple
+  EXPECT_TRUE(dir.erase(5, &a));
+  EXPECT_FALSE(dir.erase(5, &a));   // bucket gone
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_EQ(dir.find(5), nullptr);
+  dir.check_invariants();
+}
+
+// The regression the backward shift exists for: erase keys in an order that
+// punches holes into probe chains, then verify every remaining key is still
+// reachable (check_invariants proves no hole sits between any key's home
+// slot and its actual slot).
+TEST(BucketDirectory, BackwardShiftDeletionKeepsProbePathsIntact) {
+  BucketDirectory dir;
+  testutil::TuplePool pool(2000, 1, 1000000, 13);
+  Rng rng(99);
+  std::vector<BucketId> keys;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    // Clustered keys (small range) maximise probe-chain collisions.
+    keys.push_back(static_cast<BucketId>(rng.below(4096)));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) dir.insert(keys[i], pool.at(i));
+  dir.check_invariants();
+
+  // Erase half in random order, checking structure as we go.
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (std::size_t n = 0; n < 1000; ++n) {
+    ASSERT_TRUE(dir.erase(keys[order[n]], pool.at(order[n])));
+    if (n % 50 == 0) dir.check_invariants();
+  }
+  dir.check_invariants();
+
+  // Every survivor is still findable in its bucket.
+  for (std::size_t n = 1000; n < 2000; ++n) {
+    const auto* bucket = dir.find(keys[order[n]]);
+    ASSERT_NE(bucket, nullptr);
+    const Tuple* want = pool.at(order[n]);
+    EXPECT_NE(std::find_if(bucket->begin(), bucket->end(),
+                           [want](const BucketEntry& e) {
+                             return e.tuple == want;
+                           }),
+              bucket->end());
+  }
+}
+
+TEST(BucketDirectory, InlineToHeapSpillAccounting) {
+  BucketDirectory dir;
+  testutil::TuplePool pool(8, 1, 100, 3);
+  dir.insert(9, pool.at(0));
+  const std::size_t slots_only = dir.memory_bytes();
+  // The second tuple still fits inline: no heap, no memory change.
+  dir.insert(9, pool.at(1));
+  const auto* bucket = dir.find(9);
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_TRUE(bucket->is_inline());
+  EXPECT_EQ(dir.memory_bytes(), slots_only);
+
+  // Third tuple spills the bucket to the heap; memory must grow.
+  dir.insert(9, pool.at(2));
+  bucket = dir.find(9);
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_FALSE(bucket->is_inline());
+  EXPECT_GT(dir.memory_bytes(), slots_only);
+  dir.check_invariants();
+
+  // Draining the bucket removes the slot and returns memory to slots-only.
+  EXPECT_TRUE(dir.erase(9, pool.at(0)));
+  EXPECT_TRUE(dir.erase(9, pool.at(1)));
+  EXPECT_TRUE(dir.erase(9, pool.at(2)));
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_EQ(dir.memory_bytes(), slots_only);
+  dir.check_invariants();
+}
+
+TEST(BucketDirectory, ClearReleasesEverything) {
+  BucketDirectory dir;
+  testutil::TuplePool pool(100, 1, 100, 5);
+  for (std::size_t i = 0; i < 100; ++i) {
+    dir.insert(static_cast<BucketId>(i % 10), pool.at(i));
+  }
+  EXPECT_GT(dir.memory_bytes(), 0u);
+  dir.clear();
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_EQ(dir.capacity(), 0u);
+  EXPECT_EQ(dir.memory_bytes(), 0u);
+  dir.check_invariants();
+  // Usable again after clear.
+  EXPECT_EQ(dir.insert(3, pool.at(0)), 1u);
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+TEST(BucketDirectory, ReserveAvoidsRehash) {
+  BucketDirectory dir;
+  testutil::TuplePool pool(1000, 1, 100, 17);
+  dir.reserve(1000);
+  const std::size_t cap = dir.capacity();
+  EXPECT_GE(cap, 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    dir.insert(static_cast<BucketId>(i), pool.at(i));
+  }
+  EXPECT_EQ(dir.capacity(), cap);
+  dir.check_invariants();
+}
+
+TEST(BucketDirectory, ForEachVisitsEveryBucketOnce) {
+  BucketDirectory dir;
+  testutil::TuplePool pool(300, 1, 100, 23);
+  std::set<BucketId> expected;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto key = static_cast<BucketId>(i % 97);
+    dir.insert(key, pool.at(i));
+    expected.insert(key);
+  }
+  std::set<BucketId> seen;
+  std::size_t tuples = 0;
+  dir.for_each([&](BucketId key, const BucketDirectory::Bucket& bucket) {
+    EXPECT_TRUE(seen.insert(key).second) << "bucket visited twice";
+    tuples += bucket.size();
+  });
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(tuples, 300u);
+}
+
+// for_each order is a function of the operation history alone, so two
+// directories fed the same sequence iterate identically (the filter-probe
+// path and golden traces depend on this determinism).
+TEST(BucketDirectory, DeterministicIterationOrder) {
+  testutil::TuplePool pool(500, 1, 100, 29);
+  auto run = [&pool]() {
+    BucketDirectory dir;
+    Rng rng(7);
+    std::vector<std::pair<BucketId, const Tuple*>> live;
+    for (std::size_t i = 0; i < 500; ++i) {
+      const auto key = static_cast<BucketId>(rng.below(256));
+      dir.insert(key, pool.at(i));
+      live.emplace_back(key, pool.at(i));
+      if (rng.chance(0.3) && !live.empty()) {
+        const std::size_t victim = rng.below(live.size());
+        dir.erase(live[victim].first, live[victim].second);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+    std::vector<BucketId> order;
+    dir.for_each([&](BucketId key, const BucketDirectory::Bucket&) {
+      order.push_back(key);
+    });
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(BucketDirectory, MoveTransfersContents) {
+  BucketDirectory dir;
+  testutil::TuplePool pool(10, 1, 100, 31);
+  for (std::size_t i = 0; i < 10; ++i) {
+    dir.insert(static_cast<BucketId>(i), pool.at(i));
+  }
+  const std::size_t bytes = dir.memory_bytes();
+  BucketDirectory moved = std::move(dir);
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_EQ(moved.memory_bytes(), bytes);
+  ASSERT_NE(moved.find(4), nullptr);
+  moved.check_invariants();
+}
+
+}  // namespace
+}  // namespace amri::index

@@ -1,0 +1,306 @@
+// Randomized differential test: the flat-directory BitAddressIndex against
+// a straightforward reference implementation backed by
+// std::unordered_map<BucketId, std::vector<const Tuple*>> (the shape of the
+// directory the index used before the open-addressing rewrite). The two are
+// driven through the same seeded mixed sequence of insert / erase / probe /
+// probe_range / reconfigure operations and must agree on every observable:
+// match sets, match counts, tuples compared, size, and occupied buckets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "common/rng.hpp"
+#include "index/bit_address_index.hpp"
+
+namespace amri::index {
+namespace {
+
+/// The pre-rewrite directory semantics, kept deliberately naive: sparse
+/// hash map of vectors, swap-with-last erase, filter-everything probes.
+class ReferenceIndex {
+ public:
+  ReferenceIndex(JoinAttributeSet jas, IndexConfig config, BitMapper mapper)
+      : jas_(std::move(jas)),
+        config_(std::move(config)),
+        mapper_(std::move(mapper)) {}
+
+  BucketId bucket_of(const Tuple& t) const {
+    BucketId id = 0;
+    for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+      const int bits = config_.bits(pos);
+      if (bits == 0) continue;
+      id |= mapper_.map(pos, t.at(jas_.tuple_attr(pos)), bits)
+            << config_.shift_of(pos);
+    }
+    return id;
+  }
+
+  void insert(const Tuple* t) {
+    buckets_[bucket_of(*t)].push_back(t);
+    ++size_;
+  }
+
+  void erase(const Tuple* t) {
+    const auto it = buckets_.find(bucket_of(*t));
+    if (it == buckets_.end()) return;
+    auto& bucket = it->second;
+    const auto pos = std::find(bucket.begin(), bucket.end(), t);
+    if (pos == bucket.end()) return;
+    *pos = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) buckets_.erase(it);
+    --size_;
+  }
+
+  ProbeStats probe(const ProbeKey& key, std::vector<const Tuple*>& out) const {
+    // Fixed bits contributed by bound indexed attributes (mirrors
+    // BitAddressIndex::layout_for without the cost-meter charges).
+    BucketId fixed = 0;
+    BucketId fixed_mask = 0;
+    for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+      const int bits = config_.bits(pos);
+      if (bits == 0 || !has_bit(key.mask, static_cast<unsigned>(pos))) {
+        continue;
+      }
+      fixed |= mapper_.map(pos, key.values[pos], bits) << config_.shift_of(pos);
+      fixed_mask |= low_bits64(bits) << config_.shift_of(pos);
+    }
+    ProbeStats stats;
+    for (const auto& [id, bucket] : buckets_) {
+      if ((id & fixed_mask) != fixed) continue;
+      for (const Tuple* t : bucket) {
+        ++stats.tuples_compared;
+        if (key.matches(*t, jas_)) {
+          out.push_back(t);
+          ++stats.matches;
+        }
+      }
+    }
+    return stats;
+  }
+
+  ProbeStats probe_range(const RangeProbeKey& key,
+                         std::vector<const Tuple*>& out) const {
+    // Per indexed attribute: the inclusive chunk interval (order-preserving
+    // mappers prune, hash mappers only on degenerate intervals).
+    struct ChunkRange {
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      int shift = 0;
+      int bits = 0;
+    };
+    std::vector<ChunkRange> ranges;
+    for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+      const int bits = config_.bits(pos);
+      if (bits == 0) continue;
+      ChunkRange cr;
+      cr.shift = config_.shift_of(pos);
+      cr.bits = bits;
+      cr.hi = low_bits64(bits);
+      if (key.bound(pos)) {
+        if (mapper_.order_preserving(pos)) {
+          cr.lo = mapper_.map(pos, key.los[pos], bits);
+          cr.hi = mapper_.map(pos, key.his[pos], bits);
+        } else if (key.los[pos] == key.his[pos]) {
+          cr.lo = cr.hi = mapper_.map(pos, key.los[pos], bits);
+        }
+      }
+      ranges.push_back(cr);
+    }
+    ProbeStats stats;
+    for (const auto& [id, bucket] : buckets_) {
+      bool in_range = true;
+      for (const ChunkRange& cr : ranges) {
+        const std::uint64_t chunk = (id >> cr.shift) & low_bits64(cr.bits);
+        if (chunk < cr.lo || chunk > cr.hi) {
+          in_range = false;
+          break;
+        }
+      }
+      if (!in_range) continue;
+      for (const Tuple* t : bucket) {
+        ++stats.tuples_compared;
+        if (key.matches(*t, jas_)) {
+          out.push_back(t);
+          ++stats.matches;
+        }
+      }
+    }
+    return stats;
+  }
+
+  void reconfigure(const IndexConfig& new_config) {
+    std::vector<const Tuple*> all;
+    for (const auto& [id, bucket] : buckets_) {
+      all.insert(all.end(), bucket.begin(), bucket.end());
+    }
+    buckets_.clear();
+    size_ = 0;
+    config_ = new_config;
+    for (const Tuple* t : all) insert(t);
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t occupied_buckets() const { return buckets_.size(); }
+
+  /// Canonical snapshot: sorted (bucket id, sorted tuple pointers) pairs.
+  std::vector<std::pair<BucketId, std::vector<const Tuple*>>> snapshot() const {
+    std::vector<std::pair<BucketId, std::vector<const Tuple*>>> snap(
+        buckets_.begin(), buckets_.end());
+    for (auto& [id, bucket] : snap) std::sort(bucket.begin(), bucket.end());
+    std::sort(snap.begin(), snap.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return snap;
+  }
+
+ private:
+  JoinAttributeSet jas_;
+  IndexConfig config_;
+  BitMapper mapper_;
+  std::unordered_map<BucketId, std::vector<const Tuple*>> buckets_;
+  std::size_t size_ = 0;
+};
+
+std::vector<std::pair<BucketId, std::vector<const Tuple*>>> snapshot_of(
+    const BitAddressIndex& idx) {
+  std::vector<std::pair<BucketId, std::vector<const Tuple*>>> snap;
+  idx.directory().for_each(
+      [&](BucketId id, const BucketDirectory::Bucket& bucket) {
+        std::vector<const Tuple*> tuples;
+        tuples.reserve(bucket.size());
+        for (const BucketEntry& e : bucket) tuples.push_back(e.tuple);
+        std::sort(tuples.begin(), tuples.end());
+        snap.emplace_back(id, std::move(tuples));
+      });
+  std::sort(snap.begin(), snap.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return snap;
+}
+
+IndexConfig random_config(Rng& rng) {
+  std::vector<std::uint8_t> bits(3);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.below(4));
+  return IndexConfig(bits);
+}
+
+/// Drive both indexes through `total_ops` seeded mixed operations and
+/// compare every observable after each probe plus periodic deep snapshots.
+void run_differential(BitMapper mapper, std::uint64_t seed,
+                      std::size_t total_ops) {
+  const Value kDomain = 60;
+  JoinAttributeSet jas({0, 1, 2});
+  IndexConfig config({3, 2, 2});
+  BitAddressIndex idx(jas, config, mapper);
+  ReferenceIndex ref(jas, config, mapper);
+
+  testutil::TuplePool pool(3000, 3, static_cast<int>(kDomain), seed + 1);
+  std::vector<const Tuple*> free_list = pool.pointers();
+  std::vector<const Tuple*> live;
+  Rng rng(seed);
+
+  std::size_t probes_run = 0;
+  for (std::size_t op = 0; op < total_ops; ++op) {
+    const std::size_t dice = rng.below(100);
+    if (dice < 45 && !free_list.empty()) {
+      const std::size_t pick = rng.below(free_list.size());
+      const Tuple* t = free_list[pick];
+      free_list[pick] = free_list.back();
+      free_list.pop_back();
+      idx.insert(t);
+      ref.insert(t);
+      live.push_back(t);
+    } else if (dice < 65 && !live.empty()) {
+      const std::size_t pick = rng.below(live.size());
+      const Tuple* t = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      idx.erase(t);
+      ref.erase(t);
+      free_list.push_back(t);
+    } else if (dice < 85) {
+      // Point probe with a random access pattern; values come from a live
+      // tuple half the time (guaranteed hits) and fresh randomness the rest.
+      ProbeKey key;
+      key.mask = static_cast<AttrMask>(rng.below(8));
+      for (std::size_t pos = 0; pos < 3; ++pos) {
+        const Value v = (!live.empty() && rng.chance(0.5))
+                            ? live[rng.below(live.size())]->at(
+                                  jas.tuple_attr(pos))
+                            : static_cast<Value>(rng.below(
+                                  static_cast<std::uint64_t>(kDomain)));
+        key.values.push_back(v);
+      }
+      std::vector<const Tuple*> got;
+      std::vector<const Tuple*> want;
+      const ProbeStats got_stats = idx.probe(key, got);
+      const ProbeStats want_stats = ref.probe(key, want);
+      EXPECT_EQ(got_stats.matches, want_stats.matches) << "op " << op;
+      EXPECT_EQ(got_stats.tuples_compared, want_stats.tuples_compared)
+          << "op " << op;
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "op " << op;
+      ++probes_run;
+    } else if (dice < 97) {
+      // Range probe over random inclusive intervals.
+      RangeProbeKey key;
+      const AttrMask mask = static_cast<AttrMask>(rng.below(8));
+      for (std::size_t pos = 0; pos < 3; ++pos) {
+        if (!has_bit(mask, static_cast<unsigned>(pos))) continue;
+        Value lo = static_cast<Value>(
+            rng.below(static_cast<std::uint64_t>(kDomain)));
+        Value hi = rng.chance(0.25)
+                       ? lo  // degenerate interval: hash mappers still prune
+                       : static_cast<Value>(rng.below(
+                             static_cast<std::uint64_t>(kDomain)));
+        if (hi < lo) std::swap(lo, hi);
+        key.bind(pos, lo, hi);
+      }
+      std::vector<const Tuple*> got;
+      std::vector<const Tuple*> want;
+      const ProbeStats got_stats = idx.probe_range(key, got);
+      const ProbeStats want_stats = ref.probe_range(key, want);
+      EXPECT_EQ(got_stats.matches, want_stats.matches) << "op " << op;
+      EXPECT_EQ(got_stats.tuples_compared, want_stats.tuples_compared)
+          << "op " << op;
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(got, want) << "op " << op;
+      ++probes_run;
+    } else {
+      const IndexConfig next = random_config(rng);
+      idx.reconfigure(next);
+      ref.reconfigure(next);
+    }
+
+    EXPECT_EQ(idx.size(), ref.size()) << "op " << op;
+    EXPECT_EQ(idx.occupied_buckets(), ref.occupied_buckets()) << "op " << op;
+    if (op % 500 == 0) {
+      EXPECT_EQ(snapshot_of(idx), ref.snapshot()) << "op " << op;
+      idx.check_invariants();
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "first divergence at op " << op;
+    }
+  }
+  // The mix must actually have exercised the probe paths.
+  EXPECT_GT(probes_run, total_ops / 4);
+  EXPECT_EQ(snapshot_of(idx), ref.snapshot());
+  idx.check_invariants();
+}
+
+TEST(IndexDifferential, MixedOpsHashMapper) {
+  run_differential(BitMapper::hashing(3), /*seed=*/42, /*total_ops=*/12000);
+}
+
+TEST(IndexDifferential, MixedOpsRangeMapper) {
+  run_differential(
+      BitMapper::ranged({{0, 59}, {0, 59}, {0, 59}}),
+      /*seed=*/1234, /*total_ops=*/12000);
+}
+
+}  // namespace
+}  // namespace amri::index
