@@ -7,8 +7,10 @@
 //               WHERE S.region = G.region WINDOW 20' sim_seconds=60
 //
 // Knobs (key=value): sim_seconds, rate, seed, backend=amri|bitmap|modules|
-// scan, bits, epsilon, theta. `--trace-out run.jsonl` attaches telemetry
-// and writes the full run trace (events + final metrics) as JSON lines.
+// scan, bits, epsilon, theta, shards. `--shards N` partitions each state's
+// window and index into N parallel shards (bit-address backends).
+// `--trace-out run.jsonl` attaches telemetry and writes the full run trace
+// (events + final metrics) as JSON lines.
 #include <iostream>
 #include <optional>
 
@@ -106,6 +108,7 @@ int main(int argc, char** argv) {
   topts.theta = cfg.double_or("theta", 0.1);
   topts.optimizer.bit_budget = bits;
   opts.stem.amri_tuner = topts;
+  opts.stem.shards = std::max<std::size_t>(cfg.size_or("shards", 1), 1);
   opts.model_params.lambda_d = rate;
   opts.model_params.lambda_r = rate * parsed.query.num_streams();
   opts.model_params.window_units = micros_to_seconds(parsed.query.window());

@@ -23,6 +23,38 @@ struct AssessedPattern {
   double frequency = 0.0;       ///< count / observations
 };
 
+enum class AssessorKind : std::uint8_t {
+  kSria = 0,
+  kCsria,
+  kDia,
+  kCdiaRandom,
+  kCdiaHighestCount,
+};
+
+/// Mergeable dump of one assessor's retained statistics, used by sharded
+/// stems: each shard assesses the probes it served, and at tuner epochs the
+/// per-shard snapshots are merged (merge_snapshots) and thresholded
+/// (snapshot_results, see assessment/snapshot.hpp) so the tuner still sees
+/// one logical state. The kind-specific parameters travel with the data so
+/// the merged answer reproduces the kind's results() semantics.
+///
+/// Merge soundness per kind: SRIA and DIA counts are exact and additive, so
+/// the merged answer equals assessing the unpartitioned request stream.
+/// CSRIA undercounts each shard substream by at most epsilon * N_shard;
+/// summed over shards that is at most epsilon * N, the same Manku–Motwani
+/// bound the unpartitioned sketch carries. CDIA conserves count mass under
+/// compression, so the summed entries form a valid lattice state whose
+/// rollup is an epsilon-approximate answer for the union stream.
+struct AssessmentSnapshot {
+  AssessorKind kind = AssessorKind::kSria;
+  AttrMask universe = 0;
+  double epsilon = 0.0;      ///< compressing kinds; 0 for exact kinds
+  std::uint64_t seed = 0;    ///< CDIA random combination policy
+  std::uint64_t observed = 0;  ///< stream length seen (the |A| denominator)
+  /// Retained (mask, count, max_error) entries, sorted by mask ascending.
+  std::vector<AssessedPattern> entries;
+};
+
 class Assessor {
  public:
   virtual ~Assessor() = default;
@@ -52,6 +84,10 @@ class Assessor {
   /// Frequencies are preserved; entries whose count rounds to zero drop.
   virtual void decay(double factor) = 0;
 
+  /// Mergeable dump of the retained statistics (see AssessmentSnapshot).
+  /// Entries are sorted by mask ascending for deterministic merging.
+  virtual AssessmentSnapshot snapshot() const = 0;
+
   /// Register observation/compression counters under `prefix` (e.g.
   /// "stem.0.assess") in `telemetry`'s registry. Null detaches. Variants
   /// report through note_observed()/note_compressed(); detached, those are
@@ -75,14 +111,6 @@ class Assessor {
  private:
   telemetry::Counter* observed_counter_ = nullptr;
   telemetry::Counter* compressed_counter_ = nullptr;
-};
-
-enum class AssessorKind : std::uint8_t {
-  kSria = 0,
-  kCsria,
-  kDia,
-  kCdiaRandom,
-  kCdiaHighestCount,
 };
 
 std::string assessor_kind_name(AssessorKind kind);

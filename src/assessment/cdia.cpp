@@ -10,6 +10,23 @@ std::vector<AssessedPattern> Cdia::results(double theta) const {
   return out;
 }
 
+AssessmentSnapshot Cdia::snapshot() const {
+  AssessmentSnapshot s;
+  s.kind = hhh_.policy() == stats::CombinePolicy::kRandom
+               ? AssessorKind::kCdiaRandom
+               : AssessorKind::kCdiaHighestCount;
+  s.universe = hhh_.lattice().shape().universe();
+  s.epsilon = hhh_.epsilon();
+  s.seed = hhh_.seed();
+  s.observed = hhh_.observed();
+  s.entries.reserve(hhh_.lattice().counts().size());
+  for (const auto& [mask, entry] : hhh_.lattice().counts().sorted_entries()) {
+    s.entries.push_back(
+        AssessedPattern{mask, entry.count, entry.max_error, 0.0});
+  }
+  return s;
+}
+
 std::string Cdia::name() const {
   return hhh_.policy() == stats::CombinePolicy::kRandom ? "CDIA-random"
                                                         : "CDIA-hc";

@@ -35,6 +35,7 @@ class Cdia final : public Assessor {
   std::string name() const override;
   void reset() override { hhh_.clear(); }
   void decay(double factor) override { hhh_.scale(factor); }
+  AssessmentSnapshot snapshot() const override;
 
   stats::CombinePolicy policy() const { return hhh_.policy(); }
   double epsilon() const { return hhh_.epsilon(); }

@@ -1,5 +1,6 @@
 #include "assessment/csria.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace amri::assessment {
@@ -39,6 +40,25 @@ std::vector<AssessedPattern> Csria::results(double theta) const {
     }
   }
   return out;
+}
+
+AssessmentSnapshot Csria::snapshot() const {
+  AssessmentSnapshot s;
+  s.kind = AssessorKind::kCsria;
+  s.universe = universe_;
+  s.epsilon = counter_.epsilon();
+  s.observed = counter_.observed();
+  // theta = 0 makes the eviction bar negative, so every retained entry is
+  // returned; re-sort by mask for the snapshot's deterministic order.
+  auto items = counter_.results(0.0);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  s.entries.reserve(items.size());
+  for (const auto& item : items) {
+    s.entries.push_back(
+        AssessedPattern{item.key, item.count, item.max_error, 0.0});
+  }
+  return s;
 }
 
 }  // namespace amri::assessment

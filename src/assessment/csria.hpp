@@ -24,6 +24,7 @@ class Csria final : public Assessor {
   std::string name() const override { return "CSRIA"; }
   void reset() override { counter_.clear(); }
   void decay(double factor) override { counter_.scale(factor); }
+  AssessmentSnapshot snapshot() const override;
 
   double epsilon() const { return counter_.epsilon(); }
 

@@ -31,4 +31,17 @@ std::vector<AssessedPattern> Dia::results(double theta) const {
   return out;
 }
 
+AssessmentSnapshot Dia::snapshot() const {
+  AssessmentSnapshot s;
+  s.kind = AssessorKind::kDia;
+  s.universe = lattice_.shape().universe();
+  s.observed = lattice_.counts().total_observed();
+  s.entries.reserve(lattice_.counts().size());
+  for (const auto& [mask, entry] : lattice_.counts().sorted_entries()) {
+    s.entries.push_back(
+        AssessedPattern{mask, entry.count, entry.max_error, 0.0});
+  }
+  return s;
+}
+
 }  // namespace amri::assessment

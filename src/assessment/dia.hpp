@@ -27,6 +27,7 @@ class Dia final : public Assessor {
   std::string name() const override { return "DIA"; }
   void reset() override { lattice_.counts().clear(); }
   void decay(double factor) override { lattice_.counts().scale(factor); }
+  AssessmentSnapshot snapshot() const override;
 
   const stats::PartialLattice& lattice() const { return lattice_; }
 

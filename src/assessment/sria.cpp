@@ -30,4 +30,17 @@ std::vector<AssessedPattern> Sria::results(double theta) const {
   return out;
 }
 
+AssessmentSnapshot Sria::snapshot() const {
+  AssessmentSnapshot s;
+  s.kind = AssessorKind::kSria;
+  s.universe = universe_;
+  s.observed = table_.total_observed();
+  s.entries.reserve(table_.size());
+  for (const auto& [mask, entry] : table_.sorted_entries()) {
+    s.entries.push_back(
+        AssessedPattern{mask, entry.count, entry.max_error, 0.0});
+  }
+  return s;
+}
+
 }  // namespace amri::assessment

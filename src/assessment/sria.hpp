@@ -21,6 +21,7 @@ class Sria final : public Assessor {
   std::string name() const override { return "SRIA"; }
   void reset() override { table_.clear(); }
   void decay(double factor) override { table_.scale(factor); }
+  AssessmentSnapshot snapshot() const override;
 
   const stats::FrequencyMap& table() const { return table_; }
 

@@ -147,4 +147,9 @@ bool Config::bool_or(std::string_view key, bool fallback) const {
   return v ? *v : fallback;
 }
 
+std::size_t Config::size_or(std::string_view key, std::size_t fallback) const {
+  const std::int64_t v = int_or(key, static_cast<std::int64_t>(fallback));
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
 }  // namespace amri

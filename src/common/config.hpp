@@ -36,6 +36,9 @@ class Config {
   std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
   double double_or(std::string_view key, double fallback) const;
   bool bool_or(std::string_view key, bool fallback) const;
+  /// int_or for count-like knobs (`--shards 4`): negative values clamp
+  /// to 0, so callers can treat the result as a plain std::size_t.
+  std::size_t size_or(std::string_view key, std::size_t fallback) const;
 
   const std::map<std::string, std::string, std::less<>>& entries() const {
     return entries_;

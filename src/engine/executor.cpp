@@ -16,6 +16,10 @@ Executor::Executor(const QuerySpec& query, ExecutorOptions options)
     options_.telemetry->attach_clock(&clock_);
   }
   const index::CostModel model(options_.model_params);
+  if (options_.stem.shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.fanout_threads);
+    options_.stem.pool = pool_.get();
+  }
   stems_.reserve(query_.num_streams());
   std::vector<StemOperator*> stem_ptrs;
   for (StreamId s = 0; s < query_.num_streams(); ++s) {
@@ -247,6 +251,8 @@ RunResult Executor::run(TupleSource& source) {
     s.migrations = stem->migrations();
     s.migration_pause_us = stem->migration_pause_us();
     s.state_bytes = stem->state_bytes();
+    s.shards = stem->shard_count();
+    s.shard_imbalance = stem->shard_imbalance();
     s.final_index = stem->physical_index().name();
     result.states.push_back(std::move(s));
   }

@@ -17,6 +17,7 @@
 
 #include "common/cost_meter.hpp"
 #include "common/memory_tracker.hpp"
+#include "common/thread_pool.hpp"
 #include "common/virtual_clock.hpp"
 #include "engine/eddy.hpp"
 #include "engine/metrics.hpp"
@@ -52,6 +53,9 @@ struct ExecutorOptions {
   /// Backlog depth (queued arrivals) that raises a backpressure event.
   /// Re-armed once the backlog drains to half the threshold.
   std::size_t backpressure_threshold = 10000;
+  /// Worker threads for sharded fan-out probes (stem.shards > 1 only).
+  /// 0 picks hardware_concurrency; ignored when the stems are unsharded.
+  std::size_t fanout_threads = 0;
 };
 
 class Executor {
@@ -79,6 +83,9 @@ class Executor {
   VirtualClock clock_;
   CostMeter meter_;
   MemoryTracker memory_;
+  /// Shared fan-out pool, created only when the stems are sharded.
+  /// Declared before stems_ so it outlives every probe path.
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<StemOperator>> stems_;
   std::unique_ptr<EddyRouter> eddy_;
   std::size_t tracked_queue_bytes_ = 0;

@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <string>
+#include <utility>
 
+#include "assessment/snapshot.hpp"
 #include "common/assertions.hpp"
 #include "index/access_pattern.hpp"
 
@@ -41,23 +43,47 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
       index::IndexConfig ic = options_.initial_config.num_attrs() == n
                                   ? options_.initial_config
                                   : index::IndexConfig::zero(n);
-      auto idx = std::make_unique<index::BitAddressIndex>(
-          layout_.jas, std::move(ic), std::move(mapper), meter_, memory_);
-      bit_index_ = idx.get();
-      index_ = std::move(idx);
-      if (telemetry_ != nullptr) {
-        bit_index_->bind_telemetry(
-            telemetry_, "stem." + std::to_string(stream_) + ".index");
+      const tuner::TunerOptions topts =
+          options_.amri_tuner.value_or(tuner::TunerOptions{});
+      if (options_.shards > 1) {
+        const std::size_t spos =
+            options_.shard_attr < n ? options_.shard_attr : 0;
+        auto idx = std::make_unique<index::ShardedBitIndex>(
+            layout_.jas, std::move(ic), std::move(mapper), options_.shards,
+            spos, options_.pool, meter_, memory_);
+        sharded_index_ = idx.get();
+        index_ = std::move(idx);
+        // One assessor per shard, merged at tuning epochs so index
+        // selection still sees the one logical request stream.
+        shard_assessors_.reserve(options_.shards);
+        for (std::size_t i = 0; i < options_.shards; ++i) {
+          shard_assessors_.push_back(assessment::make_assessor(
+              topts.assessor, layout_.jas.universe(), topts.assessor_params));
+        }
+        if (telemetry_ != nullptr) {
+          const std::string prefix = "stem." + std::to_string(stream_);
+          sharded_index_->bind_telemetry(telemetry_, prefix + ".index");
+          for (std::size_t i = 0; i < shard_assessors_.size(); ++i) {
+            shard_assessors_[i]->bind_telemetry(
+                telemetry_,
+                prefix + ".shard." + std::to_string(i) + ".assess");
+          }
+        }
+      } else {
+        auto idx = std::make_unique<index::BitAddressIndex>(
+            layout_.jas, std::move(ic), std::move(mapper), meter_, memory_);
+        bit_index_ = idx.get();
+        index_ = std::move(idx);
+        if (telemetry_ != nullptr) {
+          bit_index_->bind_telemetry(
+              telemetry_, "stem." + std::to_string(stream_) + ".index");
+        }
       }
       // Static backends also carry a tuner so the warm-up phase can train
       // their starting configuration; finish_warmup() drops it.
-      {
-        tuner::TunerOptions topts =
-            options_.amri_tuner.value_or(tuner::TunerOptions{});
-        amri_tuner_ = std::make_unique<tuner::AmriTuner>(
-            layout_.jas.universe(), n, model, topts, memory_, telemetry_,
-            stream_);
-      }
+      amri_tuner_ = std::make_unique<tuner::AmriTuner>(
+          layout_.jas.universe(), n, model, topts, memory_, telemetry_,
+          stream_);
       continuous_tuning_ = options_.backend == IndexBackend::kAmri;
       break;
     }
@@ -94,6 +120,21 @@ StemOperator::~StemOperator() {
   if (memory_ != nullptr && tracked_tuple_bytes_ > 0) {
     memory_->release(MemCategory::kStateTuples, tracked_tuple_bytes_);
   }
+  if (memory_ != nullptr && tracked_stats_bytes_ > 0) {
+    memory_->release(MemCategory::kStatistics, tracked_stats_bytes_);
+  }
+}
+
+void StemOperator::sync_stats_memory() {
+  if (memory_ == nullptr) return;
+  std::size_t now = 0;
+  for (const auto& a : shard_assessors_) now += a->approx_bytes();
+  if (now > tracked_stats_bytes_) {
+    memory_->allocate(MemCategory::kStatistics, now - tracked_stats_bytes_);
+  } else if (now < tracked_stats_bytes_) {
+    memory_->release(MemCategory::kStatistics, tracked_stats_bytes_ - now);
+  }
+  tracked_stats_bytes_ = now;
 }
 
 void StemOperator::sync_tuple_memory() {
@@ -137,6 +178,7 @@ void StemOperator::check_invariants() const {
                      window_store_.size() * (sizeof(Tuple) + 8),
              "tuple memory accounting is stale");
   if (bit_index_ != nullptr) bit_index_->check_invariants();
+  if (sharded_index_ != nullptr) sharded_index_->check_invariants();
 }
 
 telemetry::Histogram* StemOperator::pattern_histogram(AttrMask mask) {
@@ -168,7 +210,21 @@ index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
       pattern_histogram(key.mask)->observe(cost);
     }
   }
-  if (amri_tuner_ != nullptr) {
+  if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
+    // Attribute the request to the shard that served it; fan-outs touch
+    // every shard, so they round-robin deterministically (the merged
+    // assessment is shard-attribution-invariant anyway).
+    const std::size_t target = sharded_index_->target_shard(key);
+    const std::size_t slot = target < shard_assessors_.size()
+                                 ? target
+                                 : fanout_rr_++ % shard_assessors_.size();
+    shard_assessors_[slot]->observe(key.mask);
+    amri_tuner_->note_request();
+    sync_stats_memory();
+    if (continuous_tuning_ && amri_tuner_->tuning_due()) {
+      sharded_tune();
+    }
+  } else if (amri_tuner_ != nullptr) {
     amri_tuner_->observe_request(key.mask);
     if (continuous_tuning_ && amri_tuner_->tuning_due()) {
       amri_tuner_->maybe_tune(*bit_index_);
@@ -182,7 +238,41 @@ index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
   return stats;
 }
 
+void StemOperator::sharded_tune() {
+  assert(sharded_index_ != nullptr && amri_tuner_ != nullptr);
+  std::vector<assessment::AssessmentSnapshot> parts;
+  parts.reserve(shard_assessors_.size());
+  for (const auto& a : shard_assessors_) parts.push_back(a->snapshot());
+  const auto merged = assessment::merge_snapshots(parts);
+
+  tuner::ExternalAssessment external;
+  external.frequent =
+      assessment::snapshot_results(merged, amri_tuner_->options().theta);
+  external.table_size = merged.entries.size();
+  for (const auto& a : shard_assessors_) {
+    external.approx_bytes += a->approx_bytes();
+  }
+  amri_tuner_->maybe_tune_sharded(*sharded_index_, external);
+
+  // Statistics retention, mirrored from AmriTuner::recommend() onto the
+  // per-shard assessors this stem owns.
+  switch (amri_tuner_->options().retention) {
+    case tuner::StatsRetention::kReset:
+      for (auto& a : shard_assessors_) a->reset();
+      break;
+    case tuner::StatsRetention::kKeep:
+      break;
+    case tuner::StatsRetention::kDecay:
+      for (auto& a : shard_assessors_) {
+        a->decay(amri_tuner_->options().decay_factor);
+      }
+      break;
+  }
+  sync_stats_memory();
+}
+
 const index::IndexConfig* StemOperator::current_config() const {
+  if (sharded_index_ != nullptr) return &sharded_index_->config();
   return bit_index_ != nullptr ? &bit_index_->config() : nullptr;
 }
 
@@ -199,7 +289,9 @@ double StemOperator::migration_pause_us() const {
 }
 
 void StemOperator::force_tune() {
-  if (amri_tuner_ != nullptr && bit_index_ != nullptr) {
+  if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
+    sharded_tune();
+  } else if (amri_tuner_ != nullptr && bit_index_ != nullptr) {
     amri_tuner_->maybe_tune(*bit_index_);
   } else if (module_tuner_ != nullptr && module_index_ != nullptr) {
     module_tuner_->maybe_tune(*module_index_);
@@ -217,6 +309,8 @@ void StemOperator::finish_warmup() {
     if (module_tuner_ != nullptr) warmup_migrations_ = module_tuner_->retunes();
     amri_tuner_.reset();
     module_tuner_.reset();
+    shard_assessors_.clear();
+    sync_stats_memory();
   }
 }
 

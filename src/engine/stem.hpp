@@ -11,13 +11,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "assessment/assessor.hpp"
 #include "common/cost_meter.hpp"
 #include "common/memory_tracker.hpp"
+#include "common/thread_pool.hpp"
 #include "common/tuple.hpp"
 #include "engine/query.hpp"
 #include "index/access_module_set.hpp"
 #include "index/bit_address_index.hpp"
 #include "index/scan_index.hpp"
+#include "index/sharded_bit_index.hpp"
 #include "telemetry/telemetry.hpp"
 #include "tuner/amri_tuner.hpp"
 #include "tuner/hash_module_tuner.hpp"
@@ -45,6 +48,16 @@ struct StemOptions {
   /// For kQuantile mapping: one value sample per JAS position (e.g. from
   /// a warm-up trace). Empty samples fall back to hashing per attribute.
   std::vector<std::vector<Value>> quantile_samples;
+  /// Bit-address backends only: partition the state's window and index
+  /// into this many shards (index::ShardedBitIndex). 1 keeps the plain
+  /// single index; the module/scan backends ignore sharding.
+  std::size_t shards = 1;
+  /// JAS position whose value routes tuples/probes to their shard
+  /// (clamped to 0 when out of range).
+  std::size_t shard_attr = 0;
+  /// Fan-out pool for probes that leave the sharding attribute unbound
+  /// (typically owned by the executor); null runs fan-outs serially.
+  ThreadPool* pool = nullptr;
 };
 
 class StemOperator {
@@ -92,6 +105,18 @@ class StemOperator {
   std::size_t stored_tuples() const { return window_store_.size(); }
   const index::TupleIndex& physical_index() const { return *index_; }
 
+  /// Number of index shards (1 for every unsharded backend).
+  std::size_t shard_count() const {
+    return sharded_index_ != nullptr ? sharded_index_->shard_count() : 1;
+  }
+
+  /// Max/mean shard-size skew (1.0 = balanced; also 1.0 when unsharded).
+  double shard_imbalance() const {
+    return sharded_index_ != nullptr && stored_tuples() > 0
+               ? sharded_index_->balance().imbalance
+               : 1.0;
+  }
+
   /// Current bit-address config (bit-address backends only).
   const index::IndexConfig* current_config() const;
 
@@ -126,6 +151,12 @@ class StemOperator {
 
  private:
   void sync_tuple_memory();
+  void sync_stats_memory();
+  /// Sharded tuning epoch: merge the per-shard assessor snapshots into one
+  /// logical assessment, run selection, migrate shard-by-shard when the
+  /// improvement clears the margin, then apply statistics retention to
+  /// every shard assessor.
+  void sharded_tune();
   telemetry::Histogram* pattern_histogram(AttrMask mask);
 
   StreamId stream_;
@@ -137,9 +168,16 @@ class StemOperator {
   std::deque<Tuple> window_store_;
   std::unique_ptr<index::TupleIndex> index_;
   index::BitAddressIndex* bit_index_ = nullptr;      ///< non-owning view
+  index::ShardedBitIndex* sharded_index_ = nullptr;  ///< non-owning view
   index::AccessModuleSet* module_index_ = nullptr;   ///< non-owning view
   std::unique_ptr<tuner::AmriTuner> amri_tuner_;
   std::unique_ptr<tuner::HashModuleTuner> module_tuner_;
+  /// Sharded mode: one assessor per shard (the tuner's own assessor is
+  /// bypassed). Targeted probes are attributed to the target shard's
+  /// assessor; fan-out probes round-robin deterministically.
+  std::vector<std::unique_ptr<assessment::Assessor>> shard_assessors_;
+  std::uint64_t fanout_rr_ = 0;
+  std::size_t tracked_stats_bytes_ = 0;
   bool continuous_tuning_ = false;
   std::uint64_t warmup_migrations_ = 0;
   double warmup_pause_us_ = 0.0;

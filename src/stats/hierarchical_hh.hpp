@@ -57,6 +57,22 @@ class HierarchicalHeavyHitter {
   /// Segment-boundary compression (public so tests can drive it directly).
   void compress();
 
+  std::uint64_t seed() const { return seed_; }
+
+  /// Inject one retained lattice node without running compression — used
+  /// when rebuilding a sketch from merged per-shard snapshots. Call
+  /// set_observed() afterwards so frequencies (and the mass-conservation
+  /// invariant, when the loaded state was never decayed) hold.
+  void load_node(AttrMask mask, std::uint64_t count, std::uint64_t max_error) {
+    lattice_.counts().add(mask, count, max_error);
+  }
+
+  /// Set the observation total a loaded state was assessed over.
+  void set_observed(std::uint64_t n) {
+    observed_ = n;
+    lattice_.counts().set_total(n);
+  }
+
   /// Final-results rollup: bottom-up, nodes with frequency < theta donate
   /// their count to a parent; survivors are returned sorted by descending
   /// count. Non-destructive (operates on a copy).

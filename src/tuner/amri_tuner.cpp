@@ -60,13 +60,14 @@ void AmriTuner::observe_request(AttrMask ap) {
   sync_memory();
 }
 
-TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
+TuneDecision AmriTuner::decide(
+    const std::vector<assessment::AssessedPattern>& frequent,
+    const index::IndexConfig& current) {
   TuneDecision decision;
   decision.due = true;
   ++decisions_;
   since_last_decision_ = 0;
 
-  const auto frequent = assessor_->results(options_.theta);
   decision.frequent_patterns = frequent.size();
   const auto pattern_freqs = assessment::to_pattern_frequencies(frequent);
 
@@ -87,6 +88,13 @@ TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
             static_cast<std::ptrdiff_t>(
                 std::min(frequent.size(), options_.telemetry_top_k)));
     decision_counter_->add();
+  }
+  return decision;
+}
+
+TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
+  TuneDecision decision = decide(assessor_->results(options_.theta), current);
+  if (telemetry_ != nullptr) {
     stats_entries_gauge_->set(static_cast<double>(assessor_->table_size()));
     stats_bytes_gauge_->set(static_cast<double>(assessor_->approx_bytes()));
   }
@@ -153,6 +161,37 @@ TuneDecision AmriTuner::maybe_tune(index::BitAddressIndex& index) {
   if (decision.recommended != index.config() &&
       proposed < current * (1.0 - options_.min_improvement)) {
     const auto report = migrator_.migrate(index, decision.recommended);
+    migration_pause_us_ += static_cast<double>(report.hashes_charged) *
+                           model_.params().hash_cost;
+    decision.migrated = true;
+    ++migrations_;
+  }
+  if (telemetry_ != nullptr) emit_decision_event(decision, before);
+  return decision;
+}
+
+TuneDecision AmriTuner::recommend_from(const ExternalAssessment& external,
+                                       const index::IndexConfig& current) {
+  TuneDecision decision = decide(external.frequent, current);
+  if (telemetry_ != nullptr) {
+    stats_entries_gauge_->set(static_cast<double>(external.table_size));
+    stats_bytes_gauge_->set(static_cast<double>(external.approx_bytes));
+  }
+  return decision;
+}
+
+TuneDecision AmriTuner::maybe_tune_sharded(index::ShardedBitIndex& index,
+                                           const ExternalAssessment& external) {
+  const index::IndexConfig before = index.config();
+  TuneDecision decision = recommend_from(external, before);
+  const double current = decision.current_cost;
+  const double proposed = decision.recommended_cost;
+  if (decision.recommended != index.config() &&
+      proposed < current * (1.0 - options_.min_improvement)) {
+    const auto report = index.migrate_shards(decision.recommended, migrator_);
+    // Total modelled pause is the full rebuild (identical to the
+    // unsharded path); the *per-probe* stall shrinks to the largest
+    // single-shard rebuild, ~1/N of the window.
     migration_pause_us_ += static_cast<double>(report.hashes_charged) *
                            model_.params().hash_cost;
     decision.migrated = true;

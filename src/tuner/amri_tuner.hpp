@@ -21,6 +21,7 @@
 #include "index/bit_address_index.hpp"
 #include "index/index_migrator.hpp"
 #include "index/index_optimizer.hpp"
+#include "index/sharded_bit_index.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace amri::tuner {
@@ -60,6 +61,15 @@ struct TuneDecision {
   std::vector<index::ScoredConfig> candidates;
 };
 
+/// Externally assessed statistics for one decision. Sharded stems collect
+/// per-shard assessor snapshots, merge them (assessment/snapshot.hpp), and
+/// hand the thresholded answer here so the tuner sees one logical state.
+struct ExternalAssessment {
+  std::vector<assessment::AssessedPattern> frequent;
+  std::size_t table_size = 0;    ///< merged retained entries (gauges)
+  std::size_t approx_bytes = 0;  ///< merged statistics footprint (gauges)
+};
+
 class AmriTuner {
  public:
   /// With `telemetry` set the tuner logs every decision (assessment top-k,
@@ -94,6 +104,26 @@ class AmriTuner {
   /// migrate `index` to the recommended IC.
   TuneDecision maybe_tune(index::BitAddressIndex& index);
 
+  /// Count one request assessed *outside* the tuner (sharded stems feed
+  /// their shard assessors directly); keeps the decision cadence — and the
+  /// observed-request total — identical to the observe_request() path.
+  void note_request() {
+    ++since_last_decision_;
+    ++observed_;
+  }
+
+  /// Selection over externally assessed (merged per-shard) statistics.
+  /// Same decision core as recommend(); statistics retention is the
+  /// caller's job (the stem owns the shard assessors).
+  TuneDecision recommend_from(const ExternalAssessment& external,
+                              const index::IndexConfig& current);
+
+  /// recommend_from() and, if the improvement clears the hysteresis
+  /// margin, migrate `index` shard by shard so each pause covers only
+  /// 1/N of the window.
+  TuneDecision maybe_tune_sharded(index::ShardedBitIndex& index,
+                                  const ExternalAssessment& external);
+
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t migrations() const { return migrations_; }
   std::uint64_t observed_requests() const { return observed_; }
@@ -105,6 +135,11 @@ class AmriTuner {
 
  private:
   void sync_memory();
+  /// Shared decision core: optimizer run + costing over `frequent` against
+  /// `current`. Increments the decision counters; retention is the
+  /// caller's responsibility.
+  TuneDecision decide(const std::vector<assessment::AssessedPattern>& frequent,
+                      const index::IndexConfig& current);
   void emit_decision_event(const TuneDecision& decision,
                            const index::IndexConfig& current);
 

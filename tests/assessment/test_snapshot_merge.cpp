@@ -1,0 +1,202 @@
+// Property test for per-shard snapshot merging (assessment/snapshot.hpp),
+// fuzzed over random access-pattern streams and random shard partitions:
+//   * SRIA / DIA — counts are exact and additive, so merging the per-shard
+//     snapshots must reproduce the unpartitioned assessor bit-identically:
+//     same snapshot entries and same results(theta), including order;
+//   * CSRIA — each shard's lossy-counting table undercounts its substream
+//     by at most epsilon * N_shard; summed over shards that is the
+//     unpartitioned epsilon * N bound. The merged answer must have no
+//     false negatives above theta + epsilon and never overcount;
+//   * CDIA — compression conserves count mass, so the merged entries must
+//     still sum to the merged observation total, and the merge must be
+//     order-independent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "assessment/snapshot.hpp"
+#include "common/rng.hpp"
+
+namespace amri::assessment {
+namespace {
+
+struct FuzzStream {
+  AttrMask universe = 0;
+  std::vector<AttrMask> requests;
+  std::vector<std::size_t> owner;  ///< shard of each request
+  std::size_t shards = 1;
+};
+
+/// A skewed random request stream: a handful of "hot" masks carry most of
+/// the traffic (so some patterns clear theta), the rest is uniform noise.
+FuzzStream make_stream(Rng& rng) {
+  FuzzStream fs;
+  const std::size_t attrs = 2 + rng.below(3);  // 2..4
+  fs.universe = static_cast<AttrMask>((1u << attrs) - 1);
+  fs.shards = 2 + rng.below(5);  // 2..6
+  const std::size_t n = 2000 + rng.below(6000);
+  std::vector<AttrMask> hot;
+  const std::size_t hot_count = 1 + rng.below(3);
+  for (std::size_t i = 0; i < hot_count; ++i) {
+    hot.push_back(static_cast<AttrMask>(1 + rng.below(fs.universe)));
+  }
+  fs.requests.reserve(n);
+  fs.owner.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const AttrMask ap =
+        rng.chance(0.7) ? hot[rng.below(hot.size())]
+                        : static_cast<AttrMask>(1 + rng.below(fs.universe));
+    fs.requests.push_back(ap);
+    fs.owner.push_back(rng.below(fs.shards));
+  }
+  return fs;
+}
+
+/// Feed the stream into one unpartitioned assessor and `shards` per-shard
+/// assessors; return {unpartitioned, merged-per-shard} snapshots.
+std::pair<AssessmentSnapshot, AssessmentSnapshot> assess_both(
+    const FuzzStream& fs, AssessorKind kind, const AssessorParams& params) {
+  auto whole = make_assessor(kind, fs.universe, params);
+  std::vector<std::unique_ptr<Assessor>> parts;
+  for (std::size_t s = 0; s < fs.shards; ++s) {
+    parts.push_back(make_assessor(kind, fs.universe, params));
+  }
+  for (std::size_t i = 0; i < fs.requests.size(); ++i) {
+    whole->observe(fs.requests[i]);
+    parts[fs.owner[i]]->observe(fs.requests[i]);
+  }
+  std::vector<AssessmentSnapshot> snaps;
+  snaps.reserve(parts.size());
+  for (const auto& p : parts) snaps.push_back(p->snapshot());
+  return {whole->snapshot(), merge_snapshots(snaps)};
+}
+
+std::map<AttrMask, std::uint64_t> true_counts(const FuzzStream& fs) {
+  std::map<AttrMask, std::uint64_t> counts;
+  for (const AttrMask ap : fs.requests) ++counts[ap];
+  return counts;
+}
+
+void expect_same_patterns(const std::vector<AssessedPattern>& got,
+                          const std::vector<AssessedPattern>& want,
+                          std::size_t round) {
+  ASSERT_EQ(got.size(), want.size()) << "round " << round;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].mask, want[i].mask) << "round " << round << " #" << i;
+    EXPECT_EQ(got[i].count, want[i].count) << "round " << round << " #" << i;
+    EXPECT_EQ(got[i].max_error, want[i].max_error)
+        << "round " << round << " #" << i;
+    EXPECT_DOUBLE_EQ(got[i].frequency, want[i].frequency)
+        << "round " << round << " #" << i;
+  }
+}
+
+void run_exact_kind(AssessorKind kind) {
+  Rng rng(kind == AssessorKind::kSria ? 51 : 52);
+  for (std::size_t round = 0; round < 30; ++round) {
+    const FuzzStream fs = make_stream(rng);
+    const auto [whole, merged] = assess_both(fs, kind, {});
+    EXPECT_EQ(merged.observed, whole.observed) << "round " << round;
+    expect_same_patterns(merged.entries, whole.entries, round);
+    for (const double theta : {0.05, 0.1, 0.3}) {
+      expect_same_patterns(snapshot_results(merged, theta),
+                           snapshot_results(whole, theta), round);
+      // snapshot_results over the whole-stream snapshot is itself the
+      // assessor's results() contract, checked in the per-kind tests; here
+      // the merged path must match it exactly.
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence in round " << round;
+    }
+  }
+}
+
+TEST(SnapshotMerge, SriaMergeEqualsUnpartitioned) {
+  run_exact_kind(AssessorKind::kSria);
+}
+
+TEST(SnapshotMerge, DiaMergeEqualsUnpartitioned) {
+  run_exact_kind(AssessorKind::kDia);
+}
+
+TEST(SnapshotMerge, CsriaMergeKeepsLossyCountingBound) {
+  Rng rng(53);
+  AssessorParams params;
+  params.epsilon = 0.01;
+  const double theta = 0.1;
+  for (std::size_t round = 0; round < 30; ++round) {
+    const FuzzStream fs = make_stream(rng);
+    const auto [whole, merged] = assess_both(fs, AssessorKind::kCsria, params);
+    EXPECT_EQ(merged.observed, whole.observed);
+    const auto truth = true_counts(fs);
+    const double n = static_cast<double>(fs.requests.size());
+    const auto results = snapshot_results(merged, theta);
+    // Estimates never overcount, and undercount by at most epsilon * N.
+    for (const AssessedPattern& p : merged.entries) {
+      const auto it = truth.find(p.mask);
+      ASSERT_NE(it, truth.end()) << "round " << round;
+      EXPECT_LE(p.count, it->second) << "round " << round;
+      EXPECT_LE(static_cast<double>(it->second - p.count), params.epsilon * n)
+          << "round " << round;
+    }
+    // No false negatives: every pattern with true frequency >=
+    // theta + epsilon must survive the strict-theta filter.
+    for (const auto& [mask, count] : truth) {
+      if (static_cast<double>(count) / n < theta + params.epsilon) continue;
+      const bool reported =
+          std::any_of(results.begin(), results.end(),
+                      [m = mask](const AssessedPattern& p) {
+                        return p.mask == m;
+                      });
+      EXPECT_TRUE(reported) << "round " << round << " mask " << mask;
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "divergence in round " << round;
+    }
+  }
+}
+
+TEST(SnapshotMerge, CdiaMergeConservesMassAndIsOrderIndependent) {
+  Rng rng(54);
+  AssessorParams params;
+  params.epsilon = 0.02;
+  for (std::size_t round = 0; round < 20; ++round) {
+    const FuzzStream fs = make_stream(rng);
+    auto whole = make_assessor(AssessorKind::kCdiaHighestCount, fs.universe,
+                               params);
+    std::vector<std::unique_ptr<Assessor>> parts;
+    for (std::size_t s = 0; s < fs.shards; ++s) {
+      parts.push_back(make_assessor(AssessorKind::kCdiaHighestCount,
+                                    fs.universe, params));
+    }
+    for (std::size_t i = 0; i < fs.requests.size(); ++i) {
+      whole->observe(fs.requests[i]);
+      parts[fs.owner[i]]->observe(fs.requests[i]);
+    }
+    std::vector<AssessmentSnapshot> snaps;
+    for (const auto& p : parts) snaps.push_back(p->snapshot());
+    const AssessmentSnapshot merged = merge_snapshots(snaps);
+    // Mass conservation survives the merge: retained counts still sum to
+    // the total observation count, exactly as in each shard sketch.
+    std::uint64_t mass = 0;
+    for (const AssessedPattern& e : merged.entries) mass += e.count;
+    EXPECT_EQ(mass, merged.observed) << "round " << round;
+    EXPECT_EQ(merged.observed, whole->observed()) << "round " << round;
+    // The merge is a per-mask sum: shard order must not matter.
+    std::reverse(snaps.begin(), snaps.end());
+    const AssessmentSnapshot reversed = merge_snapshots(snaps);
+    expect_same_patterns(reversed.entries, merged.entries, round);
+    expect_same_patterns(snapshot_results(reversed, 0.1),
+                         snapshot_results(merged, 0.1), round);
+    // Result masks stay within the universe. (The lattice root, mask 0, is
+    // a legitimate result: rolled-up residual mass can clear theta there.)
+    for (const AssessedPattern& p : snapshot_results(merged, 0.1)) {
+      EXPECT_EQ(p.mask & ~fs.universe, 0u) << "round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amri::assessment

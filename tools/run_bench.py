@@ -34,6 +34,7 @@ import datetime
 import json
 import os
 import platform
+import re
 import subprocess
 import sys
 import tempfile
@@ -41,8 +42,12 @@ import tempfile
 SCHEMA = "amri-bench-v1"
 
 # Default bench set: the index hot-path microbench (the directory's raison
-# d'etre) and the assessment microbench (tuner hot path).
-DEFAULT_BENCHES = ["micro_index_ops", "micro_assessment"]
+# d'etre), the assessment microbench (tuner hot path), and the sharded-state
+# microbench (probe churn / fan-out / migration across shard counts).
+DEFAULT_BENCHES = ["micro_index_ops", "micro_assessment", "micro_sharded_stem"]
+
+# google-benchmark encodes named args into the bench name ("BM_X/shards:4").
+_SHARDS_RE = re.compile(r"/shards:(\d+)(?:/|$)")
 
 
 def is_gbench(bench_name: str) -> bool:
@@ -86,6 +91,16 @@ def prefix_records(records: list, bench_name: str) -> list:
             for rec in records]
 
 
+def attach_shards(records: list) -> list:
+    """Lift the shard-count bench argument into a queryable record field,
+    so trajectory tooling can compare shard counts without name parsing."""
+    out = []
+    for rec in records:
+        m = _SHARDS_RE.search(rec.get("bench", ""))
+        out.append({**rec, "shards": int(m.group(1))} if m else rec)
+    return out
+
+
 def aggregate(records: list, date: str, host: str) -> dict:
     return {"schema": SCHEMA, "date": date, "host": host, "records": records}
 
@@ -102,7 +117,8 @@ def run_one(bench_name: str, args: argparse.Namespace) -> list:
         argv = bench_argv(binary, bench_name, json_path, args)
         print(f"[run_bench] {' '.join(argv)}", file=sys.stderr)
         subprocess.run(argv, check=True, stdout=sys.stderr)
-        return prefix_records(load_records(json_path), bench_name)
+        return attach_shards(prefix_records(load_records(json_path),
+                                            bench_name))
     finally:
         os.unlink(json_path)
 
@@ -135,6 +151,25 @@ def self_test() -> int:
         check(records[1]["bench"].startswith("micro_index_ops/BM_\"quoted\""),
               "escaped bench names survive a load/prefix round trip")
         check(records[0]["value"] == 123456.5, "values preserved")
+
+        # Shard-count extraction: "shards:N" bench args become a queryable
+        # record field; records without the arg are left untouched.
+        sharded_raw = [
+            {"bench": "BM_ShardedStem_ProbeChurn/shards:4",
+             "metric": "items_per_second", "value": 10.0},
+            {"bench": "BM_ShardedStem_Migration/shards:16",
+             "metric": "real_time_ns", "value": 20.0},
+            {"bench": "BM_Probe/10000", "metric": "real_time_ns",
+             "value": 30.0},
+        ]
+        sharded = attach_shards(
+            prefix_records(sharded_raw, "micro_sharded_stem"))
+        check(sharded[0].get("shards") == 4, "shards:4 arg lifted to field")
+        check(sharded[1].get("shards") == 16, "multi-digit shard count lifted")
+        check("shards" not in sharded[2], "non-sharded record untouched")
+        check(sharded[0]["bench"]
+              == "micro_sharded_stem/BM_ShardedStem_ProbeChurn/shards:4",
+              "shard extraction preserves the prefixed bench name")
 
         out = os.path.join(tmpdir, "BENCH_2000-01-01.json")
         agg = aggregate(records, "2000-01-01", "testhost")
