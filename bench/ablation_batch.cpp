@@ -1,7 +1,10 @@
-// ABL-BATCH — routing batch size (paper §I: AMR "dynamically routes
-// batches of tuples"). Larger batches amortise the per-decision routing
-// cost but react to drift one batch late; the sweep shows the trade-off
-// under the standard drifting workload.
+// ABL-BATCH — routing-decision reuse (paper §I: AMR "dynamically routes
+// batches of tuples"). This sweeps `EddyOptions::decision_reuse` — how many
+// same-done-mask partials share one cached routing decision — NOT the
+// executor-level `--batch-size` (which moves arrivals through the pipeline
+// together without changing any decision). Larger reuse amortises the
+// per-decision routing cost but reacts to drift one batch late; the sweep
+// shows the trade-off under the standard drifting workload.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -23,7 +26,7 @@ int main(int argc, char** argv) {
   for (const std::size_t batch : {1u, 4u, 16u, 64u, 256u}) {
     const auto scenario = make_scenario(params);
     auto eopts = make_executor_options(scenario, params, method);
-    eopts.eddy.batch_size = batch;
+    eopts.eddy.decision_reuse = batch;
     engine::Executor ex(scenario.query(), eopts);
     const auto src = scenario.make_source();
     const auto r = ex.run(*src);

@@ -7,10 +7,13 @@
 //               WHERE S.region = G.region WINDOW 20' sim_seconds=60
 //
 // Knobs (key=value): sim_seconds, rate, seed, backend=amri|bitmap|modules|
-// scan, bits, epsilon, theta, shards. `--shards N` partitions each state's
-// window and index into N parallel shards (bit-address backends).
-// `--trace-out run.jsonl` attaches telemetry and writes the full run trace
-// (events + final metrics) as JSON lines.
+// scan, bits, epsilon, theta, shards, batch_size, decision_reuse.
+// `--shards N` partitions each state's window and index into N parallel
+// shards (bit-address backends). `--batch-size N` moves up to N arrivals
+// through the pipeline together (vectorized probe path). `--decision-reuse
+// N` reuses one routing decision per done-mask N times (deprecated alias:
+// `--routing-batch-size`). `--trace-out run.jsonl` attaches telemetry and
+// writes the full run trace (events + final metrics) as JSON lines.
 #include <iostream>
 #include <optional>
 
@@ -109,6 +112,11 @@ int main(int argc, char** argv) {
   topts.optimizer.bit_budget = bits;
   opts.stem.amri_tuner = topts;
   opts.stem.shards = std::max<std::size_t>(cfg.size_or("shards", 1), 1);
+  opts.batch_size = std::max<std::size_t>(cfg.size_or("batch_size", 1), 1);
+  // `routing_batch_size` is the knob's pre-rename name, kept as a
+  // deprecated alias; `decision_reuse` wins when both are given.
+  opts.eddy.decision_reuse = std::max<std::size_t>(
+      cfg.size_or("decision_reuse", cfg.size_or("routing_batch_size", 1)), 1);
   opts.model_params.lambda_d = rate;
   opts.model_params.lambda_r = rate * parsed.query.num_streams();
   opts.model_params.window_units = micros_to_seconds(parsed.query.window());

@@ -59,8 +59,14 @@ class Assessor {
  public:
   virtual ~Assessor() = default;
 
-  /// Ingest one search-request access pattern.
-  virtual void observe(AttrMask ap) = 0;
+  /// Ingest `weight` search requests sharing one access pattern. Batched
+  /// probing groups a batch's keys per pattern and feeds one weighted
+  /// observe per group. For SRIA/DIA (exact additive counts) this is
+  /// bit-identical to `weight` single observes; for CSRIA/CDIA the
+  /// compression boundaries shift with grouping order, so counts match
+  /// only within the sketch's epsilon bound (see docs/architecture.md,
+  /// "Batched execution").
+  virtual void observe(AttrMask ap, std::uint64_t weight = 1) = 0;
 
   /// Frequent patterns at threshold theta, sorted by descending count.
   virtual std::vector<AssessedPattern> results(double theta) const = 0;
@@ -96,9 +102,9 @@ class Assessor {
                       const std::string& prefix);
 
  protected:
-  /// One access pattern ingested.
-  void note_observed() {
-    if (observed_counter_ != nullptr) observed_counter_->add();
+  /// `n` access patterns ingested.
+  void note_observed(std::uint64_t n = 1) {
+    if (observed_counter_ != nullptr) observed_counter_->add(n);
   }
   /// `entries` statistics entries evicted (CSRIA) or merged into a parent
   /// (CDIA) by compression.

@@ -25,9 +25,10 @@ EddyRouter::EddyRouter(const QuerySpec& query, std::vector<StemOperator*> stems,
   }
 }
 
-void EddyRouter::note_decision(std::uint32_t done_mask, StreamId target) {
+void EddyRouter::note_decision(std::uint32_t done_mask, StreamId target,
+                               std::uint64_t count) {
   if (telemetry_ == nullptr) return;  // counters resolve with telemetry
-  decisions_counter_->add();
+  decisions_counter_->add(count);
   const auto it = last_target_.find(done_mask);
   if (it != last_target_.end() && it->second == target) return;
   const bool had_previous = it != last_target_.end();
@@ -92,11 +93,11 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
     // the routing cost).
     std::size_t pick;
     bool fresh_decision = false;
-    if (options_.batch_size > 1) {
+    if (options_.decision_reuse > 1) {
       auto& cached = decision_cache_[p.done];
       if (cached.remaining == 0) {
         cached.pick = policy_->choose(ctx, stats_);
-        cached.remaining = options_.batch_size;
+        cached.remaining = options_.decision_reuse;
         fresh_decision = true;
         if (meter_ != nullptr) meter_->charge_route();
       }
@@ -162,6 +163,184 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
       truncated_counter_->add();
     }
   }
+  return produced;
+}
+
+std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
+                                      const std::uint32_t* done, std::size_t n,
+                                      std::vector<JoinResult>* sink) {
+  if (n == 0) return 0;
+  if (n == 1) return route(stored[0], sink);  // no partitions to share
+  assert(stored != nullptr && done != nullptr);
+  arrivals_ += n;
+  const std::uint32_t all = query_.all_streams_mask();
+
+  // A partial tagged with the arrival that rooted it, so the per-arrival
+  // truncation valve keeps its exact sequential threshold.
+  struct BatchPartial {
+    std::uint32_t done = 0;
+    std::uint32_t root = 0;  ///< index into the batch
+    SmallVector<const Tuple*, 8> members;
+  };
+
+  std::uint64_t produced = 0;
+  std::vector<std::uint64_t> processed(n, 0);
+  std::vector<bool> truncated(n, false);
+  std::vector<BatchPartial> frontier;
+  frontier.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(stored[i] != nullptr);
+    BatchPartial root;
+    root.done = done[i];
+    root.root = static_cast<std::uint32_t>(i);
+    root.members.resize(query_.num_streams(), nullptr);
+    root.members[stored[i]->stream] = stored[i];
+    frontier.push_back(std::move(root));
+  }
+
+  std::vector<BatchPartial> next_level;
+  std::vector<std::size_t> live;  // surviving frontier indices, in order
+  while (!frontier.empty()) {
+    // Consume this level: per-arrival truncation accounting, then emit
+    // complete results; the rest is routed below.
+    live.clear();
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      BatchPartial& p = frontier[i];
+      if (truncated[p.root]) continue;  // valve already tripped for it
+      if (++processed[p.root] > options_.max_partials_per_arrival) {
+        truncated[p.root] = true;
+        ++truncated_;
+        if (telemetry_ != nullptr) truncated_counter_->add();
+        continue;
+      }
+      if (p.done == all) {
+        ++produced;
+        if (sink != nullptr) {
+          JoinResult r;
+          r.members = p.members;
+          sink->push_back(std::move(r));
+        }
+        continue;
+      }
+      live.push_back(i);
+    }
+
+    // Partition the survivors on done-mask, first-appearance order. A
+    // level holds few distinct masks (all the same popcount), so a linear
+    // scan beats hashing.
+    SmallVector<std::uint32_t, 8> masks;
+    std::vector<std::vector<std::size_t>> members_of;
+    for (const std::size_t i : live) {
+      const std::uint32_t mask = frontier[i].done;
+      std::size_t g = 0;
+      while (g < masks.size() && masks[g] != mask) ++g;
+      if (g == masks.size()) {
+        masks.push_back(mask);
+        members_of.emplace_back();
+      }
+      members_of[g].push_back(i);
+    }
+
+    next_level.clear();
+    for (std::size_t g = 0; g < masks.size(); ++g) {
+      const std::uint32_t mask = masks[g];
+      const std::vector<std::size_t>& part = members_of[g];
+      const std::uint64_t k = part.size();
+
+      RoutingContext ctx;
+      ctx.done_mask = mask;
+      for (StreamId s = 0; s < query_.num_streams(); ++s) {
+        if ((mask >> s) & 1u) continue;
+        ctx.candidates.push_back(
+            RoutingContext::Candidate{s, query_.layout(s).pattern_for(mask)});
+      }
+      assert(!ctx.candidates.empty());
+
+      // One routing decision serves the whole partition. The decision
+      // cache is still consumed once per partial, so the number of fresh
+      // (policy-consulting, route-charged) decisions — and the telemetry
+      // decisions counter — match k sequential route() calls exactly.
+      std::size_t pick;
+      std::uint64_t fresh = 0;
+      if (options_.decision_reuse > 1) {
+        auto& cached = decision_cache_[mask];
+        std::uint64_t consumed = 0;
+        while (consumed < k) {
+          if (cached.remaining == 0) {
+            cached.pick = policy_->choose(ctx, stats_);
+            cached.remaining = options_.decision_reuse;
+            ++fresh;
+          }
+          const std::uint64_t take =
+              std::min<std::uint64_t>(cached.remaining, k - consumed);
+          cached.remaining -= take;
+          consumed += take;
+        }
+        pick = std::min(cached.pick, ctx.candidates.size() - 1);
+      } else {
+        pick = policy_->choose(ctx, stats_);
+        fresh = k;  // tuple-at-a-time consults the policy per partial
+      }
+      if (meter_ != nullptr && fresh > 0) meter_->charge_route(fresh);
+      const StreamId target = ctx.candidates[pick].state;
+      const AttrMask ap = ctx.candidates[pick].pattern;
+      if (telemetry_ != nullptr && fresh > 0) {
+        note_decision(mask, target, fresh);
+      }
+
+      // Build every partition member's probe key, then probe the target
+      // STeM once through its batched path.
+      const StateLayout& layout = query_.layout(target);
+      const std::vector<std::uint8_t>* pos_map =
+          position_maps_.empty() ? nullptr : &position_maps_[target];
+      const std::size_t stem_width = stems_[target]->layout().jas.size();
+      batch_keys_.assign(part.size(), index::ProbeKey{});
+      batch_stats_.assign(part.size(), index::ProbeStats{});
+      if (batch_outs_.size() < part.size()) batch_outs_.resize(part.size());
+      for (std::size_t j = 0; j < part.size(); ++j) {
+        const BatchPartial& p = frontier[part[j]];
+        index::ProbeKey& key = batch_keys_[j];
+        key.values.resize(stem_width, Value{0});
+        for_each_bit(ap, [&](unsigned pos) {
+          const auto& peer = layout.peers[pos];
+          const unsigned stem_pos = pos_map == nullptr ? pos : (*pos_map)[pos];
+          key.mask |= (AttrMask{1} << stem_pos);
+          key.values[stem_pos] = p.members[peer.stream]->at(peer.attr);
+        });
+        batch_outs_[j].clear();
+      }
+      stems_[target]->probe_batch(batch_keys_.data(), part.size(),
+                                  batch_outs_.data(), batch_stats_.data());
+
+      const Selection& visibility = query_.selection(target);
+      for (std::size_t j = 0; j < part.size(); ++j) {
+        const BatchPartial& p = frontier[part[j]];
+        std::vector<const Tuple*>& matches = batch_outs_[j];
+        stats_.record(target, ap,
+                      static_cast<double>(batch_stats_[j].matches),
+                      static_cast<double>(batch_stats_[j].tuples_compared));
+        if (!visibility.empty()) {
+          std::size_t kept = 0;
+          for (const Tuple* m : matches) {
+            if (visibility.matches(*m, meter_)) matches[kept++] = m;
+          }
+          matches.resize(kept);
+        }
+        for (const Tuple* m : matches) {
+          BatchPartial next;
+          next.done = p.done | (std::uint32_t{1} << target);
+          next.root = p.root;
+          next.members = p.members;
+          next.members[target] = m;
+          next_level.push_back(std::move(next));
+        }
+      }
+    }
+    frontier.swap(next_level);
+  }
+
+  results_ += produced;
+  if (telemetry_ != nullptr && produced > 0) results_counter_->add(produced);
   return produced;
 }
 

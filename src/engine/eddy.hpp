@@ -28,10 +28,12 @@ struct EddyOptions {
   /// Safety valve against join explosions: partial results processed per
   /// arrival (complete results still counted, processing truncated).
   std::size_t max_partials_per_arrival = 1u << 20;
-  /// AMR systems route *batches* of tuples (paper §I): a routing decision
-  /// for a given done-mask is reused for the next `batch_size - 1`
-  /// partials with the same mask, amortising the per-decision cost.
-  std::size_t batch_size = 1;
+  /// A routing decision for a given done-mask is reused for the next
+  /// `decision_reuse - 1` partials with the same mask, amortising the
+  /// per-decision cost. (Renamed from `batch_size` so the executor-level
+  /// `--batch-size` — how many arrivals move through the pipeline together
+  /// — is unambiguous; this knob only caches the policy choice.)
+  std::size_t decision_reuse = 1;
 };
 
 /// A complete join result: one stored tuple per stream.
@@ -61,6 +63,25 @@ class EddyRouter {
   /// `stored`. Returns the number of complete results produced.
   std::uint64_t route(const Tuple* stored,
                       std::vector<JoinResult>* sink = nullptr);
+
+  /// Route a batch of `n` same-stream arrivals (already inserted into
+  /// their STeM; `done[i]` is arrival i's initial done-mask, normally
+  /// `1 << stream`). Processes the join expansion level by level,
+  /// partitioning each level's partials on done-mask: one routing decision
+  /// serves a whole partition (the decision cache is consumed once per
+  /// partial, so fresh-decision counts — and route charges — match n
+  /// sequential route() calls exactly for deterministic policies), and the
+  /// partition's probes go through StemOperator::probe_batch. Same-stream
+  /// is what makes this equivalent to sequential routing: no partial
+  /// rooted at stream s ever probes stream s, so every probe sees windows
+  /// that are static for the whole batch. Returns results produced.
+  /// Caveats (docs/architecture.md): stochastic policies draw once per
+  /// partition instead of once per partial, and the per-arrival truncation
+  /// valve cuts a different partial *set* (never a different count
+  /// threshold) when a join explodes mid-batch.
+  std::uint64_t route_batch(const Tuple* const* stored,
+                            const std::uint32_t* done, std::size_t n,
+                            std::vector<JoinResult>* sink = nullptr);
 
   RoutingStatistics& statistics() { return stats_; }
   const RoutingStatistics& statistics() const { return stats_; }
@@ -92,7 +113,12 @@ class EddyRouter {
     std::size_t remaining = 0;
   };
   std::unordered_map<std::uint32_t, CachedDecision> decision_cache_;
-  void note_decision(std::uint32_t done_mask, StreamId target);
+  void note_decision(std::uint32_t done_mask, StreamId target,
+                     std::uint64_t count = 1);
+  // Reusable route_batch arenas (capacity persists across batches).
+  std::vector<index::ProbeKey> batch_keys_;
+  std::vector<std::vector<const Tuple*>> batch_outs_;
+  std::vector<index::ProbeStats> batch_stats_;
   // Telemetry instruments (null when detached).
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* decisions_counter_ = nullptr;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <deque>
 
+#include "common/tuple_batch.hpp"
 #include "telemetry/json.hpp"
 
 namespace amri::engine {
@@ -72,6 +73,9 @@ RunResult Executor::run(TupleSource& source) {
   telemetry::Telemetry* const tel = options_.telemetry;
 
   std::deque<Tuple> pending;
+  TupleBatch batch;                   // batched-drain arenas; capacity
+  std::vector<const Tuple*> stored_run;  // persists across batches
+  std::vector<JoinResult> batch_sink;
   std::optional<Tuple> lookahead = source.next();
   bool warmup_done = (options_.warmup == 0);
   std::uint64_t outputs_total = 0;
@@ -181,6 +185,56 @@ RunResult Executor::run(TupleSource& source) {
         break;
       }
       clock_.advance_to(lookahead->ts);  // idle until the next arrival
+      continue;
+    }
+
+    // Batched drain (post-warm-up only, so the warm-up boundary below is
+    // always hit on the tuple-at-a-time path): pull up to batch_size ready
+    // arrivals, expire every window once, then batch-insert and
+    // batch-route each consecutive same-stream run.
+    if (options_.batch_size > 1 && warmup_done) {
+      const std::size_t want = std::min(options_.batch_size, pending.size());
+      batch.clear();
+      for (std::size_t i = 0; i < want; ++i) {
+        const Tuple arrival = pending.front();
+        pending.pop_front();
+        if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
+          ++result.arrivals_filtered;
+          continue;
+        }
+        batch.push(arrival);
+      }
+      sync_queue_memory(pending.size());
+      if (batch.empty()) continue;  // whole drain was filtered out
+
+      for (auto& stem : stems_) stem->expire(clock_.now());
+      const bool want_rows = options_.collect_rows &&
+                             result.rows.size() < options_.max_collected_rows;
+      const bool want_sink = want_rows || options_.on_result != nullptr;
+      batch_sink.clear();
+      for (std::size_t a = 0; a < batch.size();) {
+        const std::size_t b = batch.run_end(a);
+        const StreamId s = batch.tuples[a].stream;
+        stored_run.clear();
+        stems_[s]->insert_batch(batch.tuples.data() + a, b - a, stored_run);
+        outputs_total += eddy_->route_batch(stored_run.data(),
+                                            batch.done.data() + a, b - a,
+                                            want_sink ? &batch_sink : nullptr);
+        a = b;
+      }
+      for (const JoinResult& jr : batch_sink) {
+        if (options_.on_result) options_.on_result(jr);
+        if (want_rows && result.rows.size() < options_.max_collected_rows) {
+          result.rows.push_back(query_.projection().apply(jr.members));
+        }
+      }
+      arrivals_measured += batch.size();
+
+      if (memory_.exhausted()) break;
+      while (clock_.now() >= next_sample && next_sample <= measure_end) {
+        take_sample(next_sample);
+        next_sample += options_.sample_every;
+      }
       continue;
     }
 

@@ -56,6 +56,17 @@ struct ExecutorOptions {
   /// Worker threads for sharded fan-out probes (stem.shards > 1 only).
   /// 0 picks hardware_concurrency; ignored when the stems are unsharded.
   std::size_t fanout_threads = 0;
+  /// Arrivals moved through the pipeline together (`--batch-size`): the
+  /// executor drains up to this many ready arrivals into a TupleBatch,
+  /// expires every window once, then batch-inserts and batch-routes each
+  /// consecutive same-stream run. 1 (the default) is the tuple-at-a-time
+  /// path, preserved bit-for-bit. Larger batches keep the modelled cost
+  /// identical (every shared computation is still charged once per tuple
+  /// it serves) but amortise real dispatch work; the only semantic drift
+  /// is expiry timing — windows are expired at batch start, so a tuple
+  /// whose deadline falls inside a batch's virtual-time span survives a
+  /// few probes longer (see docs/architecture.md, "Batched execution").
+  std::size_t batch_size = 1;
 };
 
 class Executor {
@@ -73,6 +84,7 @@ class Executor {
   const EddyRouter& eddy() const { return *eddy_; }
   const VirtualClock& clock() const { return clock_; }
   const MemoryTracker& memory() const { return memory_; }
+  const CostMeter& meter() const { return meter_; }
 
  private:
   void sync_queue_memory(std::size_t backlog);

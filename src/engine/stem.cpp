@@ -113,6 +113,9 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
     probe_cost_hist_ = &reg.histogram(
         prefix + ".probe.cost_us",
         telemetry::Histogram::exponential_bounds(0.05, 2.0, 16));
+    batch_size_hist_ = &reg.histogram(
+        prefix + ".probe.batch_size",
+        telemetry::Histogram::exponential_bounds(1.0, 2.0, 12));
   }
 }
 
@@ -154,6 +157,20 @@ const Tuple* StemOperator::insert(const Tuple& t) {
   index_->insert(&window_store_.back());
   sync_tuple_memory();
   return &window_store_.back();
+}
+
+void StemOperator::insert_batch(const Tuple* arrivals, std::size_t n,
+                                std::vector<const Tuple*>& stored) {
+  stored.reserve(stored.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // deque::push_back never invalidates references to earlier elements,
+    // so each stored pointer is stable for the rest of the batch.
+    window_store_.push_back(arrivals[i]);
+    const Tuple* t = &window_store_.back();
+    index_->insert(t);
+    stored.push_back(t);
+  }
+  sync_tuple_memory();
 }
 
 void StemOperator::expire(TimeMicros now) {
@@ -236,6 +253,129 @@ index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
     }
   }
   return stats;
+}
+
+void StemOperator::probe_batch(const index::ProbeKey* keys, std::size_t n,
+                               std::vector<const Tuple*>* outs,
+                               index::ProbeStats* stats) {
+  if (n == 0) return;
+  if (batch_size_hist_ != nullptr) {
+    batch_size_hist_->observe(static_cast<double>(n));
+  }
+  if (n == 1) {
+    stats[0] = probe(keys[0], outs[0]);
+    return;
+  }
+  std::size_t pos = 0;
+  while (pos < n) {
+    std::size_t chunk = n - pos;
+    if (continuous_tuning_) {
+      // Stop the chunk at the tuner's decision boundary so a mid-batch
+      // tuning decision fires at exactly the same request index as
+      // tuple-at-a-time execution would fire it.
+      std::uint64_t until = 0;
+      if (amri_tuner_ != nullptr) {
+        until = amri_tuner_->requests_until_due();
+      } else if (module_tuner_ != nullptr) {
+        until = module_tuner_->requests_until_due();
+      }
+      if (until == 0) until = 1;  // already due: decide after one request
+      if (until < chunk) chunk = static_cast<std::size_t>(until);
+    }
+    probe_chunk(keys + pos, chunk, outs + pos, stats + pos);
+    pos += chunk;
+  }
+}
+
+void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
+                               std::vector<const Tuple*>* outs,
+                               index::ProbeStats* stats) {
+  probes_ += n;
+  const double charged_before =
+      (telemetry_ != nullptr && meter_ != nullptr) ? meter_->charged_us() : 0.0;
+  index_->probe_batch(keys, n, outs, stats);
+  if (telemetry_ != nullptr) {
+    probe_counter_->add(n);
+    if (meter_ != nullptr) {
+      // A batch's modelled latency is charged as one aggregate, so each
+      // key's histograms receive the chunk average — observation counts
+      // stay identical to the tuple-at-a-time engine.
+      const double avg = (meter_->charged_us() - charged_before) /
+                         static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        probe_cost_hist_->observe(avg);
+        pattern_histogram(keys[i].mask)->observe(avg);
+      }
+    }
+  }
+  if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
+    // Weighted assessment: one observe per (shard slot, access pattern)
+    // group. Slots are computed with the exact sequential attribution
+    // sequence (target shard, else the deterministic round-robin), so the
+    // merged assessment matches n single probes bit-for-bit for the
+    // additive assessors.
+    struct SlotObs {
+      std::size_t slot;
+      AttrMask mask;
+      std::uint64_t weight;
+    };
+    SmallVector<SlotObs, 16> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t target = sharded_index_->target_shard(keys[i]);
+      const std::size_t slot = target < shard_assessors_.size()
+                                   ? target
+                                   : fanout_rr_++ % shard_assessors_.size();
+      bool found = false;
+      for (SlotObs& o : groups) {
+        if (o.slot == slot && o.mask == keys[i].mask) {
+          ++o.weight;
+          found = true;
+          break;
+        }
+      }
+      if (!found) groups.push_back(SlotObs{slot, keys[i].mask, 1});
+    }
+    for (const SlotObs& o : groups) {
+      shard_assessors_[o.slot]->observe(o.mask, o.weight);
+    }
+    amri_tuner_->note_request(n);
+    sync_stats_memory();
+    if (continuous_tuning_ && amri_tuner_->tuning_due()) {
+      sharded_tune();
+    }
+  } else if (amri_tuner_ != nullptr || module_tuner_ != nullptr) {
+    struct MaskObs {
+      AttrMask mask;
+      std::uint64_t weight;
+    };
+    SmallVector<MaskObs, 8> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool found = false;
+      for (MaskObs& o : groups) {
+        if (o.mask == keys[i].mask) {
+          ++o.weight;
+          found = true;
+          break;
+        }
+      }
+      if (!found) groups.push_back(MaskObs{keys[i].mask, 1});
+    }
+    if (amri_tuner_ != nullptr) {
+      for (const MaskObs& o : groups) {
+        amri_tuner_->observe_request(o.mask, o.weight);
+      }
+      if (continuous_tuning_ && amri_tuner_->tuning_due()) {
+        amri_tuner_->maybe_tune(*bit_index_);
+      }
+    } else {
+      for (const MaskObs& o : groups) {
+        module_tuner_->observe_request(o.mask, o.weight);
+      }
+      if (continuous_tuning_ && module_tuner_->tuning_due()) {
+        module_tuner_->maybe_tune(*module_index_);
+      }
+    }
+  }
 }
 
 void StemOperator::sharded_tune() {

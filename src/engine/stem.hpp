@@ -85,6 +85,13 @@ class StemOperator {
   /// Returns the stored copy (stable address until expiry).
   const Tuple* insert(const Tuple& t);
 
+  /// Store and index `n` arrivals at once (timestamps must be
+  /// non-decreasing, like repeated insert() calls). Stored-copy pointers
+  /// are appended to `stored`. Identical charges and final state to n
+  /// single insert() calls; memory accounting is synced once.
+  void insert_batch(const Tuple* arrivals, std::size_t n,
+                    std::vector<const Tuple*>& stored);
+
   /// Expire tuples older than `now - window`.
   void expire(TimeMicros now);
 
@@ -92,6 +99,18 @@ class StemOperator {
   /// applies due tuning decisions. Matches are appended to `out`.
   index::ProbeStats probe(const index::ProbeKey& key,
                           std::vector<const Tuple*>& out);
+
+  /// Probe `n` keys through the index's batched path: key i's matches are
+  /// appended to `outs[i]`, its statistics stored in `stats[i]`. The batch
+  /// is chunked at the tuner's decision boundary (requests_until_due) so
+  /// mid-batch tuning fires at the same request index as n single probes;
+  /// within a chunk the assessors receive one weighted observe per
+  /// (shard, access-pattern) group, attributed with the sequential
+  /// round-robin sequence. Exact-count equivalent to n probe() calls for
+  /// the exact assessors (SRIA/DIA); epsilon-equivalent for the
+  /// compressing ones (see docs/architecture.md).
+  void probe_batch(const index::ProbeKey* keys, std::size_t n,
+                   std::vector<const Tuple*>* outs, index::ProbeStats* stats);
 
   /// Reusable probe-output arena: returned cleared, capacity persists
   /// across calls, so steady-state probing through this buffer performs no
@@ -152,6 +171,11 @@ class StemOperator {
  private:
   void sync_tuple_memory();
   void sync_stats_memory();
+  /// One tuner-boundary-free chunk of probe_batch: index batch probe,
+  /// telemetry, grouped weighted assessor feed, then at most one tuning
+  /// decision at the chunk end.
+  void probe_chunk(const index::ProbeKey* keys, std::size_t n,
+                   std::vector<const Tuple*>* outs, index::ProbeStats* stats);
   /// Sharded tuning epoch: merge the per-shard assessor snapshots into one
   /// logical assessment, run selection, migrate shard-by-shard when the
   /// improvement clears the margin, then apply statistics retention to
@@ -188,6 +212,7 @@ class StemOperator {
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter* probe_counter_ = nullptr;
   telemetry::Histogram* probe_cost_hist_ = nullptr;
+  telemetry::Histogram* batch_size_hist_ = nullptr;  ///< keys per probe_batch
   /// Per-access-pattern probe latency histograms, created lazily on the
   /// first probe carrying each pattern.
   std::unordered_map<AttrMask, telemetry::Histogram*> pattern_hists_;

@@ -223,6 +223,147 @@ ProbeStats BitAddressIndex::probe(const ProbeKey& key,
   return stats;
 }
 
+void BitAddressIndex::probe_batch(const ProbeKey* keys, std::size_t n,
+                                  std::vector<const Tuple*>* outs,
+                                  ProbeStats* stats) {
+  if (n == 0) return;
+  if (n == 1) {
+    stats[0] = probe(keys[0], outs[0]);
+    return;
+  }
+
+  // Per-access-pattern shared work. Which bucket-id bits a mask fixes, the
+  // wildcard width, the enumerate-vs-filter strategy and (when enumerating)
+  // the wildcard bit combinations are functions of the mask alone — compute
+  // them once per distinct mask in the batch. The directory is not mutated
+  // by probes, so the strategy choice is stable for the whole batch.
+  struct Group {
+    AttrMask mask = 0;
+    BucketId fixed_mask = 0;
+    int wildcard_bits = 0;
+    std::uint64_t enum_count = 1;
+    bool enumerate_path = false;   ///< wildcard > 0 and enumeration cheaper
+    std::vector<BucketId> combos;  ///< wildcard bit combinations, in w order
+  };
+  SmallVector<std::uint32_t, 64> group_of;
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t g = 0;
+    while (g < groups.size() && groups[g].mask != keys[i].mask) ++g;
+    if (g == groups.size()) {
+      Group grp;
+      grp.mask = keys[i].mask;
+      for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+        const int bits = config_.bits(pos);
+        if (bits == 0) continue;
+        if (has_bit(grp.mask, static_cast<unsigned>(pos))) {
+          grp.fixed_mask |= low_bits64(bits) << config_.shift_of(pos);
+        } else {
+          grp.wildcard_bits += bits;
+        }
+      }
+      grp.enum_count = pow2_saturating(grp.wildcard_bits);
+      grp.enumerate_path =
+          grp.wildcard_bits > 0 && grp.enum_count <= buckets_.size();
+      if (grp.enumerate_path) {
+        // Distribute the enumeration counter's bits into the unfixed
+        // indexed bit positions (ascending — probe()'s visit order).
+        SmallVector<std::uint8_t, 32> free_positions;
+        for (int bit = 0; bit < config_.total_bits(); ++bit) {
+          if ((grp.fixed_mask >> bit & 1u) == 0) {
+            free_positions.push_back(static_cast<std::uint8_t>(bit));
+          }
+        }
+        assert(static_cast<int>(free_positions.size()) == grp.wildcard_bits);
+        grp.combos.reserve(grp.enum_count);
+        for (std::uint64_t w = 0; w < grp.enum_count; ++w) {
+          BucketId id = 0;
+          for (std::size_t b = 0; b < free_positions.size(); ++b) {
+            if ((w >> b) & 1u) id |= BucketId{1} << free_positions[b];
+          }
+          grp.combos.push_back(id);
+        }
+      }
+      groups.push_back(std::move(grp));
+    }
+    group_of.push_back(g);
+  }
+
+  // Per-key pass, in batch order: bound-value mapper hashes, bucket visits
+  // and comparisons are performed and charged exactly as n single probes.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Group& grp = groups[group_of[i]];
+    const ProbeKey& key = keys[i];
+    ProbeStats& st = stats[i];
+    st = ProbeStats{};
+    std::vector<const Tuple*>& out = outs[i];
+
+    BucketId fixed = 0;
+    for (std::size_t pos = 0; pos < config_.num_attrs(); ++pos) {
+      const int bits = config_.bits(pos);
+      if (bits == 0 || !has_bit(key.mask, static_cast<unsigned>(pos))) {
+        continue;
+      }
+      fixed |= mapper_.map(pos, key.values[pos], bits)
+               << config_.shift_of(pos);
+      if (meter_ != nullptr) meter_->charge_hash();  // N_{A,ap} · C_h
+    }
+
+    auto scan_bucket = [&](const Bucket& bucket) {
+      for (const BucketEntry& e : bucket) {
+        ++st.tuples_compared;
+        if (meter_ != nullptr) meter_->charge_compare();
+        if (key.matches(*e.tuple, jas_)) {
+          out.push_back(e.tuple);
+          ++st.matches;
+        }
+      }
+    };
+
+    if (wildcard_hist_ != nullptr) {
+      wildcard_hist_->observe(static_cast<double>(grp.enum_count));
+      (grp.enum_count <= buckets_.size() ? probes_enumerated_
+                                         : probes_filtered_)
+          ->add();
+    }
+    if (grp.wildcard_bits == 0) {
+      if (meter_ != nullptr) meter_->charge_bucket_visit();
+      ++st.buckets_visited;
+      const Bucket* bucket = buckets_.find(fixed);
+      if (bucket != nullptr) {
+        if (static_cast<std::size_t>(key.bound_count()) == jas_.size()) {
+          const std::uint64_t tag = key_tag(key);
+          for (const BucketEntry& e : *bucket) {
+            ++st.tuples_compared;
+            if (meter_ != nullptr) meter_->charge_compare();
+            if (e.tag != tag) continue;
+            if (key.matches(*e.tuple, jas_)) {
+              out.push_back(e.tuple);
+              ++st.matches;
+            }
+          }
+        } else {
+          scan_bucket(*bucket);
+        }
+      }
+    } else if (grp.enumerate_path) {
+      for (const BucketId combo : grp.combos) {
+        if (meter_ != nullptr) meter_->charge_bucket_visit();
+        ++st.buckets_visited;
+        const Bucket* bucket = buckets_.find(fixed | combo);
+        if (bucket != nullptr) scan_bucket(*bucket);
+      }
+    } else {
+      buckets_.for_each([&](BucketId id, const Bucket& bucket) {
+        if ((id & grp.fixed_mask) != fixed) return;
+        ++st.buckets_visited;
+        if (meter_ != nullptr) meter_->charge_bucket_visit();
+        scan_bucket(bucket);
+      });
+    }
+  }
+}
+
 ProbeStats BitAddressIndex::probe_range(const RangeProbeKey& key,
                                         std::vector<const Tuple*>& out) {
   ProbeStats stats;

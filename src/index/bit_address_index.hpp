@@ -50,6 +50,15 @@ class BitAddressIndex final : public TupleIndex {
   void erase(const Tuple* t) override;
   ProbeStats probe(const ProbeKey& key, std::vector<const Tuple*>& out) override;
 
+  /// Batched probe: groups keys by access pattern so the per-mask work —
+  /// fixed-bit layout, enumerate-vs-filter strategy, and the wildcard bit
+  /// combinations — is computed once per distinct mask and shared across
+  /// the batch. Per-key work (bound-value mapper hashes, bucket visits,
+  /// comparisons) still runs and is charged per key in batch order, so the
+  /// result is exactly equivalent to n single probe() calls.
+  void probe_batch(const ProbeKey* keys, std::size_t n,
+                   std::vector<const Tuple*>* outs, ProbeStats* stats) override;
+
   /// Range probe (paper §II: join expressions may be <, >, >=, <=): each
   /// bound attribute carries an inclusive interval. Under the *range*
   /// mapper an interval maps to a contiguous run of bucket cells; under

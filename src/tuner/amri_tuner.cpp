@@ -52,11 +52,11 @@ void AmriTuner::sync_memory() {
   tracked_bytes_ = now;
 }
 
-void AmriTuner::observe_request(AttrMask ap) {
+void AmriTuner::observe_request(AttrMask ap, std::uint64_t weight) {
   assert(is_subset(ap, universe_));
-  assessor_->observe(ap);
-  ++since_last_decision_;
-  ++observed_;
+  assessor_->observe(ap, weight);
+  since_last_decision_ += weight;
+  observed_ += weight;
   sync_memory();
 }
 

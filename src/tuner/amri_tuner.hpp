@@ -88,12 +88,22 @@ class AmriTuner {
   const TunerOptions& options() const { return options_; }
   const assessment::Assessor& assessor() const { return *assessor_; }
 
-  /// Ingest one search-request access pattern.
-  void observe_request(AttrMask ap);
+  /// Ingest `weight` search requests sharing one access pattern (batched
+  /// probing feeds one weighted call per per-pattern group).
+  void observe_request(AttrMask ap, std::uint64_t weight = 1);
 
   /// True when enough requests arrived since the last decision.
   bool tuning_due() const {
     return since_last_decision_ >= options_.reassess_every;
+  }
+
+  /// Requests left before the next decision is due (0 = due now). Batched
+  /// probes chunk their keys at this boundary so mid-batch tuning happens
+  /// at exactly the same request index as tuple-at-a-time execution.
+  std::uint64_t requests_until_due() const {
+    return since_last_decision_ >= options_.reassess_every
+               ? 0
+               : options_.reassess_every - since_last_decision_;
   }
 
   /// Run assessment + selection against `current`; returns the decision
@@ -104,12 +114,12 @@ class AmriTuner {
   /// migrate `index` to the recommended IC.
   TuneDecision maybe_tune(index::BitAddressIndex& index);
 
-  /// Count one request assessed *outside* the tuner (sharded stems feed
+  /// Count `n` requests assessed *outside* the tuner (sharded stems feed
   /// their shard assessors directly); keeps the decision cadence — and the
   /// observed-request total — identical to the observe_request() path.
-  void note_request() {
-    ++since_last_decision_;
-    ++observed_;
+  void note_request(std::uint64_t n = 1) {
+    since_last_decision_ += n;
+    observed_ += n;
   }
 
   /// Selection over externally assessed (merged per-shard) statistics.

@@ -1,12 +1,17 @@
-// The BitAddressIndex telemetry contract, focused on the bulk-load path:
-// bulk_load() must feed the same instruments insert() feeds (chain-length
-// histogram, occupancy-imbalance gauge) instead of leaving them empty/stale.
+// The index/state telemetry contract: bulk_load() must feed the same
+// instruments insert() feeds (chain-length histogram, occupancy-imbalance
+// gauge) instead of leaving them empty/stale, and the batched probe path
+// must feed its own instruments — the per-state batch-size histogram
+// (`stem.<s>.probe.batch_size`) and the sharded per-batch fan-out-width
+// histogram (`<prefix>.probe.batch.fanout_width`).
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "../test_util.hpp"
+#include "engine/stem.hpp"
 #include "index/bit_address_index.hpp"
+#include "index/sharded_bit_index.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace amri::index {
@@ -104,6 +109,94 @@ TEST(IndexTelemetry, BindNullDetachesInstruments) {
   const auto* hist = tel.metrics().find_histogram("idx.bucket.chain_len");
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->count(), 0u);
+}
+
+TEST(IndexTelemetry, BatchFanoutWidthHistogramCountsShardsTouched) {
+  telemetry::Telemetry tel;
+  ShardedBitIndex idx(jas3(), IndexConfig({2, 2, 2}), BitMapper::hashing(3),
+                      /*shards=*/4, /*shard_pos=*/1);
+  idx.bind_telemetry(&tel, "idx");
+  testutil::TuplePool pool(400, 3, 20, 23);
+  for (const Tuple* t : pool.pointers()) idx.insert(t);
+
+  // A batch of three targeted keys (shard attribute bound): only the
+  // owning shards have work, so the batch fan-out width is <= 3 and the
+  // histogram gains exactly ONE observation for the whole batch.
+  std::vector<ProbeKey> keys(3);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i].mask = 0b010;
+    keys[i].values = {0, static_cast<Value>(i), 0};
+  }
+  std::vector<std::vector<const Tuple*>> outs(keys.size());
+  std::vector<ProbeStats> stats(keys.size());
+  idx.probe_batch(keys.data(), keys.size(), outs.data(), stats.data());
+
+  const auto* width = tel.metrics().find_histogram(
+      "idx.probe.batch.fanout_width");
+  ASSERT_NE(width, nullptr);
+  EXPECT_EQ(width->count(), 1u);
+  EXPECT_LE(width->sum(), 3.0);
+  EXPECT_GE(width->sum(), 1.0);
+
+  // A batch containing a fan-out key (shard attribute unbound) touches
+  // every shard: width == shard_count for that batch.
+  ProbeKey fanout;
+  fanout.mask = 0b001;
+  fanout.values = {pool.at(0)->at(0), 0, 0};
+  std::vector<const Tuple*> out1;
+  ProbeStats st1{};
+  std::vector<const Tuple*>* outp = &out1;
+  idx.probe_batch(&fanout, 1, outp, &st1);
+  // n == 1 delegates to the single-probe path: the *batch* histogram
+  // still records the batch, with width 1-per-key semantics preserved by
+  // the per-key fan-out histogram instead.
+  EXPECT_EQ(width->count(), 2u);
+
+  std::vector<ProbeKey> mixed = {keys[0], fanout};
+  std::vector<std::vector<const Tuple*>> mouts(2);
+  std::vector<ProbeStats> mstats(2);
+  idx.probe_batch(mixed.data(), 2, mouts.data(), mstats.data());
+  EXPECT_EQ(width->count(), 3u);
+  // The mixed batch's fan-out key forces work onto every shard.
+  EXPECT_GE(width->sum(), 1.0 + 1.0 + 4.0);
+}
+
+TEST(IndexTelemetry, StemBatchSizeHistogramRecordsKeysPerBatch) {
+  telemetry::Telemetry tel;
+  const engine::QuerySpec q =
+      engine::make_complete_join_query(2, seconds_to_micros(1000));
+  engine::StemOptions so;
+  so.backend = engine::IndexBackend::kAmri;
+  so.initial_config = IndexConfig({2});
+  engine::StemOperator stem(0, q.layout(0), q.window(), so,
+                            CostModel(WorkloadParams{}), nullptr, nullptr,
+                            &tel);
+  testutil::TuplePool pool(200, 1, 12, 29);
+  std::vector<const Tuple*> stored;
+  std::vector<Tuple> arrivals;
+  for (const Tuple* t : pool.pointers()) arrivals.push_back(*t);
+  stem.insert_batch(arrivals.data(), arrivals.size(), stored);
+
+  const std::size_t n = 24;
+  std::vector<ProbeKey> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i].mask = 0b1;
+    keys[i].values = {static_cast<Value>(i % 12)};
+  }
+  std::vector<std::vector<const Tuple*>> outs(n);
+  std::vector<ProbeStats> stats(n);
+  stem.probe_batch(keys.data(), n, outs.data(), stats.data());
+
+  const auto* hist = tel.metrics().find_histogram("stem.0.probe.batch_size");
+  ASSERT_NE(hist, nullptr);
+  // One observation per probe_batch call, of the whole batch's size (the
+  // tuner-boundary chunking underneath does not re-observe).
+  EXPECT_EQ(hist->count(), 1u);
+  EXPECT_DOUBLE_EQ(hist->sum(), static_cast<double>(n));
+  // The per-probe counter still advances once per key.
+  const auto* probes = tel.metrics().find_counter("stem.0.probe.count");
+  ASSERT_NE(probes, nullptr);
+  EXPECT_EQ(probes->value(), n);
 }
 
 }  // namespace

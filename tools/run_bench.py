@@ -42,12 +42,16 @@ import tempfile
 SCHEMA = "amri-bench-v1"
 
 # Default bench set: the index hot-path microbench (the directory's raison
-# d'etre), the assessment microbench (tuner hot path), and the sharded-state
-# microbench (probe churn / fan-out / migration across shard counts).
-DEFAULT_BENCHES = ["micro_index_ops", "micro_assessment", "micro_sharded_stem"]
+# d'etre), the assessment microbench (tuner hot path), the sharded-state
+# microbench (probe churn / fan-out / migration across shard counts), and
+# the batched-pipeline microbench (probe_batch amortisation, batch x shards).
+DEFAULT_BENCHES = ["micro_index_ops", "micro_assessment", "micro_sharded_stem",
+                   "micro_batch_pipeline"]
 
-# google-benchmark encodes named args into the bench name ("BM_X/shards:4").
+# google-benchmark encodes named args into the bench name ("BM_X/shards:4",
+# "BM_Y/batch:64/shards:4").
 _SHARDS_RE = re.compile(r"/shards:(\d+)(?:/|$)")
+_BATCH_RE = re.compile(r"/batch:(\d+)(?:/|$)")
 
 
 def is_gbench(bench_name: str) -> bool:
@@ -92,12 +96,19 @@ def prefix_records(records: list, bench_name: str) -> list:
 
 
 def attach_shards(records: list) -> list:
-    """Lift the shard-count bench argument into a queryable record field,
-    so trajectory tooling can compare shard counts without name parsing."""
+    """Lift the shard-count and batch-size bench arguments into queryable
+    record fields, so trajectory tooling can compare shard counts / batch
+    sizes without name parsing."""
     out = []
     for rec in records:
+        lifted = rec
         m = _SHARDS_RE.search(rec.get("bench", ""))
-        out.append({**rec, "shards": int(m.group(1))} if m else rec)
+        if m:
+            lifted = {**lifted, "shards": int(m.group(1))}
+        m = _BATCH_RE.search(rec.get("bench", ""))
+        if m:
+            lifted = {**lifted, "batch": int(m.group(1))}
+        out.append(lifted)
     return out
 
 
@@ -170,6 +181,26 @@ def self_test() -> int:
         check(sharded[0]["bench"]
               == "micro_sharded_stem/BM_ShardedStem_ProbeChurn/shards:4",
               "shard extraction preserves the prefixed bench name")
+
+        # Batch-size extraction, alone and combined with a shard count (the
+        # micro_batch_pipeline sweep emits "batch:N/shards:M" names).
+        batched_raw = [
+            {"bench": "BM_BatchPipeline_ProbeChurn/batch:64/shards:4",
+             "metric": "items_per_second", "value": 40.0},
+            {"bench": "BM_BatchPipeline_GroupedEnumeration/batch:256",
+             "metric": "real_time_ns", "value": 50.0},
+            {"bench": "BM_Probe/10000", "metric": "real_time_ns",
+             "value": 60.0},
+        ]
+        batched = attach_shards(
+            prefix_records(batched_raw, "micro_batch_pipeline"))
+        check(batched[0].get("batch") == 64
+              and batched[0].get("shards") == 4,
+              "batch and shards both lifted from a combined name")
+        check(batched[1].get("batch") == 256
+              and "shards" not in batched[1],
+              "batch-only name lifts batch without inventing shards")
+        check("batch" not in batched[2], "non-batched record untouched")
 
         out = os.path.join(tmpdir, "BENCH_2000-01-01.json")
         agg = aggregate(records, "2000-01-01", "testhost")
