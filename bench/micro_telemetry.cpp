@@ -4,7 +4,9 @@
 //     quantify the enabled overhead and confirm the disabled one matches
 //     the uninstrumented baseline in micro_index_ops;
 //   * raw registry operation costs (counter add, histogram observe, event
-//     emit) bound the per-call price of each instrumentation site.
+//     emit) bound the per-call price of each instrumentation site;
+//   * the profiler scope and span-stage sites follow the same contract:
+//     with no profiler / no active span they must reduce to a branch.
 #include <benchmark/benchmark.h>
 
 #include "bench_json.hpp"
@@ -14,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "index/bit_address_index.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace {
@@ -100,6 +103,39 @@ void BM_Event_Emit(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Event_Emit);
+
+// Phase profiler scope: detached (state.range(0) == 0, the default for
+// every experiment binary) vs enabled. Detached must cost a null check.
+void BM_ScopedPhase_Toggle(benchmark::State& state) {
+  telemetry::MetricsRegistry reg;
+  telemetry::Profiler profiler(reg);
+  telemetry::Profiler* bound = state.range(0) != 0 ? &profiler : nullptr;
+  for (auto _ : state) {
+    telemetry::ScopedPhase scope(bound, telemetry::Phase::kProbe);
+    benchmark::DoNotOptimize(bound);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedPhase_Toggle)->Arg(0)->Arg(1);
+
+// Span-stage instrumentation site, mirroring the guard every producer
+// uses: Arg(0) = telemetry detached (null check only), Arg(1) = bound but
+// tuple not sampled (active_span() == 0), Arg(2) = sampled (full emit).
+void BM_SpanStage_Toggle(benchmark::State& state) {
+  telemetry::Telemetry telemetry;
+  telemetry::Telemetry* bound = state.range(0) != 0 ? &telemetry : nullptr;
+  if (state.range(0) == 2) telemetry.begin_span();
+  for (auto _ : state) {
+    const std::uint64_t span = bound != nullptr ? bound->active_span() : 0;
+    if (span != 0 && bound != nullptr) {
+      bound->emit(telemetry::EventKind::kSpan, 0,
+                  "{\"span\":1,\"stage\":\"hop\",\"probe_ns\":120}");
+    }
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanStage_Toggle)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

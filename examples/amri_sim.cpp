@@ -14,6 +14,10 @@
 // N` reuses one routing decision per done-mask N times (deprecated alias:
 // `--routing-batch-size`). `--trace-out run.jsonl` attaches telemetry and
 // writes the full run trace (events + final metrics) as JSON lines.
+// `--trace-sample N` additionally traces every Nth arrival end-to-end as
+// span events; `--profile` turns on the wall-clock phase profiler and
+// prints the per-phase table after the run; `--event-capacity N` sizes
+// the trace ring (oldest events drop past it).
 #include <iostream>
 #include <optional>
 
@@ -133,13 +137,20 @@ int main(int argc, char** argv) {
     };
   }
 
-  // Telemetry attaches only when a trace is requested: the default run
-  // carries no instrumentation cost beyond null-pointer checks.
+  // Telemetry attaches only when a trace, span sampling, or profiling is
+  // requested: the default run carries no instrumentation cost beyond
+  // null-pointer checks.
   const std::optional<std::string> trace_out = cfg.get_string("trace_out");
+  const std::size_t trace_sample = cfg.size_or("trace_sample", 0);
+  const bool profile = cfg.bool_or("profile", false);
   std::optional<telemetry::Telemetry> telemetry;
-  if (trace_out.has_value()) {
-    telemetry.emplace();
+  if (trace_out.has_value() || trace_sample > 0 || profile) {
+    telemetry::TelemetryOptions tel_opts;
+    tel_opts.event_capacity = cfg.size_or("event_capacity", 8192);
+    tel_opts.enable_profiler = profile;
+    telemetry.emplace(tel_opts);
     opts.telemetry = &*telemetry;
+    opts.trace_sample = trace_sample;
   }
 
   engine::Executor executor(parsed.query, opts);
@@ -187,6 +198,59 @@ int main(int argc, char** argv) {
     state_names.push_back(std::string(parsed.query.schema(s).stream_name()));
   }
   engine::make_state_table(result.states, state_names).print(std::cout);
+
+  if (telemetry.has_value()) {
+    // Per-state probe-cost percentiles from the stem histograms
+    // (interpolated within buckets; see Histogram::percentile).
+    TablePrinter probe_table(
+        {"state", "probes", "p50_us", "p95_us", "p99_us", "max_us"});
+    for (StreamId s = 0; s < parsed.query.num_streams(); ++s) {
+      const auto* h = telemetry->metrics().find_histogram(
+          "stem." + std::to_string(s) + ".probe.cost_us");
+      if (h == nullptr || h->count() == 0) continue;
+      probe_table.add_row({state_names[s], std::to_string(h->count()),
+                           TablePrinter::fmt(h->percentile(0.50)),
+                           TablePrinter::fmt(h->percentile(0.95)),
+                           TablePrinter::fmt(h->percentile(0.99)),
+                           TablePrinter::fmt(h->max_observed())});
+    }
+    if (probe_table.row_count() > 0) {
+      std::cout << "\nprobe cost (virtual us per probe):\n";
+      probe_table.print(std::cout);
+    }
+  }
+
+  if (trace_sample > 0) {
+    const auto* span_hist =
+        telemetry->metrics().find_histogram("span.latency_us");
+    if (span_hist != nullptr && span_hist->count() > 0) {
+      std::cout << "\nsampled tuple latency (wall us, every " << trace_sample
+                << "th arrival): n=" << span_hist->count()
+                << "  p50=" << TablePrinter::fmt(span_hist->percentile(0.50))
+                << "  p95=" << TablePrinter::fmt(span_hist->percentile(0.95))
+                << "  p99=" << TablePrinter::fmt(span_hist->percentile(0.99))
+                << "  max=" << TablePrinter::fmt(span_hist->max_observed())
+                << "\n";
+    }
+  }
+
+  if (profile) {
+    const auto* wall = telemetry->metrics().find_gauge("profile.run.wall_us");
+    std::cout << "\n";
+    telemetry::print_phase_table(std::cout, *telemetry->profiler(),
+                                 wall != nullptr ? wall->value() : 0.0);
+  }
+
+  if (telemetry.has_value()) {
+    const auto* dropped =
+        telemetry->metrics().find_counter("telemetry.events.dropped");
+    if (dropped != nullptr && dropped->value() > 0) {
+      std::cerr << "\nwarning: trace ring overflowed; " << dropped->value()
+                << " oldest events dropped (raise --event-capacity, "
+                   "currently "
+                << telemetry->events().capacity() << ")\n";
+    }
+  }
 
   if (trace_out.has_value()) {
     if (telemetry::write_trace_file(*trace_out, *telemetry)) {

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -34,14 +35,28 @@ void ThreadPool::stop() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (hooks_.on_dequeue) {
+    // Stamp the submit time into the task so the worker can report how
+    // long it sat queued. Only paid when instrumentation is bound.
+    task = [this, t0 = std::chrono::steady_clock::now(),
+            inner = std::move(task)] {
+      hooks_.on_dequeue(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+      inner();
+    };
+  }
+  bool contended = false;
   {
     MutexLock lk(mu_);
     if (stop_) {
       throw std::runtime_error("ThreadPool::submit on a stopped pool");
     }
+    contended = !tasks_.empty();
     tasks_.push(std::move(task));
   }
   cv_task_.notify_one();
+  if (contended && hooks_.on_contention) hooks_.on_contention();
 }
 
 void ThreadPool::wait_idle() {

@@ -21,12 +21,29 @@ namespace amri {
 
 class ThreadPool {
  public:
+  /// Instrumentation hooks, deliberately framework-agnostic so the pool
+  /// (common layer) never depends on the telemetry library: the executor
+  /// binds these to registry instruments. `on_dequeue` runs on the worker
+  /// thread immediately before each task, with the task's queue wait
+  /// (submit to dequeue) in microseconds; `on_contention` runs on the
+  /// submitting thread whenever a submit found tasks already queued (a
+  /// backlog signal). Callbacks must be thread-safe and must not touch the
+  /// pool. Unset hooks cost nothing.
+  struct Hooks {
+    std::function<void(double wait_us)> on_dequeue;
+    std::function<void()> on_contention;
+  };
+
   /// threads == 0 picks hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Install instrumentation hooks. Call before the first submit(): the
+  /// hooks are read unguarded on the submit path and inside queued tasks.
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
   std::size_t size() const { return workers_.size(); }
 
@@ -54,6 +71,7 @@ class ThreadPool {
   void worker_loop() AMRI_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
+  Hooks hooks_;  ///< immutable once the first task is submitted
   Mutex mu_;
   std::queue<std::function<void()>> tasks_ AMRI_GUARDED_BY(mu_);
   CondVar cv_task_;

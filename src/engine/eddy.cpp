@@ -1,6 +1,7 @@
 #include "engine/eddy.hpp"
 
 #include <cassert>
+#include <chrono>
 
 #include "telemetry/json.hpp"
 
@@ -51,6 +52,8 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
   assert(stored != nullptr);
   ++arrivals_;
   const std::uint32_t all = query_.all_streams_mask();
+  const std::uint64_t span =
+      telemetry_ != nullptr ? telemetry_->active_span() : 0;
 
   Partial root;
   root.done = std::uint32_t{1} << stored->stream;
@@ -65,6 +68,17 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
   while (!stack.empty()) {
     if (++processed > options_.max_partials_per_arrival) {
       ++truncated_;
+      if (span != 0) {
+        telemetry::JsonWriter w;
+        w.begin_object();
+        w.field("span", span);
+        w.field("stage", "truncate");
+        w.field("wall_ns", telemetry_->wall_ns());
+        w.field("processed", static_cast<std::uint64_t>(processed));
+        w.end_object();
+        telemetry_->emit(telemetry::EventKind::kSpan, stored->stream,
+                         std::move(w).take());
+      }
       break;
     }
     Partial p = std::move(stack.back());
@@ -131,7 +145,30 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
     // The target STeM's scratch arena: cleared here, capacity retained
     // across arrivals, so the steady-state probe path allocates nothing.
     std::vector<const Tuple*>& matches = stems_[target]->probe_scratch();
+    std::chrono::steady_clock::time_point hop_t0{};
+    if (span != 0) hop_t0 = std::chrono::steady_clock::now();
     const auto probe_stats = stems_[target]->probe(key, matches);
+    if (span != 0 && telemetry_ != nullptr) {
+      const auto probe_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - hop_t0)
+              .count();
+      telemetry::JsonWriter w;
+      w.begin_object();
+      w.field("span", span);
+      w.field("stage", "hop");
+      w.field("wall_ns", telemetry_->wall_ns());
+      w.field("done_mask", static_cast<std::uint64_t>(p.done));
+      w.field("target", static_cast<std::uint64_t>(target));
+      w.field("ap", static_cast<std::uint64_t>(ap));
+      w.field("matches", static_cast<std::uint64_t>(probe_stats.matches));
+      w.field("compared",
+              static_cast<std::uint64_t>(probe_stats.tuples_compared));
+      w.field("probe_ns", static_cast<std::uint64_t>(probe_ns));
+      w.end_object();
+      telemetry_->emit(telemetry::EventKind::kSpan, target,
+                       std::move(w).take());
+    }
     stats_.record(target, ap, static_cast<double>(probe_stats.matches),
                   static_cast<double>(probe_stats.tuples_compared));
 
@@ -168,12 +205,19 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
 
 std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
                                       const std::uint32_t* done, std::size_t n,
-                                      std::vector<JoinResult>* sink) {
+                                      std::vector<JoinResult>* sink,
+                                      std::size_t span_root) {
   if (n == 0) return 0;
-  if (n == 1) return route(stored[0], sink);  // no partitions to share
+  // Single-arrival batches delegate; route() picks the active span up
+  // directly, so span_root 0 still traces.
+  if (n == 1) return route(stored[0], sink);
   assert(stored != nullptr && done != nullptr);
   arrivals_ += n;
   const std::uint32_t all = query_.all_streams_mask();
+  const std::uint64_t span =
+      (telemetry_ != nullptr && span_root != kNoSpanRoot)
+          ? telemetry_->active_span()
+          : 0;
 
   // A partial tagged with the arrival that rooted it, so the per-arrival
   // truncation valve keeps its exact sequential threshold.
@@ -211,6 +255,17 @@ std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
         truncated[p.root] = true;
         ++truncated_;
         if (telemetry_ != nullptr) truncated_counter_->add();
+        if (span != 0 && p.root == span_root) {
+          telemetry::JsonWriter w;
+          w.begin_object();
+          w.field("span", span);
+          w.field("stage", "truncate");
+          w.field("wall_ns", telemetry_->wall_ns());
+          w.field("processed", processed[p.root]);
+          w.end_object();
+          telemetry_->emit(telemetry::EventKind::kSpan,
+                           stored[p.root]->stream, std::move(w).take());
+        }
         continue;
       }
       if (p.done == all) {
@@ -309,8 +364,45 @@ std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
         });
         batch_outs_[j].clear();
       }
+      std::uint64_t span_partials = 0;
+      if (span != 0) {
+        for (const std::size_t i : part) {
+          if (frontier[i].root == span_root) ++span_partials;
+        }
+      }
+      std::chrono::steady_clock::time_point hop_t0{};
+      if (span_partials > 0) hop_t0 = std::chrono::steady_clock::now();
       stems_[target]->probe_batch(batch_keys_.data(), part.size(),
                                   batch_outs_.data(), batch_stats_.data());
+      if (span_partials > 0 && telemetry_ != nullptr) {
+        const auto probe_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - hop_t0)
+                .count();
+        std::uint64_t span_matches = 0;
+        std::uint64_t span_compared = 0;
+        for (std::size_t j = 0; j < part.size(); ++j) {
+          if (frontier[part[j]].root != span_root) continue;
+          span_matches += batch_stats_[j].matches;
+          span_compared += batch_stats_[j].tuples_compared;
+        }
+        telemetry::JsonWriter w;
+        w.begin_object();
+        w.field("span", span);
+        w.field("stage", "hop");
+        w.field("wall_ns", telemetry_->wall_ns());
+        w.field("done_mask", static_cast<std::uint64_t>(mask));
+        w.field("target", static_cast<std::uint64_t>(target));
+        w.field("ap", static_cast<std::uint64_t>(ap));
+        w.field("partition", k);
+        w.field("span_partials", span_partials);
+        w.field("matches", span_matches);
+        w.field("compared", span_compared);
+        w.field("probe_ns", static_cast<std::uint64_t>(probe_ns));
+        w.end_object();
+        telemetry_->emit(telemetry::EventKind::kSpan, target,
+                         std::move(w).take());
+      }
 
       const Selection& visibility = query_.selection(target);
       for (std::size_t j = 0; j < part.size(); ++j) {

@@ -43,6 +43,9 @@ struct JoinResult {
 
 class EddyRouter {
  public:
+  /// route_batch: no batch member carries the active trace span.
+  static constexpr std::size_t kNoSpanRoot = static_cast<std::size_t>(-1);
+
   /// `stems[s]` must be the STeM of stream s. Optional `sink` collects
   /// complete results (null = count only). With `telemetry` set, routing
   /// decisions are counted and every change of routing target for a given
@@ -79,9 +82,14 @@ class EddyRouter {
   /// partition instead of once per partial, and the per-arrival truncation
   /// valve cuts a different partial *set* (never a different count
   /// threshold) when a join explodes mid-batch.
+  /// `span_root`, when not kNoSpanRoot, names the batch index whose
+  /// partials belong to the telemetry's active trace span: partitions
+  /// touching that arrival emit "hop" span events (and "truncate" if its
+  /// valve trips).
   std::uint64_t route_batch(const Tuple* const* stored,
                             const std::uint32_t* done, std::size_t n,
-                            std::vector<JoinResult>* sink = nullptr);
+                            std::vector<JoinResult>* sink = nullptr,
+                            std::size_t span_root = kNoSpanRoot);
 
   RoutingStatistics& statistics() { return stats_; }
   const RoutingStatistics& statistics() const { return stats_; }

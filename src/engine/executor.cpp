@@ -1,6 +1,7 @@
 #include "engine/executor.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <deque>
 
 #include "common/tuple_batch.hpp"
@@ -32,6 +33,30 @@ Executor::Executor(const QuerySpec& query, ExecutorOptions options)
   eddy_ = std::make_unique<EddyRouter>(query_, std::move(stem_ptrs),
                                        options_.eddy, &meter_,
                                        options_.telemetry);
+  if (options_.telemetry != nullptr) {
+    auto& reg = options_.telemetry->metrics();
+    profiler_ = options_.telemetry->profiler();
+    if (profiler_ != nullptr) {
+      run_wall_gauge_ = &reg.gauge("profile.run.wall_us");
+    }
+    if (options_.trace_sample > 0) {
+      span_latency_hist_ = &reg.histogram(
+          "span.latency_us",
+          telemetry::Histogram::exponential_bounds(0.5, 2.0, 22));
+    }
+    if (pool_ != nullptr) {
+      // The pool lives in the common layer and cannot depend on telemetry,
+      // so its generic hooks are bound to registry instruments here.
+      auto* wait_hist = &reg.histogram(
+          "pool.queue_wait_us",
+          telemetry::Histogram::exponential_bounds(0.1, 2.0, 20));
+      auto* contention = &reg.counter("pool.contention");
+      ThreadPool::Hooks hooks;
+      hooks.on_dequeue = [wait_hist](double us) { wait_hist->observe(us); };
+      hooks.on_contention = [contention] { contention->add(); };
+      pool_->set_hooks(std::move(hooks));
+    }
+  }
 }
 
 void Executor::emit_oom_event() {
@@ -71,6 +96,26 @@ RunResult Executor::run(TupleSource& source) {
   const TimeMicros warmup_end = options_.warmup;
   const TimeMicros measure_end = options_.warmup + options_.duration;
   telemetry::Telemetry* const tel = options_.telemetry;
+  const auto run_wall_t0 = std::chrono::steady_clock::now();
+  constexpr std::size_t kNoSpanIndex = static_cast<std::size_t>(-1);
+
+  // Span sampling: every trace_sample-th drained arrival gets a span id
+  // that downstream producers (eddy hops, sharded fan-out) pick up via
+  // Telemetry::active_span().
+  const std::size_t trace_sample = tel != nullptr ? options_.trace_sample : 0;
+  std::uint64_t drained_arrivals = 0;
+  auto emit_span_stage = [&](std::uint64_t id, StreamId stream,
+                             const char* stage, auto&& extra) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.field("span", id);
+    w.field("stage", stage);
+    w.field("wall_ns", tel->wall_ns());
+    extra(w);
+    w.end_object();
+    tel->emit(telemetry::EventKind::kSpan, stream, std::move(w).take());
+  };
+  auto no_extra = [](telemetry::JsonWriter&) {};
 
   std::deque<Tuple> pending;
   TupleBatch batch;                   // batched-drain arenas; capacity
@@ -101,6 +146,7 @@ RunResult Executor::run(TupleSource& source) {
   }
 
   auto take_sample = [&](TimeMicros at) {
+    telemetry::ScopedPhase sample_scope(profiler_, telemetry::Phase::kSample);
     Sample s;
     s.t = at - warmup_end;
     s.outputs = outputs_total - outputs_offset;
@@ -169,23 +215,26 @@ RunResult Executor::run(TupleSource& source) {
   };
 
   while (clock_.now() < measure_end) {
-    // Pull every arrival whose timestamp has passed into the backlog.
-    while (lookahead.has_value() && lookahead->ts <= clock_.now()) {
-      pending.push_back(*lookahead);
-      lookahead = source.next();
-    }
-    sync_queue_memory(pending.size());
-    check_backpressure();
-    if (memory_.exhausted()) break;
-
-    if (pending.empty()) {
-      if (!lookahead.has_value()) break;  // source exhausted, system idle
-      if (lookahead->ts >= measure_end) {
-        clock_.advance_to(measure_end);
-        break;
+    {
+      telemetry::ScopedPhase drain_scope(profiler_, telemetry::Phase::kDrain);
+      // Pull every arrival whose timestamp has passed into the backlog.
+      while (lookahead.has_value() && lookahead->ts <= clock_.now()) {
+        pending.push_back(*lookahead);
+        lookahead = source.next();
       }
-      clock_.advance_to(lookahead->ts);  // idle until the next arrival
-      continue;
+      sync_queue_memory(pending.size());
+      check_backpressure();
+      if (memory_.exhausted()) break;
+
+      if (pending.empty()) {
+        if (!lookahead.has_value()) break;  // source exhausted, system idle
+        if (lookahead->ts >= measure_end) {
+          clock_.advance_to(measure_end);
+          break;
+        }
+        clock_.advance_to(lookahead->ts);  // idle until the next arrival
+        continue;
+      }
     }
 
     // Batched drain (post-warm-up only, so the warm-up boundary below is
@@ -195,37 +244,111 @@ RunResult Executor::run(TupleSource& source) {
     if (options_.batch_size > 1 && warmup_done) {
       const std::size_t want = std::min(options_.batch_size, pending.size());
       batch.clear();
-      for (std::size_t i = 0; i < want; ++i) {
-        const Tuple arrival = pending.front();
-        pending.pop_front();
-        if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
-          ++result.arrivals_filtered;
-          continue;
+      // Index (within `batch`) of the sampled tuple, if this drain hit one;
+      // its span is suspended until the run containing it routes.
+      std::size_t span_index = kNoSpanIndex;
+      std::uint64_t span_id = 0;
+      std::chrono::steady_clock::time_point span_start{};
+      {
+        telemetry::ScopedPhase drain_scope(profiler_,
+                                           telemetry::Phase::kDrain);
+        for (std::size_t i = 0; i < want; ++i) {
+          const Tuple arrival = pending.front();
+          pending.pop_front();
+          const bool sampled =
+              trace_sample != 0 && (++drained_arrivals % trace_sample) == 0;
+          if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
+            ++result.arrivals_filtered;
+            if (sampled) {
+              const std::uint64_t id = tel->begin_span();
+              emit_span_stage(id, arrival.stream, "arrival",
+                              [&](telemetry::JsonWriter& w) {
+                                w.field("backlog", static_cast<std::uint64_t>(
+                                                       pending.size()));
+                              });
+              emit_span_stage(id, arrival.stream, "filtered", no_extra);
+              tel->end_span();
+            }
+            continue;
+          }
+          if (sampled && span_index == kNoSpanIndex) {
+            span_index = batch.size();
+            span_id = tel->begin_span();
+            span_start = std::chrono::steady_clock::now();
+            emit_span_stage(span_id, arrival.stream, "arrival",
+                            [&](telemetry::JsonWriter& w) {
+                              w.field("backlog", static_cast<std::uint64_t>(
+                                                     pending.size()));
+                            });
+            tel->end_span();  // suspended until the owning run routes
+          }
+          batch.push(arrival);
         }
-        batch.push(arrival);
+        sync_queue_memory(pending.size());
       }
-      sync_queue_memory(pending.size());
       if (batch.empty()) continue;  // whole drain was filtered out
 
-      for (auto& stem : stems_) stem->expire(clock_.now());
+      {
+        telemetry::ScopedPhase expiry_scope(profiler_,
+                                            telemetry::Phase::kExpiry);
+        for (auto& stem : stems_) stem->expire(clock_.now());
+      }
       const bool want_rows = options_.collect_rows &&
                              result.rows.size() < options_.max_collected_rows;
       const bool want_sink = want_rows || options_.on_result != nullptr;
       batch_sink.clear();
-      for (std::size_t a = 0; a < batch.size();) {
-        const std::size_t b = batch.run_end(a);
-        const StreamId s = batch.tuples[a].stream;
-        stored_run.clear();
-        stems_[s]->insert_batch(batch.tuples.data() + a, b - a, stored_run);
-        outputs_total += eddy_->route_batch(stored_run.data(),
-                                            batch.done.data() + a, b - a,
-                                            want_sink ? &batch_sink : nullptr);
-        a = b;
-      }
-      for (const JoinResult& jr : batch_sink) {
-        if (options_.on_result) options_.on_result(jr);
-        if (want_rows && result.rows.size() < options_.max_collected_rows) {
-          result.rows.push_back(query_.projection().apply(jr.members));
+      {
+        telemetry::ScopedPhase route_scope(profiler_,
+                                           telemetry::Phase::kRoute);
+        for (std::size_t a = 0; a < batch.size();) {
+          const std::size_t b = batch.run_end(a);
+          const StreamId s = batch.tuples[a].stream;
+          stored_run.clear();
+          const bool run_has_span =
+              span_index != kNoSpanIndex && span_index >= a && span_index < b;
+          if (run_has_span) tel->resume_span(span_id);
+          {
+            telemetry::ScopedPhase insert_scope(profiler_,
+                                                telemetry::Phase::kInsert);
+            stems_[s]->insert_batch(batch.tuples.data() + a, b - a,
+                                    stored_run);
+          }
+          if (run_has_span) {
+            emit_span_stage(span_id, s, "insert",
+                            [&](telemetry::JsonWriter& w) {
+                              w.field("batch",
+                                      static_cast<std::uint64_t>(b - a));
+                            });
+          }
+          const std::uint64_t produced = eddy_->route_batch(
+              stored_run.data(), batch.done.data() + a, b - a,
+              want_sink ? &batch_sink : nullptr,
+              run_has_span ? span_index - a : EddyRouter::kNoSpanRoot);
+          outputs_total += produced;
+          if (run_has_span) {
+            const auto latency =
+                std::chrono::steady_clock::now() - span_start;
+            const auto latency_ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(latency)
+                    .count();
+            emit_span_stage(span_id, s, "done",
+                            [&](telemetry::JsonWriter& w) {
+                              w.field("latency_ns", static_cast<std::uint64_t>(
+                                                        latency_ns));
+                              w.field("run_results", produced);
+                              w.field("batched", true);
+                            });
+            span_latency_hist_->observe(static_cast<double>(latency_ns) /
+                                        1000.0);
+            tel->end_span();
+          }
+          a = b;
+        }
+        for (const JoinResult& jr : batch_sink) {
+          if (options_.on_result) options_.on_result(jr);
+          if (want_rows && result.rows.size() < options_.max_collected_rows) {
+            result.rows.push_back(query_.projection().apply(jr.members));
+          }
         }
       }
       arrivals_measured += batch.size();
@@ -245,29 +368,79 @@ RunResult Executor::run(TupleSource& source) {
     // Warm-up boundary: apply trained configurations exactly once.
     if (!warmup_done && clock_.now() >= warmup_end) finish_warmup();
 
+    const bool sampled =
+        trace_sample != 0 && (++drained_arrivals % trace_sample) == 0;
+    std::chrono::steady_clock::time_point span_start{};
+    std::uint64_t span_id = 0;
+    if (sampled) {
+      span_start = std::chrono::steady_clock::now();
+      span_id = tel->begin_span();
+      emit_span_stage(span_id, arrival.stream, "arrival",
+                      [&](telemetry::JsonWriter& w) {
+                        w.field("backlog",
+                                static_cast<std::uint64_t>(pending.size()));
+                      });
+    }
+
     // WHERE-clause selection: filtered tuples are neither stored nor
     // routed (the paper's S of SPJ happens before the join network).
     if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
       if (warmup_done) ++result.arrivals_filtered;
+      if (sampled) {
+        emit_span_stage(span_id, arrival.stream, "filtered", no_extra);
+        tel->end_span();
+      }
       continue;
     }
 
     // Expire all windows to the current time, store, then route.
-    for (auto& stem : stems_) stem->expire(clock_.now());
-    const Tuple* stored = stems_[arrival.stream]->insert(arrival);
+    {
+      telemetry::ScopedPhase expiry_scope(profiler_,
+                                          telemetry::Phase::kExpiry);
+      for (auto& stem : stems_) stem->expire(clock_.now());
+    }
+    const Tuple* stored;
+    {
+      telemetry::ScopedPhase insert_scope(profiler_,
+                                          telemetry::Phase::kInsert);
+      stored = stems_[arrival.stream]->insert(arrival);
+    }
+    if (sampled) {
+      emit_span_stage(span_id, arrival.stream, "insert", no_extra);
+    }
     const bool want_rows = options_.collect_rows && warmup_done &&
                            result.rows.size() < options_.max_collected_rows;
-    if (want_rows || options_.on_result) {
-      std::vector<JoinResult> sink;
-      outputs_total += eddy_->route(stored, &sink);
-      for (const JoinResult& jr : sink) {
-        if (options_.on_result) options_.on_result(jr);
-        if (want_rows && result.rows.size() < options_.max_collected_rows) {
-          result.rows.push_back(query_.projection().apply(jr.members));
+    std::uint64_t produced = 0;
+    {
+      telemetry::ScopedPhase route_scope(profiler_, telemetry::Phase::kRoute);
+      if (want_rows || options_.on_result) {
+        std::vector<JoinResult> sink;
+        produced = eddy_->route(stored, &sink);
+        for (const JoinResult& jr : sink) {
+          if (options_.on_result) options_.on_result(jr);
+          if (want_rows && result.rows.size() < options_.max_collected_rows) {
+            result.rows.push_back(query_.projection().apply(jr.members));
+          }
         }
+      } else {
+        produced = eddy_->route(stored);
       }
-    } else {
-      outputs_total += eddy_->route(stored);
+    }
+    outputs_total += produced;
+    if (sampled) {
+      const auto latency_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - span_start)
+              .count();
+      emit_span_stage(span_id, arrival.stream, "done",
+                      [&](telemetry::JsonWriter& w) {
+                        w.field("latency_ns",
+                                static_cast<std::uint64_t>(latency_ns));
+                        w.field("run_results", produced);
+                        w.field("batched", false);
+                      });
+      span_latency_hist_->observe(static_cast<double>(latency_ns) / 1000.0);
+      tel->end_span();
     }
     if (warmup_done) ++arrivals_measured;
 
@@ -322,6 +495,11 @@ RunResult Executor::run(TupleSource& source) {
     w.field("charged_us", result.charged_us);
     w.end_object();
     tel->emit(telemetry::EventKind::kRunEnd, 0, std::move(w).take());
+  }
+  if (run_wall_gauge_ != nullptr) {
+    run_wall_gauge_->set(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - run_wall_t0)
+                             .count());
   }
   return result;
 }

@@ -53,6 +53,12 @@ struct ExecutorOptions {
   /// Backlog depth (queued arrivals) that raises a backpressure event.
   /// Re-armed once the backlog drains to half the threshold.
   std::size_t backpressure_threshold = 10000;
+  /// Sample every Nth drained arrival into an end-to-end trace span
+  /// (`--trace-sample`): span stage events flow from source drain through
+  /// eddy routing hops, STeM probes and sharded fan-out to result emission
+  /// or truncation, carrying both the virtual clock and steady-clock
+  /// nanoseconds. 0 (the default) disables sampling. Requires `telemetry`.
+  std::size_t trace_sample = 0;
   /// Worker threads for sharded fan-out probes (stem.shards > 1 only).
   /// 0 picks hardware_concurrency; ignored when the stems are unsharded.
   std::size_t fanout_threads = 0;
@@ -101,6 +107,10 @@ class Executor {
   std::vector<std::unique_ptr<StemOperator>> stems_;
   std::unique_ptr<EddyRouter> eddy_;
   std::size_t tracked_queue_bytes_ = 0;
+  /// Observability handles, resolved once at construction (null detached).
+  telemetry::Profiler* profiler_ = nullptr;
+  telemetry::Histogram* span_latency_hist_ = nullptr;  ///< span.latency_us
+  telemetry::Gauge* run_wall_gauge_ = nullptr;         ///< profile.run.wall_us
 };
 
 }  // namespace amri::engine

@@ -62,7 +62,8 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
         }
         if (telemetry_ != nullptr) {
           const std::string prefix = "stem." + std::to_string(stream_);
-          sharded_index_->bind_telemetry(telemetry_, prefix + ".index");
+          sharded_index_->bind_telemetry(telemetry_, prefix + ".index",
+                                         stream_);
           for (std::size_t i = 0; i < shard_assessors_.size(); ++i) {
             shard_assessors_[i]->bind_telemetry(
                 telemetry_,
@@ -109,6 +110,7 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
   if (telemetry_ != nullptr) {
     const std::string prefix = "stem." + std::to_string(stream_);
     auto& reg = telemetry_->metrics();
+    profiler_ = telemetry_->profiler();
     probe_counter_ = &reg.counter(prefix + ".probe.count");
     probe_cost_hist_ = &reg.histogram(
         prefix + ".probe.cost_us",
@@ -205,7 +207,10 @@ telemetry::Histogram* StemOperator::pattern_histogram(AttrMask mask) {
   const std::string name =
       "stem." + std::to_string(stream_) + ".ap." +
       index::pattern_to_string(mask, layout_.jas.size()) + ".probe_us";
-  auto* hist = &telemetry_->metrics().histogram(
+  // Lazy by necessity: the set of access patterns is only known once
+  // probes arrive; the per-mask cache above keeps repeat lookups out of
+  // the registry.
+  auto* hist = &telemetry_->metrics().histogram(  // amri-lint: allow(AMRI006)
       name, telemetry::Histogram::exponential_bounds(0.05, 2.0, 16));
   pattern_hists_.emplace(mask, hist);
   return hist;
@@ -216,7 +221,11 @@ index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
   ++probes_;
   const double charged_before =
       (telemetry_ != nullptr && meter_ != nullptr) ? meter_->charged_us() : 0.0;
-  const auto stats = index_->probe(key, out);
+  index::ProbeStats stats;
+  {
+    telemetry::ScopedPhase probe_scope(profiler_, telemetry::Phase::kProbe);
+    stats = index_->probe(key, out);
+  }
   if (telemetry_ != nullptr) {
     probe_counter_->add();
     if (meter_ != nullptr) {
@@ -225,6 +234,9 @@ index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
       const double cost = meter_->charged_us() - charged_before;
       probe_cost_hist_->observe(cost);
       pattern_histogram(key.mask)->observe(cost);
+      // Feed the tuner's realized-cost accumulator before any decision
+      // below closes the epoch.
+      if (amri_tuner_ != nullptr) amri_tuner_->note_probe_cost(cost);
     }
   }
   if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
@@ -244,11 +256,15 @@ index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
   } else if (amri_tuner_ != nullptr) {
     amri_tuner_->observe_request(key.mask);
     if (continuous_tuning_ && amri_tuner_->tuning_due()) {
+      telemetry::ScopedPhase tune_scope(profiler_,
+                                        telemetry::Phase::kTunerEpoch);
       amri_tuner_->maybe_tune(*bit_index_);
     }
   } else if (module_tuner_ != nullptr) {
     module_tuner_->observe_request(key.mask);
     if (continuous_tuning_ && module_tuner_->tuning_due()) {
+      telemetry::ScopedPhase tune_scope(profiler_,
+                                        telemetry::Phase::kTunerEpoch);
       module_tuner_->maybe_tune(*module_index_);
     }
   }
@@ -293,19 +309,23 @@ void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
   probes_ += n;
   const double charged_before =
       (telemetry_ != nullptr && meter_ != nullptr) ? meter_->charged_us() : 0.0;
-  index_->probe_batch(keys, n, outs, stats);
+  {
+    telemetry::ScopedPhase probe_scope(profiler_, telemetry::Phase::kProbe);
+    index_->probe_batch(keys, n, outs, stats);
+  }
   if (telemetry_ != nullptr) {
     probe_counter_->add(n);
     if (meter_ != nullptr) {
       // A batch's modelled latency is charged as one aggregate, so each
       // key's histograms receive the chunk average — observation counts
       // stay identical to the tuple-at-a-time engine.
-      const double avg = (meter_->charged_us() - charged_before) /
-                         static_cast<double>(n);
+      const double total = meter_->charged_us() - charged_before;
+      const double avg = total / static_cast<double>(n);
       for (std::size_t i = 0; i < n; ++i) {
         probe_cost_hist_->observe(avg);
         pattern_histogram(keys[i].mask)->observe(avg);
       }
+      if (amri_tuner_ != nullptr) amri_tuner_->note_probe_cost(total, n);
     }
   }
   if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
@@ -365,6 +385,8 @@ void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
         amri_tuner_->observe_request(o.mask, o.weight);
       }
       if (continuous_tuning_ && amri_tuner_->tuning_due()) {
+        telemetry::ScopedPhase tune_scope(profiler_,
+                                          telemetry::Phase::kTunerEpoch);
         amri_tuner_->maybe_tune(*bit_index_);
       }
     } else {
@@ -372,6 +394,8 @@ void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
         module_tuner_->observe_request(o.mask, o.weight);
       }
       if (continuous_tuning_ && module_tuner_->tuning_due()) {
+        telemetry::ScopedPhase tune_scope(profiler_,
+                                          telemetry::Phase::kTunerEpoch);
         module_tuner_->maybe_tune(*module_index_);
       }
     }
@@ -380,17 +404,21 @@ void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
 
 void StemOperator::sharded_tune() {
   assert(sharded_index_ != nullptr && amri_tuner_ != nullptr);
-  std::vector<assessment::AssessmentSnapshot> parts;
-  parts.reserve(shard_assessors_.size());
-  for (const auto& a : shard_assessors_) parts.push_back(a->snapshot());
-  const auto merged = assessment::merge_snapshots(parts);
-
+  telemetry::ScopedPhase tune_scope(profiler_, telemetry::Phase::kTunerEpoch);
   tuner::ExternalAssessment external;
-  external.frequent =
-      assessment::snapshot_results(merged, amri_tuner_->options().theta);
-  external.table_size = merged.entries.size();
-  for (const auto& a : shard_assessors_) {
-    external.approx_bytes += a->approx_bytes();
+  {
+    telemetry::ScopedPhase merge_scope(profiler_,
+                                       telemetry::Phase::kSnapshotMerge);
+    std::vector<assessment::AssessmentSnapshot> parts;
+    parts.reserve(shard_assessors_.size());
+    for (const auto& a : shard_assessors_) parts.push_back(a->snapshot());
+    const auto merged = assessment::merge_snapshots(parts);
+    external.frequent =
+        assessment::snapshot_results(merged, amri_tuner_->options().theta);
+    external.table_size = merged.entries.size();
+    for (const auto& a : shard_assessors_) {
+      external.approx_bytes += a->approx_bytes();
+    }
   }
   amri_tuner_->maybe_tune_sharded(*sharded_index_, external);
 

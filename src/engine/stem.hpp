@@ -210,6 +210,7 @@ class StemOperator {
   std::vector<const Tuple*> probe_scratch_;
   // Telemetry instruments (null when detached).
   telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Profiler* profiler_ = nullptr;  ///< null unless --profile
   telemetry::Counter* probe_counter_ = nullptr;
   telemetry::Histogram* probe_cost_hist_ = nullptr;
   telemetry::Histogram* batch_size_hist_ = nullptr;  ///< keys per probe_batch

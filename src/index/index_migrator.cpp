@@ -26,6 +26,12 @@ MigrationReport IndexMigrator::migrate(BitAddressIndex& index,
   report.from = index.config();
   report.to = target;
   if (index.config() == target) return report;
+  // Wall-clock profiling of actual rebuilds only (the no-op path above is
+  // free). Safe off the driver thread only because the profiler is null
+  // unless amri_sim --profile, which drives migrations from the executor.
+  telemetry::ScopedPhase migration_scope(
+      telemetry_ != nullptr ? telemetry_->profiler() : nullptr,
+      telemetry::Phase::kMigration);
   report.tuples_moved = index.size();
   report.hashes_charged =
       report.tuples_moved *

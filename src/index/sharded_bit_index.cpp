@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/assertions.hpp"
 #include "common/bitops.hpp"
+#include "telemetry/json.hpp"
 
 namespace amri::index {
 
@@ -145,11 +147,25 @@ ProbeStats ShardedBitIndex::probe(const ProbeKey& key,
     // callers (the fan-out lands on pool threads), so no member scratch.
     std::vector<std::vector<const Tuple*>> parts(n);
     std::vector<ProbeStats> stats(n);
+    // Trace-span fan-out timing: per-shard wall ns, written by whichever
+    // pool thread serves the shard (distinct slots, no race).
+    const std::uint64_t span =
+        telemetry_ != nullptr ? telemetry_->active_span() : 0;
+    std::vector<std::uint64_t> shard_ns;
+    if (span != 0) shard_ns.assign(n, 0);
     auto run = [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
+        std::chrono::steady_clock::time_point t0{};
+        if (span != 0) t0 = std::chrono::steady_clock::now();
         Shard& s = *shards_[i];
         MutexLock lk(s.mu);
         stats[i] = s.index.probe(key, parts[i]);
+        if (span != 0) {
+          shard_ns[i] = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count());
+        }
       }
     };
     if (pool_ != nullptr && n > 1) {
@@ -165,6 +181,20 @@ ProbeStats ShardedBitIndex::probe(const ProbeKey& key,
     }
     if (fanout_hist_ != nullptr) {
       fanout_hist_->observe(static_cast<double>(n));
+    }
+    if (span != 0 && telemetry_ != nullptr) {
+      telemetry::JsonWriter w;
+      w.begin_object();
+      w.field("span", span);
+      w.field("stage", "fanout");
+      w.field("wall_ns", telemetry_->wall_ns());
+      w.field("width", static_cast<std::uint64_t>(n));
+      w.begin_array("shard_ns");
+      for (const std::uint64_t ns : shard_ns) w.value(ns);
+      w.end_array();
+      w.end_object();
+      telemetry_->emit(telemetry::EventKind::kSpan, stream_id_,
+                       std::move(w).take());
     }
   }
   charge_probe(key.mask, total);
@@ -224,20 +254,52 @@ void ShardedBitIndex::probe_batch(const ProbeKey* keys, std::size_t n,
     w.parts.resize(w.keys.size());
     w.stats.resize(w.keys.size());
   }
+  const std::uint64_t span =
+      telemetry_ != nullptr ? telemetry_->active_span() : 0;
+  std::vector<std::uint64_t> shard_ns;
+  if (span != 0) shard_ns.assign(num_shards, 0);
   auto run = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t s = lo; s < hi; ++s) {
       ShardWork& w = work[s];
       if (w.keys.empty()) continue;
+      std::chrono::steady_clock::time_point t0{};
+      if (span != 0) t0 = std::chrono::steady_clock::now();
       Shard& sh = *shards_[s];
       MutexLock lk(sh.mu);
       sh.index.probe_batch(w.keys.data(), w.keys.size(), w.parts.data(),
                            w.stats.data());
+      if (span != 0) {
+        shard_ns[s] = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
     }
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(0, num_shards, run, /*min_chunk=*/1);
   } else {
     run(0, num_shards);
+  }
+  if (span != 0 && telemetry_ != nullptr) {
+    std::uint64_t width = 0;
+    for (const ShardWork& w : work) {
+      if (!w.keys.empty()) ++width;
+    }
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.field("span", span);
+    w.field("stage", "fanout");
+    w.field("wall_ns", telemetry_->wall_ns());
+    w.field("width", width);
+    w.field("keys", static_cast<std::uint64_t>(n));
+    w.field("fanout_keys", static_cast<std::uint64_t>(fanout.size()));
+    w.begin_array("shard_ns");
+    for (const std::uint64_t ns : shard_ns) w.value(ns);
+    w.end_array();
+    w.end_object();
+    telemetry_->emit(telemetry::EventKind::kSpan, stream_id_,
+                     std::move(w).take());
   }
 
   // Scatter targeted results back verbatim.
@@ -358,7 +420,10 @@ ShardBalance ShardedBitIndex::balance() const {
 }
 
 void ShardedBitIndex::bind_telemetry(telemetry::Telemetry* telemetry,
-                                     const std::string& prefix) {
+                                     const std::string& prefix,
+                                     StreamId stream) {
+  telemetry_ = telemetry;
+  stream_id_ = stream;
   if (telemetry == nullptr) {
     for (auto& sp : shards_) sp->size_gauge = nullptr;
     imbalance_gauge_ = nullptr;

@@ -119,9 +119,11 @@ class ShardedBitIndex final : public TupleIndex {
   /// dispatch width histogram (`<prefix>.probe.batch.fanout_width`: how
   /// many shards one probe_batch call dispatched to) and the per-shard
   /// migration pause histogram (`<prefix>.migration.shard_hashes`) in
-  /// `telemetry`'s registry. Null detaches.
+  /// `telemetry`'s registry. Also keeps the handle so fan-out probes under
+  /// an active trace span emit "fanout" span events (dispatch width plus
+  /// per-shard wall nanoseconds), stamped with `stream`. Null detaches.
   void bind_telemetry(telemetry::Telemetry* telemetry,
-                      const std::string& prefix);
+                      const std::string& prefix, StreamId stream = 0);
 
   /// Deep validation: per-shard BitAddressIndex invariants, shard sizes
   /// summing to size(), one shared IC, and every stored tuple hashing to
@@ -153,6 +155,8 @@ class ShardedBitIndex final : public TupleIndex {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t size_ = 0;  ///< maintained by the (single) mutating thread
   // Telemetry instruments (null when detached).
+  telemetry::Telemetry* telemetry_ = nullptr;  ///< span fan-out events
+  StreamId stream_id_ = 0;                     ///< span event stream stamp
   telemetry::Gauge* imbalance_gauge_ = nullptr;
   telemetry::Histogram* fanout_hist_ = nullptr;
   telemetry::Histogram* batch_fanout_hist_ = nullptr;

@@ -17,6 +17,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kRoutingChange: return "routing_change";
     case EventKind::kOom: return "oom";
     case EventKind::kBackpressure: return "backpressure";
+    case EventKind::kSpan: return "span";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@ enum class EventKind : std::uint8_t {
   kRoutingChange,   ///< eddy picked a different target for a done-mask
   kOom,             ///< memory budget exhausted, run dies
   kBackpressure,    ///< arrival backlog crossed the pressure threshold
+  kSpan,            ///< sampled per-tuple trace stage (see docs/observability)
 };
 
 const char* event_kind_name(EventKind kind);

@@ -121,17 +121,22 @@ bool write_trace_file(const std::string& path, const Telemetry& telemetry,
 }
 
 void write_metrics_text(std::ostream& os, const MetricsRegistry& registry) {
+  // HELP text is the original dotted name: it survives sanitisation, so a
+  // scrape can always be mapped back to the registry identifier.
   for (const auto& [name, c] : registry.counters()) {
     const std::string id = sanitise(name);
+    os << "# HELP " << id << ' ' << name << '\n';
     os << "# TYPE " << id << " counter\n" << id << ' ' << c.value() << '\n';
   }
   for (const auto& [name, g] : registry.gauges()) {
     const std::string id = sanitise(name);
+    os << "# HELP " << id << ' ' << name << '\n';
     os << "# TYPE " << id << " gauge\n"
        << id << ' ' << json_number(g.value()) << '\n';
   }
   for (const auto& [name, h] : registry.histograms()) {
     const std::string id = sanitise(name);
+    os << "# HELP " << id << ' ' << name << '\n';
     os << "# TYPE " << id << " histogram\n";
     std::uint64_t cumulative = 0;
     const auto& bounds = h.bounds();

@@ -66,6 +66,28 @@ double Histogram::max_observed() const {
   return count_ == 0 ? 0.0 : max_;
 }
 
+double Histogram::percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  MutexLock lk(mu_);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) continue;
+    const std::uint64_t below = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds_.size()) return max_;  // overflow bucket: no upper bound
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    const double fraction =
+        (target - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return std::min(lo + (hi - lo) * std::clamp(fraction, 0.0, 1.0), max_);
+  }
+  return max_;
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   MutexLock lk(mu_);
   return buckets_;

@@ -70,6 +70,13 @@ class Histogram {
   double mean() const AMRI_EXCLUDES(mu_);
   double max_observed() const AMRI_EXCLUDES(mu_);
 
+  /// Estimated q-quantile (q in [0,1]), linearly interpolated inside the
+  /// bucket holding rank ceil(q*count): the same estimate Prometheus'
+  /// histogram_quantile computes. The overflow bucket has no upper bound,
+  /// so ranks landing there report max_observed(); an empty histogram
+  /// reports 0.
+  double percentile(double q) const AMRI_EXCLUDES(mu_);
+
   /// Bucket upper bounds; immutable after construction, safe to reference.
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts snapshot; size == bounds().size()

@@ -32,6 +32,8 @@ AmriTuner::AmriTuner(AttrMask universe, std::size_t num_attrs,
     decision_counter_ = &reg.counter(prefix + ".tuner.decisions");
     stats_entries_gauge_ = &reg.gauge(prefix + ".assess.table_size");
     stats_bytes_gauge_ = &reg.gauge(prefix + ".assess.bytes");
+    model_error_gauge_ = &reg.gauge(prefix + ".tuner.model_error");
+    realized_probe_gauge_ = &reg.gauge(prefix + ".tuner.realized_probe_us");
   }
 }
 
@@ -88,8 +90,24 @@ TuneDecision AmriTuner::decide(
             static_cast<std::ptrdiff_t>(
                 std::min(frequent.size(), options_.telemetry_top_k)));
     decision_counter_->add();
+    decision.predicted_current_probe_us =
+        expected_probe_cost(current, frequent);
+    decision.predicted_recommended_probe_us =
+        expected_probe_cost(decision.recommended, frequent);
   }
   return decision;
+}
+
+double AmriTuner::expected_probe_cost(
+    const index::IndexConfig& ic,
+    const std::vector<assessment::AssessedPattern>& frequent) const {
+  double weight = 0.0;
+  double cost = 0.0;
+  for (const auto& p : frequent) {
+    weight += p.frequency;
+    cost += p.frequency * model_.search_cost(ic, p.mask);
+  }
+  return weight > 0.0 ? cost / weight : -1.0;
 }
 
 TuneDecision AmriTuner::recommend(const index::IndexConfig& current) {
@@ -148,7 +166,38 @@ void AmriTuner::emit_decision_event(const TuneDecision& decision,
   w.field("chosen_ic", decision.recommended.to_string());
   w.field("chosen_cost", decision.recommended_cost);
   w.field("migrated", decision.migrated);
+  w.field("migration_cost_us", decision.migration_cost_us);
+
+  // Decision timeline: close the epoch this decision ends — realized
+  // per-probe cost (meter-charged virtual µs) against the prediction made
+  // when it opened — then open the next one with this decision's
+  // effective (post-migration-choice) prediction. Every event is
+  // self-contained: no cross-event shifting needed downstream.
+  w.field("epoch", decisions_);
+  const double realized =
+      epoch_probe_count_ > 0
+          ? epoch_probe_cost_us_ / static_cast<double>(epoch_probe_count_)
+          : -1.0;
+  w.field("prev_predicted_probe_us", predicted_probe_us_);
+  w.field("realized_probe_us", realized);
+  w.field("epoch_probes", epoch_probe_count_);
+  if (predicted_probe_us_ > 0.0 && realized >= 0.0) {
+    const double error =
+        (realized - predicted_probe_us_) / predicted_probe_us_;
+    w.field("model_error", error);
+    model_error_gauge_->set(error);
+  }
+  if (realized >= 0.0) realized_probe_gauge_->set(realized);
+  const double next_predicted = decision.migrated
+                                    ? decision.predicted_recommended_probe_us
+                                    : decision.predicted_current_probe_us;
+  w.field("predicted_probe_us", next_predicted);
+  predicted_probe_us_ = next_predicted;
+  epoch_probe_cost_us_ = 0.0;
+  epoch_probe_count_ = 0;
+
   w.end_object();
+  assert(telemetry_ != nullptr);  // early-returned above when detached
   telemetry_->emit(telemetry::EventKind::kTunerDecision, stream_,
                    std::move(w).take());
 }
@@ -161,8 +210,9 @@ TuneDecision AmriTuner::maybe_tune(index::BitAddressIndex& index) {
   if (decision.recommended != index.config() &&
       proposed < current * (1.0 - options_.min_improvement)) {
     const auto report = migrator_.migrate(index, decision.recommended);
-    migration_pause_us_ += static_cast<double>(report.hashes_charged) *
-                           model_.params().hash_cost;
+    decision.migration_cost_us = static_cast<double>(report.hashes_charged) *
+                                 model_.params().hash_cost;
+    migration_pause_us_ += decision.migration_cost_us;
     decision.migrated = true;
     ++migrations_;
   }
@@ -192,8 +242,9 @@ TuneDecision AmriTuner::maybe_tune_sharded(index::ShardedBitIndex& index,
     // Total modelled pause is the full rebuild (identical to the
     // unsharded path); the *per-probe* stall shrinks to the largest
     // single-shard rebuild, ~1/N of the window.
-    migration_pause_us_ += static_cast<double>(report.hashes_charged) *
-                           model_.params().hash_cost;
+    decision.migration_cost_us = static_cast<double>(report.hashes_charged) *
+                                 model_.params().hash_cost;
+    migration_pause_us_ += decision.migration_cost_us;
     decision.migrated = true;
     ++migrations_;
   }

@@ -59,6 +59,15 @@ struct TuneDecision {
   /// configurations, ascending cost.
   std::vector<assessment::AssessedPattern> top_patterns;
   std::vector<index::ScoredConfig> candidates;
+  /// Modelled per-probe search cost (Eq. 1 per-request terms, frequency
+  /// weighted over the frequent patterns) under the current / recommended
+  /// IC — the decision-timeline prediction checked against the next
+  /// epoch's realized cost. -1 when unavailable (no telemetry, or no
+  /// frequent patterns). Telemetry-attached tuners only.
+  double predicted_current_probe_us = -1.0;
+  double predicted_recommended_probe_us = -1.0;
+  /// Modelled migration pause paid by this decision (0 when not migrated).
+  double migration_cost_us = 0.0;
 };
 
 /// Externally assessed statistics for one decision. Sharded stems collect
@@ -122,6 +131,17 @@ class AmriTuner {
     observed_ += n;
   }
 
+  /// Accumulate the observed (meter-charged) cost of `probes` probes into
+  /// the running epoch. The stem feeds this from its telemetry-guarded
+  /// probe measurement (detached runs never call it); the accumulator
+  /// closes at the next decision, where the epoch's realized per-probe
+  /// cost is compared against the previous decision's prediction and the
+  /// relative model error is exported.
+  void note_probe_cost(double cost_us, std::uint64_t probes = 1) {
+    epoch_probe_cost_us_ += cost_us;
+    epoch_probe_count_ += probes;
+  }
+
   /// Selection over externally assessed (merged per-shard) statistics.
   /// Same decision core as recommend(); statistics retention is the
   /// caller's job (the stem owns the shard assessors).
@@ -150,6 +170,15 @@ class AmriTuner {
   /// caller's responsibility.
   TuneDecision decide(const std::vector<assessment::AssessedPattern>& frequent,
                       const index::IndexConfig& current);
+  /// Frequency-weighted mean per-request search cost of `ic` over the
+  /// frequent patterns (the prediction the decision timeline tracks).
+  /// -1 when `frequent` is empty.
+  double expected_probe_cost(
+      const index::IndexConfig& ic,
+      const std::vector<assessment::AssessedPattern>& frequent) const;
+  /// Emits the decision event and rolls the epoch accumulators: the event
+  /// carries the closed epoch's prediction/realized pair and the next
+  /// epoch's prediction, so each event is self-contained on the timeline.
   void emit_decision_event(const TuneDecision& decision,
                            const index::IndexConfig& current);
 
@@ -171,6 +200,14 @@ class AmriTuner {
   telemetry::Counter* decision_counter_ = nullptr;
   telemetry::Gauge* stats_entries_gauge_ = nullptr;
   telemetry::Gauge* stats_bytes_gauge_ = nullptr;
+  // Decision timeline: realized probe cost accumulated over the running
+  // epoch (fed by note_probe_cost) and the prediction made when the epoch
+  // opened (-1 before the first decision).
+  double epoch_probe_cost_us_ = 0.0;
+  std::uint64_t epoch_probe_count_ = 0;
+  double predicted_probe_us_ = -1.0;
+  telemetry::Gauge* model_error_gauge_ = nullptr;
+  telemetry::Gauge* realized_probe_gauge_ = nullptr;
 };
 
 }  // namespace amri::tuner

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -82,6 +84,79 @@ TEST(ThreadPool, DestructionDrainsCleanly) {
     pool.wait_idle();
   }
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolHooks, OnDequeueFiresPerTaskWithNonNegativeWait) {
+  ThreadPool pool(2);
+  std::atomic<int> dequeues{0};
+  std::atomic<bool> negative_wait{false};
+  ThreadPool::Hooks hooks;
+  hooks.on_dequeue = [&](double wait_us) {
+    dequeues.fetch_add(1);
+    if (wait_us < 0.0) negative_wait.store(true);
+  };
+  pool.set_hooks(std::move(hooks));
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(dequeues.load(), 16);
+  EXPECT_FALSE(negative_wait.load());
+}
+
+TEST(ThreadPoolHooks, OnContentionFiresWhenQueueBacklogged) {
+  ThreadPool pool(1);
+  std::atomic<int> contentions{0};
+  ThreadPool::Hooks hooks;
+  hooks.on_contention = [&contentions] { contentions.fetch_add(1); };
+  pool.set_hooks(std::move(hooks));
+
+  // Block the single worker so subsequent submits find a backlog.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return release; });
+  });
+  // The blocker may or may not have been dequeued yet, so queue two more:
+  // the second is guaranteed to find the first still queued.
+  pool.submit([] {});
+  pool.submit([] {});
+  EXPECT_GE(contentions.load(), 1);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolHooks, UnsetHooksAreFree) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolHooks, ParallelForReportsDequeues) {
+  ThreadPool pool(2);
+  std::atomic<int> dequeues{0};
+  ThreadPool::Hooks hooks;
+  hooks.on_dequeue = [&dequeues](double) { dequeues.fetch_add(1); };
+  pool.set_hooks(std::move(hooks));
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(
+      0, 10000,
+      [&covered](std::size_t lo, std::size_t hi) {
+        covered.fetch_add(hi - lo);
+      },
+      256);
+  EXPECT_EQ(covered.load(), 10000u);
+  EXPECT_GE(dequeues.load(), 1);
 }
 
 }  // namespace

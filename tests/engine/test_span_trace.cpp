@@ -1,0 +1,180 @@
+// End-to-end latency tracing: sampled per-tuple spans must follow a tuple
+// from source drain through routing hops to result emission, in both the
+// tuple-at-a-time and the batched pipeline, and stay completely silent
+// when sampling is off.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "../test_util.hpp"
+#include "engine/executor.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace amri::engine {
+namespace {
+
+class ScriptedSource final : public TupleSource {
+ public:
+  explicit ScriptedSource(std::vector<Tuple> tuples)
+      : tuples_(tuples.begin(), tuples.end()) {}
+  std::optional<Tuple> next() override {
+    if (tuples_.empty()) return std::nullopt;
+    Tuple t = tuples_.front();
+    tuples_.pop_front();
+    return t;
+  }
+
+ private:
+  std::deque<Tuple> tuples_;
+};
+
+Tuple mk(StreamId s, double ts_sec, std::initializer_list<Value> vals) {
+  return testutil::make_tuple(vals, 0, seconds_to_micros(ts_sec), s);
+}
+
+std::vector<Tuple> alternating_tuples(int n) {
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < n; ++i) {
+    tuples.push_back(mk(i % 2 == 0 ? 0 : 1, i + 1.0, {i / 2}));
+  }
+  return tuples;
+}
+
+ExecutorOptions traced_options(telemetry::Telemetry* telemetry,
+                               std::size_t trace_sample) {
+  ExecutorOptions o;
+  o.duration = seconds_to_micros(200);
+  o.sample_every = seconds_to_micros(50);
+  o.stem.backend = IndexBackend::kScan;
+  o.telemetry = telemetry;
+  o.trace_sample = trace_sample;
+  return o;
+}
+
+/// Extracts `"key":<number>` from a span payload; -1 when absent.
+std::int64_t json_int(const std::string& payload, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = payload.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(payload.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+std::string json_str(const std::string& payload, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = payload.find(needle);
+  if (pos == std::string::npos) return {};
+  const auto start = pos + needle.size();
+  return payload.substr(start, payload.find('"', start) - start);
+}
+
+struct SpanLog {
+  std::map<std::int64_t, std::vector<std::string>> stages_by_span;
+  int done_events = 0;
+  int done_with_latency = 0;
+};
+
+SpanLog collect_spans(const telemetry::Telemetry& telemetry) {
+  SpanLog log;
+  for (const telemetry::Event& e : telemetry.events().snapshot()) {
+    if (e.kind != telemetry::EventKind::kSpan) continue;
+    const std::int64_t span = json_int(e.payload, "span");
+    EXPECT_GT(span, 0) << e.payload;
+    const std::string stage = json_str(e.payload, "stage");
+    log.stages_by_span[span].push_back(stage);
+    EXPECT_GE(json_int(e.payload, "wall_ns"), 0) << e.payload;
+    if (stage == "done") {
+      ++log.done_events;
+      if (json_int(e.payload, "latency_ns") >= 0) ++log.done_with_latency;
+    }
+  }
+  return log;
+}
+
+TEST(SpanTrace, EveryNthArrivalGetsArrivalAndDone) {
+  const QuerySpec q = make_complete_join_query(2, seconds_to_micros(500));
+  telemetry::Telemetry telemetry;
+  ScriptedSource src(alternating_tuples(40));
+  Executor ex(q, traced_options(&telemetry, 4));
+  ex.run(src);
+
+  const SpanLog log = collect_spans(telemetry);
+  // 40 arrivals sampled every 4th: 10 spans, each opening with "arrival"
+  // and closing with "done" carrying a wall latency.
+  EXPECT_EQ(log.stages_by_span.size(), 10u);
+  EXPECT_EQ(log.done_events, 10);
+  EXPECT_EQ(log.done_with_latency, 10);
+  for (const auto& [span, stages] : log.stages_by_span) {
+    ASSERT_FALSE(stages.empty());
+    EXPECT_EQ(stages.front(), "arrival") << "span " << span;
+    EXPECT_EQ(stages.back(), "done") << "span " << span;
+  }
+}
+
+TEST(SpanTrace, HopsRecordProbeWork) {
+  const QuerySpec q = make_complete_join_query(2, seconds_to_micros(500));
+  telemetry::Telemetry telemetry;
+  ScriptedSource src(alternating_tuples(20));
+  Executor ex(q, traced_options(&telemetry, 1));  // sample everything
+  ex.run(src);
+
+  int hops = 0;
+  for (const telemetry::Event& e : telemetry.events().snapshot()) {
+    if (e.kind != telemetry::EventKind::kSpan) continue;
+    if (json_str(e.payload, "stage") != "hop") continue;
+    ++hops;
+    EXPECT_GE(json_int(e.payload, "probe_ns"), 0) << e.payload;
+    EXPECT_GE(json_int(e.payload, "compared"), 0) << e.payload;
+  }
+  // Every routed tuple probes the peer STeM at least once.
+  EXPECT_GT(hops, 0);
+}
+
+TEST(SpanTrace, BatchedPipelineTracesSampledTuple) {
+  const QuerySpec q = make_complete_join_query(2, seconds_to_micros(500));
+  telemetry::Telemetry telemetry;
+  ScriptedSource src(alternating_tuples(40));
+  ExecutorOptions o = traced_options(&telemetry, 5);
+  o.batch_size = 8;
+  Executor ex(q, o);
+  ex.run(src);
+
+  const SpanLog log = collect_spans(telemetry);
+  EXPECT_FALSE(log.stages_by_span.empty());
+  EXPECT_GT(log.done_events, 0);
+  EXPECT_EQ(log.done_events, log.done_with_latency);
+  for (const auto& [span, stages] : log.stages_by_span) {
+    EXPECT_EQ(stages.front(), "arrival") << "span " << span;
+  }
+}
+
+TEST(SpanTrace, NoSamplingMeansNoSpanEvents) {
+  const QuerySpec q = make_complete_join_query(2, seconds_to_micros(500));
+  telemetry::Telemetry telemetry;
+  ScriptedSource src(alternating_tuples(20));
+  Executor ex(q, traced_options(&telemetry, 0));
+  ex.run(src);
+
+  int span_events = 0;
+  for (const telemetry::Event& e : telemetry.events().snapshot()) {
+    if (e.kind == telemetry::EventKind::kSpan) ++span_events;
+  }
+  EXPECT_EQ(span_events, 0);
+}
+
+TEST(SpanTrace, SpanLatencyHistogramPopulated) {
+  const QuerySpec q = make_complete_join_query(2, seconds_to_micros(500));
+  telemetry::Telemetry telemetry;
+  ScriptedSource src(alternating_tuples(30));
+  Executor ex(q, traced_options(&telemetry, 3));
+  ex.run(src);
+
+  const auto* hist = telemetry.metrics().find_histogram("span.latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 10u);
+  EXPECT_GT(hist->percentile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace amri::engine

@@ -65,8 +65,9 @@ TEST(WriteTraceJsonl, HeaderEventsThenMetrics) {
   std::ostringstream out;
   write_trace_jsonl(out, telemetry);
   const auto lines = lines_of(out.str());
-  // header + 2 events + 2 metrics
-  ASSERT_EQ(lines.size(), 5u);
+  // header + 2 events + 3 metrics (the ring-overwrite counter
+  // telemetry.events.dropped always exists).
+  ASSERT_EQ(lines.size(), 6u);
   EXPECT_NE(lines[0].find("\"type\":\"trace_header\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"events_total\":2"), std::string::npos);
   EXPECT_NE(lines[1].find("\"kind\":\"run_start\""), std::string::npos);
@@ -74,7 +75,10 @@ TEST(WriteTraceJsonl, HeaderEventsThenMetrics) {
   // Metric lines follow the events; sorted by name.
   EXPECT_NE(lines[3].find("\"name\":\"eddy.decisions\""), std::string::npos);
   EXPECT_NE(lines[3].find("\"value\":12"), std::string::npos);
-  EXPECT_NE(lines[4].find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(lines[4].find("\"name\":\"telemetry.events.dropped\""),
+            std::string::npos);
+  EXPECT_NE(lines[4].find("\"value\":0"), std::string::npos);
+  EXPECT_NE(lines[5].find("\"kind\":\"histogram\""), std::string::npos);
   // Every line is a standalone object.
   for (const auto& line : lines) {
     EXPECT_EQ(line.front(), '{');
@@ -110,6 +114,62 @@ TEST(WriteMetricsText, PrometheusShape) {
   // Histogram expands to cumulative buckets plus _sum/_count.
   EXPECT_NE(text.find("amri_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
   EXPECT_NE(text.find("amri_lat_count 1"), std::string::npos);
+}
+
+TEST(WriteMetricsText, HelpLinesCarryOriginalDottedName) {
+  Telemetry telemetry;
+  telemetry.metrics().counter("stem.0.probe.count").add();
+  telemetry.metrics().gauge("profile.run.wall_us").set(1.0);
+  telemetry.metrics().histogram("span.latency_us", {1.0}).observe(0.5);
+  std::ostringstream out;
+  write_metrics_text(out, telemetry.metrics());
+  const std::string text = out.str();
+  // Every metric gets a HELP line mapping the sanitised id back to the
+  // registry's dotted name, immediately before its TYPE line.
+  EXPECT_NE(text.find("# HELP amri_stem_0_probe_count stem.0.probe.count\n"
+                      "# TYPE amri_stem_0_probe_count counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP amri_profile_run_wall_us profile.run.wall_us\n"
+                      "# TYPE amri_profile_run_wall_us gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP amri_span_latency_us span.latency_us\n"
+                      "# TYPE amri_span_latency_us histogram"),
+            std::string::npos);
+}
+
+TEST(WriteMetricsText, SanitisesNonAlnumToUnderscore) {
+  Telemetry telemetry;
+  telemetry.metrics().counter("stem.0.ap.<A,B>.hits").add(3);
+  std::ostringstream out;
+  write_metrics_text(out, telemetry.metrics());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("amri_stem_0_ap__A_B__hits 3"), std::string::npos);
+  // The HELP line preserves the original spelling for reverse mapping.
+  EXPECT_NE(text.find("# HELP amri_stem_0_ap__A_B__hits stem.0.ap.<A,B>.hits"),
+            std::string::npos);
+}
+
+TEST(WriteMetricsText, HistogramBucketsAreCumulative) {
+  Telemetry telemetry;
+  auto& h = telemetry.metrics().histogram("lat", {1.0, 2.0, 4.0});
+  // Values chosen exactly representable in binary so the %.17g sum
+  // renders without a trailing digit tail.
+  h.observe(0.5);    // bucket le=1
+  h.observe(1.5);    // bucket le=2
+  h.observe(1.75);   // bucket le=2
+  h.observe(3.0);    // bucket le=4
+  h.observe(100.0);  // overflow
+  std::ostringstream out;
+  write_metrics_text(out, telemetry.metrics());
+  const std::string text = out.str();
+  // Prometheus buckets are cumulative: each le includes all smaller ones,
+  // and +Inf equals the total count.
+  EXPECT_NE(text.find("amri_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("amri_lat_bucket{le=\"2\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("amri_lat_bucket{le=\"4\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("amri_lat_bucket{le=\"+Inf\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("amri_lat_count 5"), std::string::npos);
+  EXPECT_NE(text.find("amri_lat_sum 106.75"), std::string::npos);
 }
 
 TEST(WriteMetricsCsv, OneRowPerScalar) {

@@ -67,6 +67,46 @@ TEST(Histogram, ExponentialBounds) {
   EXPECT_DOUBLE_EQ(bounds[3], 8.0);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h({10.0, 20.0, 40.0});
+  // 10 observations spread evenly into the (0, 10] bucket: the q-quantile
+  // interpolates linearly across the bucket holding rank q*count.
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  // target rank 5 of 10 in (0, 10]: 0 + 10 * 5/10 = 5.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+  // All mass in one bucket; p100 clamps to the observed max, not the
+  // bucket's upper bound.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+}
+
+TEST(Histogram, PercentileAcrossBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // (0, 1]
+  h.observe(1.5);  // (1, 2]
+  h.observe(1.6);  // (1, 2]
+  h.observe(3.0);  // (2, 4]
+  // target rank 0.5*4 = 2 lands in the (1, 2] bucket: below=1, so the
+  // interpolated estimate is 1 + (2-1) * (2-1)/2 = 1.5.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1.5);
+  // rank 4 is the (2, 4] bucket: 2 + 2 * 1/1 = 4, clamped to max 3.0.
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 3.0);
+}
+
+TEST(Histogram, PercentileOverflowBucketReportsMax) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  h.observe(100.0);  // overflow: no upper bound to interpolate against
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);
+}
+
+TEST(Histogram, PercentileEmptyAndClampedQ) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty histogram
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
 TEST(MetricsRegistry, SameNameSameInstrument) {
   MetricsRegistry reg;
   Counter& a = reg.counter("n");

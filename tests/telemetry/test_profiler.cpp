@@ -1,0 +1,148 @@
+#include "telemetry/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "telemetry/metrics.hpp"
+
+namespace amri::telemetry {
+namespace {
+
+// Busy-wait so scope durations are guaranteed minimums (sleep_for may
+// oversleep arbitrarily but never undershoots either; spinning keeps the
+// test's lower bounds tight without depending on scheduler behavior).
+void spin_for_us(std::int64_t us) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(PhaseName, CoversEveryPhase) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const char* name = phase_name(static_cast<Phase>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string_view(name).size(), 0u);
+  }
+  EXPECT_STREQ(phase_name(Phase::kDrain), "drain");
+  EXPECT_STREQ(phase_name(Phase::kSnapshotMerge), "snapshot_merge");
+}
+
+TEST(Profiler, CountsEntriesAndExclusiveTime) {
+  MetricsRegistry registry;
+  Profiler profiler(registry);
+  {
+    ScopedPhase scope(&profiler, Phase::kRoute);
+    spin_for_us(200);
+  }
+  const auto stats = profiler.stats(Phase::kRoute);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GE(stats.exclusive_us, 200.0 * 0.9);
+  EXPECT_EQ(profiler.stats(Phase::kProbe).entries, 0u);
+}
+
+TEST(Profiler, NestedScopePausesParent) {
+  MetricsRegistry registry;
+  Profiler profiler(registry);
+  {
+    ScopedPhase route(&profiler, Phase::kRoute);
+    spin_for_us(200);
+    {
+      ScopedPhase probe(&profiler, Phase::kProbe);
+      spin_for_us(400);
+    }
+    spin_for_us(200);
+  }
+  const auto route = profiler.stats(Phase::kRoute);
+  const auto probe = profiler.stats(Phase::kProbe);
+  // The child's 400us is attributed to kProbe only; the parent keeps its
+  // own ~400us. Exclusive times sum to the total in-scope wall time.
+  EXPECT_GE(probe.exclusive_us, 400.0 * 0.9);
+  EXPECT_GE(route.exclusive_us, 400.0 * 0.9);
+  EXPECT_DOUBLE_EQ(profiler.total_exclusive_us(),
+                   route.exclusive_us + probe.exclusive_us);
+}
+
+TEST(Profiler, ScopeHistogramIsInclusive) {
+  MetricsRegistry registry;
+  Profiler profiler(registry);
+  {
+    ScopedPhase route(&profiler, Phase::kRoute);
+    ScopedPhase probe(&profiler, Phase::kProbe);
+    spin_for_us(300);
+  }
+  // The route scope's histogram entry covers the nested probe time: the
+  // histogram records inclusive durations, the stats exclusive ones.
+  const Histogram& route_hist = profiler.scope_histogram(Phase::kRoute);
+  ASSERT_EQ(route_hist.count(), 1u);
+  EXPECT_GE(route_hist.sum(), 300.0 * 0.9);
+  EXPECT_GE(route_hist.sum(), profiler.stats(Phase::kRoute).exclusive_us);
+}
+
+TEST(Profiler, ExclusiveGaugesMirrorStats) {
+  MetricsRegistry registry;
+  Profiler profiler(registry);
+  {
+    ScopedPhase scope(&profiler, Phase::kInsert);
+    spin_for_us(100);
+  }
+  const Gauge* gauge = registry.find_gauge("profile.insert.exclusive_us");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->value(), profiler.stats(Phase::kInsert).exclusive_us);
+}
+
+TEST(Profiler, RepeatedScopesAccumulate) {
+  MetricsRegistry registry;
+  Profiler profiler(registry);
+  for (int i = 0; i < 5; ++i) {
+    ScopedPhase scope(&profiler, Phase::kExpiry);
+    spin_for_us(50);
+  }
+  EXPECT_EQ(profiler.stats(Phase::kExpiry).entries, 5u);
+  EXPECT_EQ(profiler.scope_histogram(Phase::kExpiry).count(), 5u);
+  EXPECT_GE(profiler.stats(Phase::kExpiry).exclusive_us, 5 * 50.0 * 0.9);
+}
+
+TEST(Profiler, OverflowDepthCountedButFoldedIntoParent) {
+  MetricsRegistry registry;
+  Profiler profiler(registry);
+  profiler.start(Phase::kRoute);
+  for (std::size_t i = 0; i < Profiler::kMaxDepth + 4; ++i) {
+    profiler.start(Phase::kProbe);
+  }
+  for (std::size_t i = 0; i < Profiler::kMaxDepth + 4; ++i) {
+    profiler.stop();
+  }
+  profiler.stop();
+  // Every entry is counted even past kMaxDepth; nothing crashes and the
+  // route scope unwinds cleanly.
+  EXPECT_EQ(profiler.stats(Phase::kProbe).entries, Profiler::kMaxDepth + 4);
+  EXPECT_EQ(profiler.stats(Phase::kRoute).entries, 1u);
+}
+
+TEST(ScopedPhase, NullProfilerIsNoOp) {
+  // The detached-telemetry contract: a null profiler makes the scope free.
+  ScopedPhase scope(nullptr, Phase::kRoute);
+  SUCCEED();
+}
+
+TEST(PrintPhaseTable, RendersEnteredPhasesAndCoverage) {
+  MetricsRegistry registry;
+  Profiler profiler(registry);
+  {
+    ScopedPhase scope(&profiler, Phase::kDrain);
+    spin_for_us(100);
+  }
+  std::ostringstream out;
+  print_phase_table(out, profiler, profiler.total_exclusive_us());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("drain"), std::string::npos);
+  EXPECT_NE(text.find("profiled"), std::string::npos);
+  // Phases never entered are omitted from the table.
+  EXPECT_EQ(text.find("migration"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amri::telemetry

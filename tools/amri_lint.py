@@ -20,6 +20,13 @@ AMRI005  library code (src/) never writes to stdout: no std::cout /
          printf / puts. Reports go through std::ostream parameters or the
          telemetry exporters; stderr (fprintf(stderr, ...)) is allowed for
          fatal diagnostics.
+AMRI006  metric handles are resolved once, at setup: creating registry
+         lookups (`reg.counter(...)` / `metrics().gauge(...)` /
+         `registry().histogram(...)`) are only allowed inside constructors
+         and bind_telemetry()-style setup functions. A lookup is an
+         O(log n) string compare under a mutex — on a hot path it defeats
+         the resolve-once nullable-handle contract. Read-only `find_*`
+         accessors are exempt (post-run reporting).
 
 A finding can be waived in place with `// amri-lint: allow(AMRI00N)` on the
 offending line.
@@ -64,8 +71,32 @@ PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once", re.MULTILINE)
 INCLUDE_GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+\s*\n\s*#\s*define\s+\w+",
                               re.MULTILINE)
 WAIVER_RE = re.compile(r"amri-lint:\s*allow\(([A-Z0-9, ]+)\)")
+# Creating registry lookups: `reg.counter(`, `metrics().gauge(`,
+# `metrics_.histogram(`, `registry().counter(` and the usual local-alias
+# spellings. find_counter/find_gauge/find_histogram are read-only and
+# deliberately not matched.
+METRIC_LOOKUP_RE = re.compile(
+    r"\b(?:metrics\s*\(\s*\)|metrics_|registry\s*\(\s*\)|registry_|reg)\s*"
+    r"\.\s*(counter|gauge|histogram)\s*\("
+)
+# Out-of-line member definition: `Ret Class::func(` / `Class::Class(`.
+# Anchored at column 0 (clang-format puts definitions there) so qualified
+# *calls* inside bodies — `Histogram::exponential_bounds(...)` — don't
+# masquerade as the enclosing function.
+MEMBER_DEF_RE = re.compile(
+    r"^(?!\s)(?:[\w:<>,*&~]+\s+)*([A-Za-z_]\w*)\s*::\s*(~?[A-Za-z_]\w*)\s*\(")
+# In-class definition candidate: `explicit Foo(`, `void bind_telemetry(`.
+INLINE_DEF_RE = re.compile(
+    r"^\s*(?:explicit\s+)?(?:[\w:<>,*&]+\s+)?([A-Za-z_]\w*)\s*\(")
+CLASS_DECL_RE = re.compile(r"^\s*(?:class|struct)\s+([A-Za-z_]\w*)")
+# Setup functions where creating lookups are the point.
+SETUP_FUNC_NAMES = {"bind_telemetry", "bind_instruments"}
+# Keywords that INLINE_DEF_RE would otherwise mistake for function names.
+NON_FUNC_KEYWORDS = {"if", "for", "while", "switch", "return", "sizeof",
+                     "catch", "assert"}
 
 TELEMETRY_GUARD_WINDOW = 40  # lines of lookback for AMRI003
+ENCLOSING_FUNC_WINDOW = 400  # lines of lookback for AMRI006
 
 
 @dataclass
@@ -136,6 +167,42 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
+def metric_lookup_allowed(code_lines: list[str], idx: int) -> bool:
+    """True when the creating metric lookup on 1-based line `idx` sits in a
+    constructor or a recognized setup function. Backward scan for the
+    nearest enclosing definition header: an out-of-line `Class::func(`
+    wins; otherwise an in-class `func(` candidate is paired with the
+    nearest preceding `class`/`struct` name (ctor when they match)."""
+    lo = max(0, idx - 1 - ENCLOSING_FUNC_WINDOW)
+    # Scan starts one line above the lookup: the lookup line itself is a
+    # statement (possibly a member initializer), never the definition
+    # header of the function that contains it.
+    inline_name: str | None = None
+    for j in range(idx - 2, lo - 1, -1):
+        line = code_lines[j]
+        m = MEMBER_DEF_RE.match(line)
+        if m:
+            cls, func = m.group(1), m.group(2)
+            return func == cls or func in SETUP_FUNC_NAMES
+        stripped = line.strip()
+        # Member-initializer-list lines (`name_(expr),` / `: name_(expr),`)
+        # look like definition headers; skip them so an in-class ctor's
+        # body/init-list resolves to the ctor itself.
+        if stripped.endswith(",") or stripped.startswith(":"):
+            continue
+        if inline_name is None:
+            mi = INLINE_DEF_RE.match(line)
+            if mi and mi.group(1) not in NON_FUNC_KEYWORDS:
+                if mi.group(1) in SETUP_FUNC_NAMES:
+                    return True
+                inline_name = mi.group(1)
+                continue
+        mc = CLASS_DECL_RE.match(line)
+        if mc and inline_name is not None:
+            return inline_name == mc.group(1)
+    return False
+
+
 def is_exempt(rule: str, path: pathlib.Path) -> bool:
     posix = path.as_posix()
     return any(posix.endswith(sfx) for sfx in RULE_EXEMPT.get(rule, ()))
@@ -186,6 +253,13 @@ def lint_text(path: pathlib.Path, text: str,
             add(idx, "AMRI005",
                 "stdout write in library code; take a std::ostream& or use "
                 "the telemetry exporters")
+        m6 = METRIC_LOOKUP_RE.search(line)
+        if (library_code and m6
+                and not metric_lookup_allowed(code_lines, idx)):
+            add(idx, "AMRI006",
+                f"creating `.{m6.group(1)}(` registry lookup outside a "
+                "constructor/bind_telemetry; resolve handles once at setup "
+                "and hold the pointer (use find_* for read-only access)")
 
     if path.suffix in HEADER_SUFFIXES:
         head = "\n".join(raw_lines[:30])

@@ -149,6 +149,75 @@ class StdoutRuleTest(unittest.TestCase):
         self.assertNotIn("AMRI005", rules_of(findings))
 
 
+class MetricLookupRuleTest(unittest.TestCase):
+    def test_flags_lookup_in_hot_path_function(self):
+        snippet = ("void StemOperator::probe(const Key& k) {\n"
+                   '  reg.counter("stem.probe").add();\n'
+                   "}\n")
+        self.assertIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_flags_metrics_call_spelling(self):
+        snippet = ("void EddyRouter::route(Tuple t) {\n"
+                   '  telemetry_->metrics().histogram("h", bounds).observe(v);\n'
+                   "  if (telemetry_ != nullptr) { }\n"
+                   "}\n")
+        self.assertIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_constructor_lookup_allowed(self):
+        snippet = ("StemOperator::StemOperator(StreamId s) {\n"
+                   '  probe_counter_ = &reg.counter("stem.probe.count");\n'
+                   "}\n")
+        self.assertNotIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_constructor_with_qualified_call_between(self):
+        # A qualified *call* above the lookup must not be mistaken for the
+        # enclosing function definition.
+        snippet = ("StemOperator::StemOperator(StreamId s) {\n"
+                   "  hist_ = &reg.histogram(\n"
+                   "      name, telemetry::Histogram::exponential_bounds(1, 2, 8));\n"
+                   '  other_ = &reg.counter("x");\n'
+                   "}\n")
+        self.assertNotIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_bind_telemetry_allowed(self):
+        snippet = ("void ShardedBitIndex::bind_telemetry(Telemetry* t) {\n"
+                   '  fanout_hist_ = &t->metrics().histogram("f", bounds);\n'
+                   "  if (t != nullptr) { }\n"
+                   "}\n")
+        self.assertNotIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_inline_constructor_with_init_list_allowed(self):
+        snippet = ("class Telemetry {\n"
+                   " public:\n"
+                   "  explicit Telemetry(Options options = {})\n"
+                   "      : options_(options),\n"
+                   '        dropped_(&metrics_.counter("dropped")) {}\n'
+                   "};\n")
+        self.assertNotIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_find_accessors_not_flagged(self):
+        snippet = ("void Report::render(std::ostream& os) {\n"
+                   '  const auto* h = reg.find_histogram("span.latency_us");\n'
+                   "}\n")
+        self.assertNotIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_waiver(self):
+        snippet = ("telemetry::Histogram* StemOperator::pattern_histogram() {\n"
+                   "  auto* h = &telemetry_->metrics().histogram(  "
+                   "// amri-lint: allow(AMRI006)\n"
+                   "      name, bounds);\n"
+                   "  assert(telemetry_ != nullptr);\n"
+                   "}\n")
+        self.assertNotIn("AMRI006", rules_of(lint(snippet)))
+
+    def test_non_library_code_skips_rule(self):
+        snippet = ("int main() {\n"
+                   '  reg.counter("bench.iters").add();\n'
+                   "}\n")
+        findings = lint(snippet, path="bench/micro.cpp", library_code=False)
+        self.assertNotIn("AMRI006", rules_of(findings))
+
+
 class WaiverTest(unittest.TestCase):
     def test_multi_rule_waiver(self):
         snippet = "auto* p = new Foo(); // amri-lint: allow(AMRI002, AMRI005)"
