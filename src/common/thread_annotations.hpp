@@ -11,10 +11,23 @@
 // analysis cannot see through them. Mutex-bearing classes therefore use the
 // annotated wrappers below (amri::Mutex, amri::MutexLock, amri::UniqueLock
 // with std::condition_variable_any) instead of the raw std types.
+//
+// Lock-rank cross-check (AMRI103): tools/amri_ast_lint.py extracts the
+// static Mutex acquisition graph and emits a total order into
+// src/common/lock_ranks.gen.hpp. With AMRI_LOCK_RANK_CHECK defined (on
+// under AMRI_ASSERTIONS, i.e. in every sanitizer preset) each Mutex carries
+// its generated rank and every acquisition asserts, per thread, that the
+// rank is strictly greater than every rank already held — so the static
+// graph and real execution are checked against each other.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
+
+#if defined(AMRI_LOCK_RANK_CHECK)
+#include <cstdio>
+#include <cstdlib>
+#endif
 
 #if defined(__clang__) && (!defined(SWIG))
 #define AMRI_THREAD_ANNOTATION(x) __attribute__((x))
@@ -63,22 +76,105 @@
 
 namespace amri {
 
-/// std::mutex with capability annotations so Clang TSA can track it.
+#if defined(AMRI_LOCK_RANK_CHECK)
+namespace lockrank_detail {
+
+/// Per-thread stack of held lock ranks. Fixed storage: the validator must
+/// not allocate (it runs inside every lock acquisition, including ones
+/// taken under sanitizers).
+struct HeldRanks {
+  static constexpr int kMaxHeld = 64;
+  int ranks[kMaxHeld];
+  int depth = 0;
+};
+
+inline HeldRanks& held() {
+  static thread_local HeldRanks stack;
+  return stack;
+}
+
+/// Rank 0 marks an unranked mutex (tests, scratch code): skipped entirely.
+/// Ranked mutexes must be acquired in strictly increasing rank order per
+/// thread; an equal or smaller rank is an ordering violation the static
+/// graph (src/common/lock_ranks.gen.hpp) says cannot happen.
+inline void note_acquire(int rank) {
+  if (rank <= 0) return;
+  HeldRanks& s = held();
+  for (int i = 0; i < s.depth; ++i) {
+    if (s.ranks[i] >= rank) {
+      std::fprintf(stderr,
+                   "amri: lock-rank violation: acquiring rank %d while "
+                   "holding rank %d (see src/common/lock_ranks.gen.hpp)\n",
+                   rank, s.ranks[i]);
+      std::abort();
+    }
+  }
+  if (s.depth < HeldRanks::kMaxHeld) s.ranks[s.depth] = rank;
+  ++s.depth;
+}
+
+inline void note_release(int rank) {
+  if (rank <= 0) return;
+  HeldRanks& s = held();
+  // Remove the most recent occurrence; releases are not required to be
+  // LIFO (UniqueLock can outlive a later MutexLock in theory).
+  for (int i = (s.depth <= HeldRanks::kMaxHeld ? s.depth : HeldRanks::kMaxHeld)
+               - 1;
+       i >= 0; --i) {
+    if (s.ranks[i] == rank) {
+      for (int j = i; j + 1 < s.depth && j + 1 < HeldRanks::kMaxHeld; ++j) {
+        s.ranks[j] = s.ranks[j + 1];
+      }
+      --s.depth;
+      return;
+    }
+  }
+  --s.depth;  // overflowed entry beyond kMaxHeld: depth bookkeeping only
+}
+
+}  // namespace lockrank_detail
+#endif  // AMRI_LOCK_RANK_CHECK
+
+/// std::mutex with capability annotations so Clang TSA can track it, plus
+/// an optional static lock rank (from src/common/lock_ranks.gen.hpp)
+/// validated at runtime under AMRI_LOCK_RANK_CHECK.
 class AMRI_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(int rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() AMRI_ACQUIRE() { mu_.lock(); }
-  void unlock() AMRI_RELEASE() { mu_.unlock(); }
-  bool try_lock() AMRI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() AMRI_ACQUIRE() {
+#if defined(AMRI_LOCK_RANK_CHECK)
+    // Validate before blocking: a genuine inversion should abort with a
+    // diagnostic, not deadlock silently against the opposing thread.
+    lockrank_detail::note_acquire(rank_);
+#endif
+    mu_.lock();
+  }
+  void unlock() AMRI_RELEASE() {
+#if defined(AMRI_LOCK_RANK_CHECK)
+    lockrank_detail::note_release(rank_);
+#endif
+    mu_.unlock();
+  }
+  bool try_lock() AMRI_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#if defined(AMRI_LOCK_RANK_CHECK)
+    if (ok) lockrank_detail::note_acquire(rank_);
+#endif
+    return ok;
+  }
+
+  int rank() const { return rank_; }
 
   /// The wrapped mutex, for interop that the analysis cannot follow anyway.
   std::mutex& native() { return mu_; }
 
  private:
   std::mutex mu_;
+  const int rank_ = 0;
 };
 
 /// RAII lock for the scope of a block (annotated std::lock_guard analogue).

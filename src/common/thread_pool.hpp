@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_ranks.gen.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace amri {
@@ -70,9 +71,13 @@ class ThreadPool {
  private:
   void worker_loop() AMRI_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  Hooks hooks_;  ///< immutable once the first task is submitted
-  Mutex mu_;
+  // Written by the constructor and joined by stop() on the owning thread
+  // only; worker threads never touch the vector.
+  std::vector<std::thread> workers_;  // amri-lint: allow(AMRI104)
+  // Immutable once the first task is submitted (set_hooks contract): read
+  // unguarded on the submit path and from workers by design.
+  Hooks hooks_;  // amri-lint: allow(AMRI104)
+  Mutex mu_{lockrank::kThreadPoolMu};
   std::queue<std::function<void()>> tasks_ AMRI_GUARDED_BY(mu_);
   CondVar cv_task_;
   CondVar cv_idle_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/lock_ranks.gen.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "index/bit_address_index.hpp"
@@ -46,13 +47,15 @@ class IndexMigrator {
                           const IndexConfig& target) const AMRI_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
-  ThreadPool* pool_;
-  telemetry::Telemetry* telemetry_;
-  StreamId stream_;
-  telemetry::Counter* migration_count_ = nullptr;
-  telemetry::Counter* tuples_moved_ = nullptr;
-  telemetry::Histogram* pause_hist_ = nullptr;
+  mutable Mutex mu_{lockrank::kIndexMigratorMu};
+  // Set in the constructor, then only read under mu_ from migrate(): the
+  // whole configuration is serialized behind the per-instance mutex.
+  ThreadPool* pool_ AMRI_GUARDED_BY(mu_);
+  telemetry::Telemetry* telemetry_ AMRI_GUARDED_BY(mu_);
+  StreamId stream_ AMRI_GUARDED_BY(mu_);
+  telemetry::Counter* migration_count_ AMRI_GUARDED_BY(mu_) = nullptr;
+  telemetry::Counter* tuples_moved_ AMRI_GUARDED_BY(mu_) = nullptr;
+  telemetry::Histogram* pause_hist_ AMRI_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace amri::index

@@ -155,6 +155,9 @@ ProbeStats ShardedBitIndex::probe(const ProbeKey& key,
     if (span != 0) shard_ns.assign(n, 0);
     auto run = [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
+        // Span-gated wall timing of the per-shard fan-out: pure telemetry
+        // (no cost-model input), and free unless this tuple carries a
+        // trace span. amri-lint: allow(AMRI102)
         std::chrono::steady_clock::time_point t0{};
         if (span != 0) t0 = std::chrono::steady_clock::now();
         Shard& s = *shards_[i];
@@ -262,6 +265,9 @@ void ShardedBitIndex::probe_batch(const ProbeKey* keys, std::size_t n,
     for (std::size_t s = lo; s < hi; ++s) {
       ShardWork& w = work[s];
       if (w.keys.empty()) continue;
+      // Span-gated wall timing of the batched fan-out: pure telemetry (no
+      // cost-model input), free unless a trace span is active.
+      // amri-lint: allow(AMRI102)
       std::chrono::steady_clock::time_point t0{};
       if (span != 0) t0 = std::chrono::steady_clock::now();
       Shard& sh = *shards_[s];

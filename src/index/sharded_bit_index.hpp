@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/lock_ranks.gen.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/thread_pool.hpp"
 #include "index/bit_address_index.hpp"
@@ -132,7 +133,7 @@ class ShardedBitIndex final : public TupleIndex {
 
  private:
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu{lockrank::kShardedBitIndexShardMu};
     BitAddressIndex index AMRI_GUARDED_BY(mu);
     telemetry::Gauge* size_gauge = nullptr;
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.gen.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
@@ -68,8 +69,8 @@ class EventLog {
   void clear() AMRI_EXCLUDES(mu_);
 
  private:
-  std::size_t capacity_;  ///< immutable after construction
-  mutable Mutex mu_;
+  const std::size_t capacity_;
+  mutable Mutex mu_{lockrank::kEventLogMu};
   std::vector<Event> ring_
       AMRI_GUARDED_BY(mu_);  ///< grows to capacity_, then wraps by seq
   std::uint64_t next_seq_ AMRI_GUARDED_BY(mu_) = 0;

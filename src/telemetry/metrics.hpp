@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/lock_ranks.gen.hpp"
 #include "common/thread_annotations.hpp"
 
 namespace amri::telemetry {
@@ -86,8 +87,8 @@ class Histogram {
   void reset() AMRI_EXCLUDES(mu_);
 
  private:
-  std::vector<double> bounds_;  ///< ascending upper bounds, immutable
-  mutable Mutex mu_;
+  const std::vector<double> bounds_;  ///< ascending upper bounds
+  mutable Mutex mu_{lockrank::kHistogramMu};
   std::vector<std::uint64_t> buckets_
       AMRI_GUARDED_BY(mu_);  ///< bounds_.size() + 1 entries
   std::uint64_t count_ AMRI_GUARDED_BY(mu_) = 0;
@@ -134,7 +135,7 @@ class MetricsRegistry {
   void clear() AMRI_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kMetricsRegistryMu};
   std::map<std::string, Counter, std::less<>> counters_ AMRI_GUARDED_BY(mu_);
   std::map<std::string, Gauge, std::less<>> gauges_ AMRI_GUARDED_BY(mu_);
   std::map<std::string, Histogram, std::less<>> histograms_

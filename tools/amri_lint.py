@@ -28,8 +28,16 @@ AMRI006  metric handles are resolved once, at setup: creating registry
          the resolve-once nullable-handle contract. Read-only `find_*`
          accessors are exempt (post-run reporting).
 
+AMRI007  waiver hygiene: every `allow(AMRI00N)` must suppress at least one
+         finding on its line, and must name a rule this tool knows. A
+         waiver that suppresses nothing is stale — the offending code was
+         fixed or moved — and silently re-arms the day the pattern comes
+         back, so it is an error, not a warning.
+
 A finding can be waived in place with `// amri-lint: allow(AMRI00N)` on the
-offending line.
+offending line. Waivers naming AMRI1xx rules belong to the AST-grounded
+checker (tools/amri_ast_lint.py, same comment syntax) and are neither
+honoured nor policed here.
 
 Usage:  amri_lint.py [paths...]      (default: src/ next to this script)
 Exit:   0 clean, 1 findings, 2 usage error.
@@ -71,6 +79,12 @@ PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once", re.MULTILINE)
 INCLUDE_GUARD_RE = re.compile(r"^\s*#\s*ifndef\s+\w+\s*\n\s*#\s*define\s+\w+",
                               re.MULTILINE)
 WAIVER_RE = re.compile(r"amri-lint:\s*allow\(([A-Z0-9, ]+)\)")
+# This tool owns the AMRI0xx namespace; AMRI1xx waivers belong to
+# amri_ast_lint.py and pass through untouched.
+OUR_WAIVER_RULE_RE = re.compile(r"^AMRI0\d\d$")
+FOREIGN_WAIVER_RULE_RE = re.compile(r"^AMRI1\d\d$")
+WAIVABLE_RULES = {"AMRI000", "AMRI001", "AMRI002", "AMRI003", "AMRI004",
+                  "AMRI005", "AMRI006", "AMRI007"}
 # Creating registry lookups: `reg.counter(`, `metrics().gauge(`,
 # `metrics_.histogram(`, `registry().counter(` and the usual local-alias
 # spellings. find_counter/find_gauge/find_histogram are read-only and
@@ -218,13 +232,23 @@ def lint_text(path: pathlib.Path, text: str,
     for idx, line in enumerate(raw_lines, start=1):
         m = WAIVER_RE.search(line)
         if m:
-            waivers[idx] = {r.strip() for r in m.group(1).split(",")}
+            rules = {r.strip() for r in m.group(1).split(",")}
+            ours = {r for r in rules
+                    if not FOREIGN_WAIVER_RULE_RE.match(r)}
+            if ours:
+                waivers[idx] = ours
 
     code = strip_comments_and_strings(text)
     code_lines = code.splitlines()
+    used_waivers: set[tuple[int, str]] = set()
 
     def add(line_no: int, rule: str, message: str) -> None:
-        if rule in waivers.get(line_no, ()) or is_exempt(rule, path):
+        # Exemption wins before the waiver is consulted: a waiver in an
+        # exempt file suppresses nothing and must show up as stale.
+        if is_exempt(rule, path):
+            return
+        if rule in waivers.get(line_no, ()):
+            used_waivers.add((line_no, rule))
             return
         findings.append(Finding(path, line_no, rule, message))
 
@@ -267,6 +291,17 @@ def lint_text(path: pathlib.Path, text: str,
             add(1, "AMRI004",
                 "header lacks `#pragma once` (or an include guard) in its "
                 "first 30 lines")
+
+    for line_no in sorted(waivers):
+        for rule in sorted(waivers[line_no]):
+            if rule not in WAIVABLE_RULES:
+                add(line_no, "AMRI007",
+                    f"waiver names unknown rule {rule} (known: "
+                    f"{', '.join(sorted(WAIVABLE_RULES))})")
+            elif (line_no, rule) not in used_waivers:
+                add(line_no, "AMRI007",
+                    f"stale waiver: allow({rule}) suppresses nothing on "
+                    "this line")
 
     return findings
 

@@ -10,8 +10,14 @@ Without clang-tidy on PATH the script reports SKIP and exits 0 so that
 developer machines without an LLVM toolchain aren't blocked; CI passes
 --strict, which turns a missing tool into a failure.
 
+With --changed-only [BASE] only translation units affected by the git diff
+against BASE (default: HEAD) are linted: a changed .cpp selects itself, a
+changed header selects every TU whose text includes it (by basename, then
+verified against the include path). An empty diff is a clean exit.
+
 Usage:
-  tools/run_clang_tidy.py [--build-dir build] [--jobs N] [--strict] [paths...]
+  tools/run_clang_tidy.py [--build-dir build] [--jobs N] [--strict]
+                          [--changed-only [BASE]] [paths...]
 """
 
 from __future__ import annotations
@@ -20,12 +26,15 @@ import argparse
 import concurrent.futures
 import json
 import pathlib
+import re
 import shutil
 import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 CXX_SUFFIXES = {".cpp", ".cc", ".cxx"}
+HEADER_SUFFIXES = {".hpp", ".h"}
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]', re.MULTILINE)
 TIDY_CANDIDATES = (
     "clang-tidy",
     "clang-tidy-19",
@@ -74,6 +83,67 @@ def translation_units(cc_path: pathlib.Path,
     return sorted(out)
 
 
+def changed_files(base: str) -> list[pathlib.Path]:
+    """Worktree files that differ from `base` (committed, staged, or
+    unstaged; untracked files are not diffed)."""
+    proc = subprocess.run(
+        ["git", "-C", str(REPO_ROOT), "diff", "--name-only", base, "--"],
+        capture_output=True, text=True, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError(proc.stderr.strip()
+                           or f"git diff {base} failed")
+    return [(REPO_ROOT / line).resolve()
+            for line in proc.stdout.splitlines() if line]
+
+
+def _included_names(text: str) -> set[str]:
+    return {pathlib.PurePosixPath(inc).name
+            for inc in INCLUDE_RE.findall(text)}
+
+
+def affected_tus(tus: list[pathlib.Path],
+                 changed: list[pathlib.Path]) -> list[pathlib.Path]:
+    """TUs touched by the diff: a changed TU selects itself; a changed
+    header selects (transitively, via textual #include matching by
+    basename) every TU that pulls it in. Basename matching over-selects on
+    name collisions, which only costs extra lint time."""
+    changed_set = set(changed)
+    affected_names = {p.name for p in changed_set
+                      if p.suffix in HEADER_SUFFIXES}
+    if affected_names:
+        texts: dict[pathlib.Path, set[str]] = {}
+        for p in sorted(REPO_ROOT.rglob("*")):
+            rel_top = p.relative_to(REPO_ROOT).parts[0]
+            if rel_top.startswith(("build", ".")) or \
+                    p.suffix not in HEADER_SUFFIXES:
+                continue
+            try:
+                texts[p] = _included_names(p.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError):
+                continue
+        grew = True
+        while grew:
+            grew = False
+            for p, incs in texts.items():
+                if p.name not in affected_names and incs & affected_names:
+                    affected_names.add(p.name)
+                    grew = True
+    out = []
+    for tu in tus:
+        if tu in changed_set:
+            out.append(tu)
+            continue
+        if not affected_names:
+            continue
+        try:
+            incs = _included_names(tu.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError):
+            continue
+        if incs & affected_names:
+            out.append(tu)
+    return out
+
+
 def run_one(tidy: str, cc_dir: pathlib.Path,
             tu: pathlib.Path) -> tuple[pathlib.Path, int, str]:
     proc = subprocess.run(
@@ -95,6 +165,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="fail (exit 3) instead of SKIP when clang-tidy "
                              "or the compilation database is missing")
+    parser.add_argument("--changed-only", nargs="?", const="HEAD",
+                        default=None, metavar="BASE",
+                        help="lint only TUs affected by the git diff "
+                             "against BASE (default HEAD): changed TUs plus "
+                             "TUs that transitively include a changed "
+                             "header")
     args = parser.parse_args(argv)
 
     tidy = find_clang_tidy()
@@ -115,6 +191,18 @@ def main(argv: list[str] | None = None) -> int:
     if not tus:
         print("run_clang_tidy: no translation units matched", file=sys.stderr)
         return 2
+
+    if args.changed_only is not None:
+        try:
+            changed = changed_files(args.changed_only)
+        except RuntimeError as err:
+            print(f"run_clang_tidy: {err}", file=sys.stderr)
+            return 2
+        tus = affected_tus(tus, changed)
+        if not tus:
+            print("run_clang_tidy: no TUs affected by diff against "
+                  f"{args.changed_only}", file=sys.stderr)
+            return 0
 
     jobs = args.jobs or None  # None => ProcessPoolExecutor default (ncpu)
     failed = 0

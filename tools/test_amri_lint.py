@@ -220,7 +220,8 @@ class MetricLookupRuleTest(unittest.TestCase):
 
 class WaiverTest(unittest.TestCase):
     def test_multi_rule_waiver(self):
-        snippet = "auto* p = new Foo(); // amri-lint: allow(AMRI002, AMRI005)"
+        snippet = ('printf("%p", new Foo());  '
+                   "// amri-lint: allow(AMRI002, AMRI005)")
         self.assertEqual(rules_of(lint(snippet)), [])
 
     def test_waiver_only_applies_to_its_line(self):
@@ -229,6 +230,49 @@ class WaiverTest(unittest.TestCase):
         findings = lint(snippet)
         self.assertEqual(rules_of(findings), ["AMRI002"])
         self.assertEqual(findings[0].line, 2)
+
+
+class StaleWaiverTest(unittest.TestCase):
+    """AMRI007: waivers must suppress something on their line."""
+
+    def test_used_waiver_not_flagged(self):
+        snippet = "delete p;  // amri-lint: allow(AMRI002)"
+        self.assertEqual(rules_of(lint(snippet)), [])
+
+    def test_stale_waiver_flagged(self):
+        snippet = "int x = 1;  // amri-lint: allow(AMRI002)"
+        findings = lint(snippet)
+        self.assertEqual(rules_of(findings), ["AMRI007"])
+        self.assertIn("stale waiver", findings[0].message)
+        self.assertEqual(findings[0].line, 1)
+
+    def test_partially_stale_multi_rule_waiver(self):
+        snippet = "delete p;  // amri-lint: allow(AMRI002, AMRI005)"
+        findings = lint(snippet)
+        self.assertEqual(rules_of(findings), ["AMRI007"])
+        self.assertIn("AMRI005", findings[0].message)
+
+    def test_unknown_rule_flagged(self):
+        snippet = "delete p;  // amri-lint: allow(AMRI099)"
+        findings = lint(snippet)
+        self.assertEqual(set(rules_of(findings)), {"AMRI002", "AMRI007"})
+        messages = " ".join(f.message for f in findings)
+        self.assertIn("unknown rule AMRI099", messages)
+
+    def test_ast_namespace_waivers_pass_through(self):
+        # AMRI1xx waivers belong to amri_ast_lint.py: not honoured, not
+        # policed.
+        snippet = "int x = 1;  // amri-lint: allow(AMRI102)"
+        self.assertEqual(rules_of(lint(snippet)), [])
+
+    def test_waiver_in_exempt_file_is_stale(self):
+        # The per-file exemption already suppresses the rule, so the waiver
+        # does nothing and must be reported.
+        findings = lint("#pragma once\n"
+                        "auto* p = new char[n];  "
+                        "// amri-lint: allow(AMRI002)\n",
+                        path="src/common/memory_tracker.hpp")
+        self.assertEqual(rules_of(findings), ["AMRI007"])
 
 
 if __name__ == "__main__":
