@@ -7,12 +7,16 @@
 //               WHERE S.region = G.region WINDOW 20' sim_seconds=60
 //
 // Knobs (key=value): sim_seconds, rate, seed, backend=amri|bitmap|modules|
-// scan, bits, epsilon, theta, shards, batch_size, decision_reuse.
+// scan, bits, epsilon, theta, shards, batch_size, decision_reuse, engine.
 // `--shards N` partitions each state's window and index into N parallel
 // shards (bit-address backends). `--batch-size N` moves up to N arrivals
 // through the pipeline together (vectorized probe path). `--decision-reuse
 // N` reuses one routing decision per done-mask N times (deprecated alias:
-// `--routing-batch-size`). `--trace-out run.jsonl` attaches telemetry and
+// `--routing-batch-size`). `--engine virtual|wall` picks the cost-metered
+// pipeline (default) or the wall-clock hot path (cross-run batching,
+// prefetching probes, drain/route overlap); `--wall-overlap 0` and
+// `--probe-prefetch 0` disable the wall-mode optimisations individually.
+// `--trace-out run.jsonl` attaches telemetry and
 // writes the full run trace (events + final metrics) as JSON lines.
 // `--trace-sample N` additionally traces every Nth arrival end-to-end as
 // span events; `--profile` turns on the wall-clock phase profiler and
@@ -117,6 +121,15 @@ int main(int argc, char** argv) {
   opts.stem.amri_tuner = topts;
   opts.stem.shards = std::max<std::size_t>(cfg.size_or("shards", 1), 1);
   opts.batch_size = std::max<std::size_t>(cfg.size_or("batch_size", 1), 1);
+  const std::string engine_name = cfg.string_or("engine", "virtual");
+  if (engine_name == "wall") {
+    opts.engine = engine::EngineMode::kWall;
+  } else if (engine_name != "virtual") {
+    std::cerr << "unknown engine '" << engine_name << "' (virtual|wall)\n";
+    return 1;
+  }
+  opts.wall_overlap = cfg.bool_or("wall_overlap", true);
+  opts.wall_probe_prefetch = cfg.bool_or("probe_prefetch", true);
   // `routing_batch_size` is the knob's pre-rename name, kept as a
   // deprecated alias; `decision_reuse` wins when both are given.
   opts.eddy.decision_reuse = std::max<std::size_t>(

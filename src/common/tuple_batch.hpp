@@ -12,11 +12,41 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/tuple.hpp"
 
 namespace amri {
+
+/// Per-root sequence horizon for wall-mode cross-run batching: maps each
+/// stored tuple of the batch being routed to its batch index. The router
+/// skips any probe match whose batch index is >= the probing partial's root
+/// index, so root i sees exactly the window state sequential execution
+/// would have shown it (earlier arrivals j < i inserted, later ones not
+/// yet) even though the whole mixed-stream batch was inserted up front and
+/// routed as one partition. This replaces same-stream run splitting
+/// (run_end below) in wall mode: mixed-stream arrivals still form one
+/// large routed partition instead of many tiny per-stream runs.
+struct BatchVisibility {
+  std::unordered_map<const Tuple*, std::uint32_t> order;
+
+  /// Rebuild the map from the batch's stored-tuple pointers (batch order).
+  void assign(const Tuple* const* stored, std::size_t n) {
+    order.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      order.emplace(stored[i], static_cast<std::uint32_t>(i));
+    }
+  }
+
+  /// May the partial rooted at batch index `root` see match `m`? True for
+  /// every tuple outside the current batch (earlier batches, fully
+  /// inserted) and for batch members that arrived before the root.
+  bool visible_to(const Tuple* m, std::size_t root) const {
+    const auto it = order.find(m);
+    return it == order.end() || it->second < root;
+  }
+};
 
 struct TupleBatch {
   std::vector<Tuple> tuples;       ///< contiguous arrival slots

@@ -206,7 +206,8 @@ std::uint64_t EddyRouter::route(const Tuple* stored,
 std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
                                       const std::uint32_t* done, std::size_t n,
                                       std::vector<JoinResult>* sink,
-                                      std::size_t span_root) {
+                                      std::size_t span_root,
+                                      const BatchVisibility* visibility) {
   if (n == 0) return 0;
   // Single-arrival batches delegate; route() picks the active span up
   // directly, so span_root 0 still traces.
@@ -404,17 +405,28 @@ std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
                          std::move(w).take());
       }
 
-      const Selection& visibility = query_.selection(target);
+      const Selection& selection = query_.selection(target);
       for (std::size_t j = 0; j < part.size(); ++j) {
         const BatchPartial& p = frontier[part[j]];
         std::vector<const Tuple*>& matches = batch_outs_[j];
         stats_.record(target, ap,
                       static_cast<double>(batch_stats_[j].matches),
                       static_cast<double>(batch_stats_[j].tuples_compared));
-        if (!visibility.empty()) {
+        if (visibility != nullptr) {
+          // Wall-mode sequence horizon: drop matches that are batch
+          // members the partial's root must not see yet (they arrived
+          // later in this batch). Uncharged — the comparisons themselves
+          // were already performed and charged by the probe above.
           std::size_t kept = 0;
           for (const Tuple* m : matches) {
-            if (visibility.matches(*m, meter_)) matches[kept++] = m;
+            if (visibility->visible_to(m, p.root)) matches[kept++] = m;
+          }
+          matches.resize(kept);
+        }
+        if (!selection.empty()) {
+          std::size_t kept = 0;
+          for (const Tuple* m : matches) {
+            if (selection.matches(*m, meter_)) matches[kept++] = m;
           }
           matches.resize(kept);
         }

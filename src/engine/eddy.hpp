@@ -17,6 +17,7 @@
 
 #include "common/cost_meter.hpp"
 #include "common/small_vector.hpp"
+#include "common/tuple_batch.hpp"
 #include "engine/query.hpp"
 #include "engine/routing_policy.hpp"
 #include "engine/stem.hpp"
@@ -86,10 +87,19 @@ class EddyRouter {
   /// partials belong to the telemetry's active trace span: partitions
   /// touching that arrival emit "hop" span events (and "truncate" if its
   /// valve trips).
+  /// `visibility` (wall-mode cross-run batching) lifts the same-stream
+  /// requirement: when set, the whole mixed-stream batch may be inserted
+  /// up front and routed as one call — probe matches that are batch
+  /// members with index >= the partial's root are skipped, reproducing the
+  /// window state each root would have seen under sequential execution.
+  /// The skipped comparisons were still performed (and charged), so wall
+  /// mode trades extra modelled probe work for large partitions; join
+  /// results are identical. Null keeps the same-stream contract.
   std::uint64_t route_batch(const Tuple* const* stored,
                             const std::uint32_t* done, std::size_t n,
                             std::vector<JoinResult>* sink = nullptr,
-                            std::size_t span_root = kNoSpanRoot);
+                            std::size_t span_root = kNoSpanRoot,
+                            const BatchVisibility* visibility = nullptr);
 
   RoutingStatistics& statistics() { return stats_; }
   const RoutingStatistics& statistics() const { return stats_; }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <thread>
 #include <deque>
 
 #include "common/tuple_batch.hpp"
@@ -21,6 +22,19 @@ Executor::Executor(const QuerySpec& query, ExecutorOptions options)
   if (options_.stem.shards > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.fanout_threads);
     options_.stem.pool = pool_.get();
+  }
+  if (options_.engine == EngineMode::kWall) {
+    if (options_.wall_probe_prefetch) options_.stem.probe_prefetch = true;
+    // Trace spans are emitted inline on the drain path, so sampling keeps
+    // the drain on the driver thread (overlap off). A single-core host
+    // gets no overlap either: the worker would just timeshare the driver's
+    // core, paying context switches for zero concurrency.
+    const bool cores_for_overlap =
+        options_.wall_overlap_force || std::thread::hardware_concurrency() > 1;
+    if (options_.wall_overlap && options_.trace_sample == 0 &&
+        cores_for_overlap) {
+      overlap_pool_ = std::make_unique<ThreadPool>(1);
+    }
   }
   stems_.reserve(query_.num_streams());
   std::vector<StemOperator*> stem_ptrs;
@@ -97,7 +111,6 @@ RunResult Executor::run(TupleSource& source) {
   const TimeMicros measure_end = options_.warmup + options_.duration;
   telemetry::Telemetry* const tel = options_.telemetry;
   const auto run_wall_t0 = std::chrono::steady_clock::now();
-  constexpr std::size_t kNoSpanIndex = static_cast<std::size_t>(-1);
 
   // Span sampling: every trace_sample-th drained arrival gets a span id
   // that downstream producers (eddy hops, sharded fan-out) pick up via
@@ -121,6 +134,32 @@ RunResult Executor::run(TupleSource& source) {
   TupleBatch batch;                   // batched-drain arenas; capacity
   std::vector<const Tuple*> stored_run;  // persists across batches
   std::vector<JoinResult> batch_sink;
+  // A sampled arrival awaiting its batch's routing: its span was begun (and
+  // the "arrival" stage emitted) at drain time, then suspended. Every
+  // sampled arrival of a batch is tracked — the batched and tuple-at-a-time
+  // paths trace the same Nth drained arrivals.
+  struct PendingSpan {
+    std::size_t index = 0;  ///< arrival's index within the batch
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point start{};
+  };
+  std::vector<PendingSpan> batch_spans;
+  // Wall-mode arenas: batch-order stored pointers and the sequence horizon
+  // handed to route_batch, plus the overlap double buffer the worker
+  // thread drains into while the driver routes. The worker only ever runs
+  // between its submit and the wait_idle at the end of the same iteration;
+  // the driver does not touch `pending` or `prefetched` in that window, so
+  // ownership alternates with pool-mutex synchronisation in between.
+  std::vector<const Tuple*> wall_stored;
+  BatchVisibility wall_visibility;
+  struct PrefetchedBatch {
+    TupleBatch batch;
+    CostMeter meter;  ///< detached — counts the worker's WHERE comparisons
+    std::uint64_t filtered = 0;
+    double drain_wall_us = 0.0;
+  };
+  PrefetchedBatch prefetched;
+  bool have_prefetched = false;
   std::optional<Tuple> lookahead = source.next();
   bool warmup_done = (options_.warmup == 0);
   std::uint64_t outputs_total = 0;
@@ -214,6 +253,49 @@ RunResult Executor::run(TupleSource& source) {
     take_sample(warmup_end);  // measurement-start baseline (t = 0)
   };
 
+  // Drain up to `want` backlog arrivals into `batch`: WHERE selection is
+  // applied (filtered arrivals are counted and, if sampled, traced), and
+  // every sampled surviving arrival records a PendingSpan so its span can
+  // resume when the batch routes. Shared by the batched virtual path and
+  // the wall path.
+  auto drain_batch = [&](std::size_t want) {
+    for (std::size_t i = 0; i < want; ++i) {
+      const Tuple arrival = pending.front();
+      pending.pop_front();
+      const bool sampled =
+          trace_sample != 0 && (++drained_arrivals % trace_sample) == 0;
+      if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
+        ++result.arrivals_filtered;
+        if (sampled) {
+          const std::uint64_t id = tel->begin_span();
+          emit_span_stage(id, arrival.stream, "arrival",
+                          [&](telemetry::JsonWriter& w) {
+                            w.field("backlog", static_cast<std::uint64_t>(
+                                                   pending.size()));
+                          });
+          emit_span_stage(id, arrival.stream, "filtered", no_extra);
+          tel->end_span();
+        }
+        continue;
+      }
+      if (sampled) {
+        PendingSpan ps;
+        ps.index = batch.size();
+        ps.id = tel->begin_span();
+        ps.start = std::chrono::steady_clock::now();
+        emit_span_stage(ps.id, arrival.stream, "arrival",
+                        [&](telemetry::JsonWriter& w) {
+                          w.field("backlog",
+                                  static_cast<std::uint64_t>(pending.size()));
+                        });
+        tel->end_span();  // suspended until the owning batch routes
+        batch_spans.push_back(ps);
+      }
+      batch.push(arrival);
+    }
+    sync_queue_memory(pending.size());
+  };
+
   while (clock_.now() < measure_end) {
     {
       telemetry::ScopedPhase drain_scope(profiler_, telemetry::Phase::kDrain);
@@ -226,7 +308,7 @@ RunResult Executor::run(TupleSource& source) {
       check_backpressure();
       if (memory_.exhausted()) break;
 
-      if (pending.empty()) {
+      if (pending.empty() && !have_prefetched) {
         if (!lookahead.has_value()) break;  // source exhausted, system idle
         if (lookahead->ts >= measure_end) {
           clock_.advance_to(measure_end);
@@ -237,54 +319,176 @@ RunResult Executor::run(TupleSource& source) {
       }
     }
 
+    // Wall-clock engine (post-warm-up only, so the warm-up boundary below
+    // stays on the tuple-at-a-time path): adopt the worker-drained batch or
+    // drain inline, insert the whole mixed-stream batch up front, route it
+    // as ONE partition under the per-root sequence horizon, and overlap the
+    // next drain with the routing.
+    if (options_.engine == EngineMode::kWall && warmup_done) {
+      const std::size_t batch_cap =
+          std::max<std::size_t>(options_.batch_size, 1);
+      batch.clear();
+      batch_spans.clear();
+      if (have_prefetched) {
+        // Adopt: merge the worker's WHERE-selection charges (counted on a
+        // detached meter) and filtered total, and attribute its drain wall
+        // time as off-thread overlap.
+        std::swap(batch, prefetched.batch);
+        have_prefetched = false;
+        if (prefetched.meter.compares() > 0) {
+          meter_.charge_compare(prefetched.meter.compares());
+        }
+        result.arrivals_filtered += prefetched.filtered;
+        if (profiler_ != nullptr && prefetched.drain_wall_us > 0.0) {
+          profiler_->record_offthread(telemetry::Phase::kDrain,
+                                      prefetched.drain_wall_us);
+        }
+        sync_queue_memory(pending.size());
+      } else {
+        telemetry::ScopedPhase drain_scope(profiler_,
+                                           telemetry::Phase::kDrain);
+        drain_batch(std::min(batch_cap, pending.size()));
+      }
+      if (batch.empty()) continue;  // whole drain was filtered out
+
+      {
+        telemetry::ScopedPhase expiry_scope(profiler_,
+                                            telemetry::Phase::kExpiry);
+        for (auto& stem : stems_) stem->expire(clock_.now());
+      }
+
+      // Insert the whole batch, run by run (per-stream arrival order is
+      // preserved — each STeM holds one stream, and runs appear in batch
+      // order), collecting batch-order stored pointers for the horizon.
+      wall_stored.resize(batch.size());
+      {
+        telemetry::ScopedPhase insert_scope(profiler_,
+                                            telemetry::Phase::kInsert);
+        for (std::size_t a = 0; a < batch.size();) {
+          const std::size_t b = batch.run_end(a);
+          stored_run.clear();
+          stems_[batch.tuples[a].stream]->insert_batch(
+              batch.tuples.data() + a, b - a, stored_run);
+          std::copy(stored_run.begin(), stored_run.end(),
+                    wall_stored.begin() + static_cast<std::ptrdiff_t>(a));
+          a = b;
+        }
+      }
+      wall_visibility.assign(wall_stored.data(), batch.size());
+
+      const bool batch_has_span = !batch_spans.empty();
+      if (batch_has_span) {
+        tel->resume_span(batch_spans.front().id);
+        for (const PendingSpan& ps : batch_spans) {
+          emit_span_stage(ps.id, batch.tuples[ps.index].stream, "insert",
+                          [&](telemetry::JsonWriter& w) {
+                            w.field("batch", static_cast<std::uint64_t>(
+                                                 batch.size()));
+                          });
+        }
+      }
+
+      // Kick the overlap worker: it pops and WHERE-filters the NEXT batch
+      // from the backlog while the driver routes this one. The backlog
+      // only ever holds due arrivals, so the worker needs no clock view;
+      // its selection comparisons go to the detached local meter. The
+      // driver does not touch `pending` or `prefetched` again until the
+      // wait_idle below.
+      bool worker_outstanding = false;
+      if (overlap_pool_ != nullptr && !pending.empty()) {
+        prefetched.batch.clear();
+        prefetched.filtered = 0;
+        prefetched.meter.reset_counts();
+        prefetched.drain_wall_us = 0.0;
+        const std::size_t want = std::min(batch_cap, pending.size());
+        overlap_pool_->submit([this, &pending, &prefetched, want] {
+          const auto t0 = std::chrono::steady_clock::now();
+          for (std::size_t i = 0; i < want; ++i) {
+            const Tuple arrival = pending.front();
+            pending.pop_front();
+            if (!query_.selection(arrival.stream)
+                     .matches(arrival, &prefetched.meter)) {
+              ++prefetched.filtered;
+              continue;
+            }
+            prefetched.batch.push(arrival);
+          }
+          prefetched.drain_wall_us =
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+        });
+        worker_outstanding = true;
+      }
+
+      const bool want_rows = options_.collect_rows &&
+                             result.rows.size() < options_.max_collected_rows;
+      const bool want_sink = want_rows || options_.on_result != nullptr;
+      batch_sink.clear();
+      std::uint64_t produced = 0;
+      {
+        telemetry::ScopedPhase route_scope(profiler_,
+                                           telemetry::Phase::kRoute);
+        produced = eddy_->route_batch(
+            wall_stored.data(), batch.done.data(), batch.size(),
+            want_sink ? &batch_sink : nullptr,
+            batch_has_span ? batch_spans.front().index
+                           : EddyRouter::kNoSpanRoot,
+            &wall_visibility);
+        for (const JoinResult& jr : batch_sink) {
+          if (options_.on_result) options_.on_result(jr);
+          if (want_rows && result.rows.size() < options_.max_collected_rows) {
+            result.rows.push_back(query_.projection().apply(jr.members));
+          }
+        }
+      }
+      outputs_total += produced;
+      if (batch_has_span) {
+        for (const PendingSpan& ps : batch_spans) {
+          const auto latency_ns =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - ps.start)
+                  .count();
+          emit_span_stage(ps.id, batch.tuples[ps.index].stream, "done",
+                          [&](telemetry::JsonWriter& w) {
+                            w.field("latency_ns",
+                                    static_cast<std::uint64_t>(latency_ns));
+                            w.field("run_results", produced);
+                            w.field("batched", true);
+                          });
+          span_latency_hist_->observe(static_cast<double>(latency_ns) /
+                                      1000.0);
+        }
+        tel->end_span();
+      }
+      arrivals_measured += batch.size();
+
+      if (worker_outstanding) {
+        telemetry::ScopedPhase wait_scope(profiler_,
+                                          telemetry::Phase::kOverlapWait);
+        overlap_pool_->wait_idle();
+        have_prefetched = true;
+      }
+
+      if (memory_.exhausted()) break;
+      while (clock_.now() >= next_sample && next_sample <= measure_end) {
+        take_sample(next_sample);
+        next_sample += options_.sample_every;
+      }
+      continue;
+    }
+
     // Batched drain (post-warm-up only, so the warm-up boundary below is
     // always hit on the tuple-at-a-time path): pull up to batch_size ready
     // arrivals, expire every window once, then batch-insert and
     // batch-route each consecutive same-stream run.
     if (options_.batch_size > 1 && warmup_done) {
-      const std::size_t want = std::min(options_.batch_size, pending.size());
       batch.clear();
-      // Index (within `batch`) of the sampled tuple, if this drain hit one;
-      // its span is suspended until the run containing it routes.
-      std::size_t span_index = kNoSpanIndex;
-      std::uint64_t span_id = 0;
-      std::chrono::steady_clock::time_point span_start{};
+      batch_spans.clear();
       {
         telemetry::ScopedPhase drain_scope(profiler_,
                                            telemetry::Phase::kDrain);
-        for (std::size_t i = 0; i < want; ++i) {
-          const Tuple arrival = pending.front();
-          pending.pop_front();
-          const bool sampled =
-              trace_sample != 0 && (++drained_arrivals % trace_sample) == 0;
-          if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
-            ++result.arrivals_filtered;
-            if (sampled) {
-              const std::uint64_t id = tel->begin_span();
-              emit_span_stage(id, arrival.stream, "arrival",
-                              [&](telemetry::JsonWriter& w) {
-                                w.field("backlog", static_cast<std::uint64_t>(
-                                                       pending.size()));
-                              });
-              emit_span_stage(id, arrival.stream, "filtered", no_extra);
-              tel->end_span();
-            }
-            continue;
-          }
-          if (sampled && span_index == kNoSpanIndex) {
-            span_index = batch.size();
-            span_id = tel->begin_span();
-            span_start = std::chrono::steady_clock::now();
-            emit_span_stage(span_id, arrival.stream, "arrival",
-                            [&](telemetry::JsonWriter& w) {
-                              w.field("backlog", static_cast<std::uint64_t>(
-                                                     pending.size()));
-                            });
-            tel->end_span();  // suspended until the owning run routes
-          }
-          batch.push(arrival);
-        }
-        sync_queue_memory(pending.size());
+        drain_batch(std::min(options_.batch_size, pending.size()));
       }
       if (batch.empty()) continue;  // whole drain was filtered out
 
@@ -300,21 +504,30 @@ RunResult Executor::run(TupleSource& source) {
       {
         telemetry::ScopedPhase route_scope(profiler_,
                                            telemetry::Phase::kRoute);
+        // Spans are listed in batch-index order; walk them run by run.
+        std::size_t span_cursor = 0;
         for (std::size_t a = 0; a < batch.size();) {
           const std::size_t b = batch.run_end(a);
           const StreamId s = batch.tuples[a].stream;
           stored_run.clear();
-          const bool run_has_span =
-              span_index != kNoSpanIndex && span_index >= a && span_index < b;
-          if (run_has_span) tel->resume_span(span_id);
+          const std::size_t span_lo = span_cursor;
+          while (span_cursor < batch_spans.size() &&
+                 batch_spans[span_cursor].index < b) {
+            ++span_cursor;
+          }
+          const bool run_has_span = span_lo < span_cursor;
+          // The eddy attaches hop events to one active span per call; the
+          // run's first sampled arrival carries it. Every sampled arrival
+          // still gets its own insert/done stages and latency observation.
+          if (run_has_span) tel->resume_span(batch_spans[span_lo].id);
           {
             telemetry::ScopedPhase insert_scope(profiler_,
                                                 telemetry::Phase::kInsert);
             stems_[s]->insert_batch(batch.tuples.data() + a, b - a,
                                     stored_run);
           }
-          if (run_has_span) {
-            emit_span_stage(span_id, s, "insert",
+          for (std::size_t k = span_lo; k < span_cursor; ++k) {
+            emit_span_stage(batch_spans[k].id, s, "insert",
                             [&](telemetry::JsonWriter& w) {
                               w.field("batch",
                                       static_cast<std::uint64_t>(b - a));
@@ -323,15 +536,16 @@ RunResult Executor::run(TupleSource& source) {
           const std::uint64_t produced = eddy_->route_batch(
               stored_run.data(), batch.done.data() + a, b - a,
               want_sink ? &batch_sink : nullptr,
-              run_has_span ? span_index - a : EddyRouter::kNoSpanRoot);
+              run_has_span ? batch_spans[span_lo].index - a
+                           : EddyRouter::kNoSpanRoot);
           outputs_total += produced;
-          if (run_has_span) {
+          for (std::size_t k = span_lo; k < span_cursor; ++k) {
             const auto latency =
-                std::chrono::steady_clock::now() - span_start;
+                std::chrono::steady_clock::now() - batch_spans[k].start;
             const auto latency_ns =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(latency)
                     .count();
-            emit_span_stage(span_id, s, "done",
+            emit_span_stage(batch_spans[k].id, s, "done",
                             [&](telemetry::JsonWriter& w) {
                               w.field("latency_ns", static_cast<std::uint64_t>(
                                                         latency_ns));
@@ -340,8 +554,8 @@ RunResult Executor::run(TupleSource& source) {
                             });
             span_latency_hist_->observe(static_cast<double>(latency_ns) /
                                         1000.0);
-            tel->end_span();
           }
+          if (run_has_span) tel->end_span();
           a = b;
         }
         for (const JoinResult& jr : batch_sink) {
@@ -467,6 +681,12 @@ RunResult Executor::run(TupleSource& source) {
   result.outputs = outputs_total - outputs_offset;
   result.arrivals = arrivals_measured;
   result.arrivals_dropped = pending.size();
+  if (have_prefetched) {
+    // Wall overlap: the worker had already popped these arrivals off the
+    // backlog when the run ended; they were never routed (their selection
+    // charges were never merged either), so they count as dropped.
+    result.arrivals_dropped += prefetched.batch.size() + prefetched.filtered;
+  }
   result.peak_memory = memory_.peak();
   result.charged_us = meter_.charged_us();
   result.routing_decisions = meter_.routes();

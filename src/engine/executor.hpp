@@ -28,6 +28,23 @@
 
 namespace amri::engine {
 
+/// How the executor moves arrivals through the pipeline.
+enum class EngineMode : std::uint8_t {
+  /// Cost-metered virtual-clock execution (the paper's reproduction):
+  /// strictly phased drain → expiry → insert → route, bit-for-bit
+  /// deterministic for a given batch size.
+  kVirtual = 0,
+  /// Wall-clock mode: same modelled costs and virtual clock, but the hot
+  /// path is organised for hardware speed — whole mixed-stream batches are
+  /// inserted up front and routed as one partition under a per-root
+  /// sequence horizon (BatchVisibility), the grouped probe kernel runs
+  /// with software prefetch, and next-batch drain overlaps current-batch
+  /// routing on a worker thread. Join results match virtual mode exactly;
+  /// modelled probe-work counters may exceed it (the horizon filters
+  /// matches after the comparisons were charged).
+  kWall,
+};
+
 struct ExecutorOptions {
   TimeMicros duration = seconds_to_micros(60);  ///< measured run length
   TimeMicros warmup = 0;  ///< training prefix (paper: quasi training data)
@@ -73,6 +90,29 @@ struct ExecutorOptions {
   /// whose deadline falls inside a batch's virtual-time span survives a
   /// few probes longer (see docs/architecture.md, "Batched execution").
   std::size_t batch_size = 1;
+  /// Execution mode (`--engine`): kVirtual is the paper's cost-metered
+  /// pipeline; kWall reorganises the post-warm-up hot path for real
+  /// hardware throughput (cross-run batching, prefetching probe kernel,
+  /// drain/route overlap) while the virtual clock keeps governing arrival
+  /// eligibility, window expiry and run length. See docs/architecture.md,
+  /// "Wall-clock engine mode".
+  EngineMode engine = EngineMode::kVirtual;
+  /// Wall mode: overlap next-batch drain (backlog pop + WHERE selection)
+  /// with current-batch routing on a dedicated worker thread. Disabled
+  /// automatically when trace sampling is on (spans are emitted inline on
+  /// the drain path) and on single-core hosts, where a second runnable
+  /// thread only adds context switches and cache pollution to the one
+  /// core the driver needs.
+  bool wall_overlap = true;
+  /// Create the overlap worker even on a single-core host. For tests that
+  /// must exercise the concurrent drain/route handoff (TSan race hunting,
+  /// toggle differentials) regardless of where they run.
+  bool wall_overlap_force = false;
+  /// Wall mode: software prefetch in the index kernel — bucket-directory
+  /// slots ahead of the grouped probe / batched insert / batched expiry
+  /// walks, and matching tuples ahead of the compare loop (sets
+  /// StemOptions::probe_prefetch on every state).
+  bool wall_probe_prefetch = true;
 };
 
 class Executor {
@@ -104,6 +144,11 @@ class Executor {
   /// Shared fan-out pool, created only when the stems are sharded.
   /// Declared before stems_ so it outlives every probe path.
   std::unique_ptr<ThreadPool> pool_;
+  /// Single-thread pool for wall-mode drain/route overlap (double
+  /// buffering, not fan-out — deliberately separate from pool_ so overlap
+  /// drains never queue behind sharded probe fan-outs). Null unless
+  /// engine == kWall and overlap is enabled.
+  std::unique_ptr<ThreadPool> overlap_pool_;
   std::vector<std::unique_ptr<StemOperator>> stems_;
   std::unique_ptr<EddyRouter> eddy_;
   std::size_t tracked_queue_bytes_ = 0;

@@ -53,6 +53,7 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
             spos, options_.pool, meter_, memory_);
         sharded_index_ = idx.get();
         index_ = std::move(idx);
+        if (options_.probe_prefetch) sharded_index_->set_prefetch(true);
         // One assessor per shard, merged at tuning epochs so index
         // selection still sees the one logical request stream.
         shard_assessors_.reserve(options_.shards);
@@ -75,6 +76,7 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
             layout_.jas, std::move(ic), std::move(mapper), meter_, memory_);
         bit_index_ = idx.get();
         index_ = std::move(idx);
+        if (options_.probe_prefetch) bit_index_->set_prefetch(true);
         if (telemetry_ != nullptr) {
           bit_index_->bind_telemetry(
               telemetry_, "stem." + std::to_string(stream_) + ".index");
@@ -164,22 +166,44 @@ const Tuple* StemOperator::insert(const Tuple& t) {
 void StemOperator::insert_batch(const Tuple* arrivals, std::size_t n,
                                 std::vector<const Tuple*>& stored) {
   stored.reserve(stored.size() + n);
+  const std::size_t first = stored.size();
   for (std::size_t i = 0; i < n; ++i) {
     // deque::push_back never invalidates references to earlier elements,
     // so each stored pointer is stable for the rest of the batch.
     window_store_.push_back(arrivals[i]);
-    const Tuple* t = &window_store_.back();
-    index_->insert(t);
-    stored.push_back(t);
+    stored.push_back(&window_store_.back());
+  }
+  if (bit_index_ != nullptr) {
+    // Batched kernel: destination slots precomputed (and, in wall mode,
+    // prefetched) across the run. Equivalent to per-tuple insert().
+    bit_index_->insert_batch(stored.data() + first, n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) index_->insert(stored[first + i]);
   }
   sync_tuple_memory();
 }
 
 void StemOperator::expire(TimeMicros now) {
   const TimeMicros horizon = now - window_;
-  while (!window_store_.empty() && window_store_.front().ts < horizon) {
-    index_->erase(&window_store_.front());
-    window_store_.pop_front();
+  if (bit_index_ != nullptr) {
+    // The expiring run is the window's ts-ordered prefix; collecting it
+    // first lets the batched erase walk prefetch across tuples.
+    expiry_scratch_.clear();
+    for (const Tuple& t : window_store_) {
+      if (t.ts >= horizon) break;
+      expiry_scratch_.push_back(&t);
+    }
+    if (!expiry_scratch_.empty()) {
+      bit_index_->erase_batch(expiry_scratch_.data(), expiry_scratch_.size());
+      for (std::size_t i = 0; i < expiry_scratch_.size(); ++i) {
+        window_store_.pop_front();
+      }
+    }
+  } else {
+    while (!window_store_.empty() && window_store_.front().ts < horizon) {
+      index_->erase(&window_store_.front());
+      window_store_.pop_front();
+    }
   }
   sync_tuple_memory();
   AMRI_CHECK_INVARIANTS(*this);

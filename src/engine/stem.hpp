@@ -58,6 +58,10 @@ struct StemOptions {
   /// Fan-out pool for probes that leave the sharding attribute unbound
   /// (typically owned by the executor); null runs fan-outs serially.
   ThreadPool* pool = nullptr;
+  /// Bit-address backends: enable software prefetch of directory slots in
+  /// the grouped probe kernel (wall-mode executors turn this on). A pure
+  /// hardware hint — modelled costs and probe results are identical.
+  bool probe_prefetch = false;
 };
 
 class StemOperator {
@@ -200,6 +204,9 @@ class StemOperator {
   /// bypassed). Targeted probes are attributed to the target shard's
   /// assessor; fan-out probes round-robin deterministically.
   std::vector<std::unique_ptr<assessment::Assessor>> shard_assessors_;
+  /// Scratch for expire()'s batched erase (pointer run into window_store_);
+  /// a member so steady-state expiry never reallocates.
+  std::vector<const Tuple*> expiry_scratch_;
   std::uint64_t fanout_rr_ = 0;
   std::size_t tracked_stats_bytes_ = 0;
   bool continuous_tuning_ = false;

@@ -149,6 +149,77 @@ TEST(SpanTrace, BatchedPipelineTracesSampledTuple) {
   }
 }
 
+/// Per-span trace skeleton: the arrival's stream plus its stage sequence
+/// restricted to the stages both pipelines emit per sampled arrival.
+/// "hop" events are excluded by design — the eddy attaches them to one
+/// active span per routed run, so their placement is batch-shape-dependent.
+struct SpanSkeleton {
+  StreamId stream = 0;
+  std::vector<std::string> stages;
+  bool operator==(const SpanSkeleton& o) const {
+    return stream == o.stream && stages == o.stages;
+  }
+};
+
+std::vector<SpanSkeleton> span_skeletons(
+    const telemetry::Telemetry& telemetry) {
+  // Span ids are allocated in begin order == drain order, and the map is
+  // ordered, so iteration yields spans in the order arrivals were drained.
+  std::map<std::int64_t, SpanSkeleton> by_span;
+  for (const telemetry::Event& e : telemetry.events().snapshot()) {
+    if (e.kind != telemetry::EventKind::kSpan) continue;
+    const std::string stage = json_str(e.payload, "stage");
+    if (stage == "hop") continue;
+    SpanSkeleton& sk = by_span[json_int(e.payload, "span")];
+    sk.stream = e.stream;
+    sk.stages.push_back(stage);
+  }
+  std::vector<SpanSkeleton> out;
+  for (auto& [span, sk] : by_span) out.push_back(std::move(sk));
+  return out;
+}
+
+TEST(SpanTrace, BatchedAndUnbatchedTraceSameArrivals) {
+  // Regression: the batched drain used to keep only the *first* sampled
+  // arrival of each batch, so --batch-size 64 traced a different (sparser)
+  // arrival set than --batch-size 1. Both paths must now sample the same
+  // Nth drained arrivals and give each the same stage skeleton.
+  QuerySpec q = make_complete_join_query(2, seconds_to_micros(500));
+  // A WHERE filter on stream 0 so the "filtered" span shape is exercised
+  // too (values cycle i % 7; value 3 is rejected).
+  q.set_selection(0, Selection({FilterPredicate{0, CompareOp::kNe, 3}}));
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 240; ++i) {
+    tuples.push_back(mk(i % 2 == 0 ? 0 : 1, i + 1.0, {i % 7}));
+  }
+
+  auto run_with_batch = [&](std::size_t batch_size) {
+    telemetry::Telemetry telemetry;
+    ScriptedSource src(tuples);
+    ExecutorOptions o = traced_options(&telemetry, 3);
+    o.duration = seconds_to_micros(400);
+    o.sample_every = seconds_to_micros(100);
+    o.batch_size = batch_size;
+    Executor ex(q, o);
+    ex.run(src);
+    return span_skeletons(telemetry);
+  };
+
+  const std::vector<SpanSkeleton> unbatched = run_with_batch(1);
+  // 240 drained arrivals sampled every 3rd => 80 spans, filtered included.
+  EXPECT_EQ(unbatched.size(), 80u);
+  for (const std::size_t batch_size : {std::size_t{64}, std::size_t{7}}) {
+    const std::vector<SpanSkeleton> batched = run_with_batch(batch_size);
+    ASSERT_EQ(batched.size(), unbatched.size()) << "batch " << batch_size;
+    for (std::size_t i = 0; i < unbatched.size(); ++i) {
+      EXPECT_TRUE(batched[i] == unbatched[i])
+          << "batch " << batch_size << ", span #" << i << ": stream "
+          << static_cast<int>(batched[i].stream) << " vs "
+          << static_cast<int>(unbatched[i].stream);
+    }
+  }
+}
+
 TEST(SpanTrace, NoSamplingMeansNoSpanEvents) {
   const QuerySpec q = make_complete_join_query(2, seconds_to_micros(500));
   telemetry::Telemetry telemetry;

@@ -43,15 +43,18 @@ SCHEMA = "amri-bench-v1"
 
 # Default bench set: the index hot-path microbench (the directory's raison
 # d'etre), the assessment microbench (tuner hot path), the sharded-state
-# microbench (probe churn / fan-out / migration across shard counts), and
-# the batched-pipeline microbench (probe_batch amortisation, batch x shards).
+# microbench (probe churn / fan-out / migration across shard counts), the
+# batched-pipeline microbench (probe_batch amortisation, batch x shards),
+# and the wall-pipeline microbench (wall-clock engine mode: prefetch kernel
+# ablation plus end-to-end churn across engine/overlap/prefetch).
 DEFAULT_BENCHES = ["micro_index_ops", "micro_assessment", "micro_sharded_stem",
-                   "micro_batch_pipeline"]
+                   "micro_batch_pipeline", "micro_wall_pipeline"]
 
 # google-benchmark encodes named args into the bench name ("BM_X/shards:4",
-# "BM_Y/batch:64/shards:4").
-_SHARDS_RE = re.compile(r"/shards:(\d+)(?:/|$)")
-_BATCH_RE = re.compile(r"/batch:(\d+)(?:/|$)")
+# "BM_Y/engine:1/overlap:0/prefetch:1/batch:64").  Each matching arg is
+# lifted into a same-named queryable record field.
+_ARG_RES = [(field, re.compile(rf"/{field}:(\d+)(?:/|$)"))
+            for field in ("shards", "batch", "engine", "overlap", "prefetch")]
 
 
 def is_gbench(bench_name: str) -> bool:
@@ -96,18 +99,17 @@ def prefix_records(records: list, bench_name: str) -> list:
 
 
 def attach_shards(records: list) -> list:
-    """Lift the shard-count and batch-size bench arguments into queryable
-    record fields, so trajectory tooling can compare shard counts / batch
-    sizes without name parsing."""
+    """Lift name-encoded bench arguments (shard count, batch size, and the
+    wall-mode engine/overlap/prefetch axes) into queryable record fields,
+    so trajectory tooling can compare configurations without name
+    parsing."""
     out = []
     for rec in records:
         lifted = rec
-        m = _SHARDS_RE.search(rec.get("bench", ""))
-        if m:
-            lifted = {**lifted, "shards": int(m.group(1))}
-        m = _BATCH_RE.search(rec.get("bench", ""))
-        if m:
-            lifted = {**lifted, "batch": int(m.group(1))}
+        for field, rx in _ARG_RES:
+            m = rx.search(rec.get("bench", ""))
+            if m:
+                lifted = {**lifted, field: int(m.group(1))}
         out.append(lifted)
     return out
 
@@ -201,6 +203,24 @@ def self_test() -> int:
               and "shards" not in batched[1],
               "batch-only name lifts batch without inventing shards")
         check("batch" not in batched[2], "non-batched record untouched")
+
+        # Wall-pipeline axes: engine/overlap/prefetch toggles become fields
+        # alongside batch (the micro_wall_pipeline churn sweep emits
+        # "engine:E/overlap:O/prefetch:P/batch:N" names).
+        wall_raw = [
+            {"bench": "BM_WallPipeline_EngineChurn/engine:1/overlap:0/"
+                      "prefetch:1/batch:64",
+             "metric": "items_per_second", "value": 70.0},
+            {"bench": "BM_WallPipeline_KernelPrefetch/prefetch:0/batch:256",
+             "metric": "real_time_ns", "value": 80.0},
+        ]
+        wall = attach_shards(prefix_records(wall_raw, "micro_wall_pipeline"))
+        check(wall[0].get("engine") == 1 and wall[0].get("overlap") == 0
+              and wall[0].get("prefetch") == 1 and wall[0].get("batch") == 64,
+              "engine/overlap/prefetch/batch all lifted from a churn name")
+        check(wall[1].get("prefetch") == 0 and wall[1].get("batch") == 256
+              and "engine" not in wall[1] and "overlap" not in wall[1],
+              "kernel-ablation name lifts only its own axes")
 
         out = os.path.join(tmpdir, "BENCH_2000-01-01.json")
         agg = aggregate(records, "2000-01-01", "testhost")
