@@ -22,7 +22,15 @@
 // span events; `--profile` turns on the wall-clock phase profiler and
 // prints the per-phase table after the run; `--event-capacity N` sizes
 // the trace ring (oldest events drop past it).
+// `--scenario <name>` swaps the parsed query for a named adversarial
+// workload (src/workload/adversarial.hpp): rotating_hot_set,
+// bursty_diurnal, correlated_join, out_of_order, many_way, oom_cliff.
+// `--guardrails 1` enables the tuner's production guardrails;
+// `--tuner-deadband`, `--tuner-hysteresis-epochs`, `--tuner-horizon`,
+// `--tuner-budget-time-us` and `--tuner-budget-mem-bytes` tune them (see
+// docs/architecture.md, "Tuner guardrails").
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "common/config.hpp"
@@ -32,6 +40,7 @@
 #include "engine/query_parser.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
+#include "workload/adversarial.hpp"
 #include "workload/synthetic_generator.hpp"
 
 using namespace amri;
@@ -75,50 +84,104 @@ engine::IndexBackend backend_from(const std::string& name) {
                               "' (amri|bitmap|modules|scan)");
 }
 
+/// `--guardrails 1` plus the `--tuner-*` knobs → the tuner's guardrail
+/// options. Unset (the default) keeps the legacy always-migrate rule.
+void apply_guardrail_flags(const Config& cfg, tuner::TunerOptions& topts) {
+  if (!cfg.bool_or("guardrails", false)) return;
+  tuner::GuardrailOptions g;
+  g.enabled = true;
+  g.benefit_deadband = cfg.double_or("tuner_deadband", g.benefit_deadband);
+  g.min_epochs_between_migrations = cfg.size_or(
+      "tuner_hysteresis_epochs", g.min_epochs_between_migrations);
+  g.amortize_horizon_units =
+      cfg.double_or("tuner_horizon", g.amortize_horizon_units);
+  g.epoch_time_budget_us =
+      cfg.double_or("tuner_budget_time_us", g.epoch_time_budget_us);
+  g.burst_epochs = cfg.double_or("tuner_budget_burst_epochs", g.burst_epochs);
+  if (cfg.get_string("tuner_budget_mem_bytes").has_value()) {
+    g.state_memory_budget_bytes = cfg.size_or("tuner_budget_mem_bytes", 0);
+  }
+  topts.guardrails = g;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
-  const std::string query_text = cfg.string_or(
-      "query",
-      "SELECT COUNT(*) FROM Sensors S, Gateways G, Alerts A "
-      "WHERE S.device = G.device AND G.zone = A.zone AND S.battery >= 10 "
-      "WINDOW 20");
-
-  // Catalog of available streams for the demo.
-  const std::vector<Schema> catalog = {
-      Schema("Sensors", {"device", "battery", "reading"}),
-      Schema("Gateways", {"device", "zone", "load"}),
-      Schema("Alerts", {"zone", "severity"}),
-  };
-
-  std::optional<engine::ParsedQuery> maybe_parsed;
-  try {
-    maybe_parsed = engine::parse_query(query_text, catalog);
-  } catch (const std::invalid_argument& e) {
-    std::cerr << e.what() << "\n";
-    return 1;
-  }
-  engine::ParsedQuery& parsed = *maybe_parsed;
-
   const double rate = cfg.double_or("rate", 80.0);
   const double sim_seconds = cfg.double_or("sim_seconds", 60.0);
 
-  engine::ExecutorOptions opts;
+  // `--scenario <name>` bypasses the query parser: the adversarial
+  // library supplies the query, the drift schedule, and the source.
+  std::unique_ptr<workload::AdversarialScenario> scenario;
+  std::optional<engine::ParsedQuery> maybe_parsed;
+  std::string run_label;
+  if (const auto scenario_name = cfg.get_string("scenario")) {
+    workload::AdversarialOptions aopts;
+    aopts.rate_per_sec = rate;
+    aopts.seed = static_cast<std::uint64_t>(cfg.int_or("seed", 1));
+    aopts.generate_seconds = sim_seconds;
+    aopts.rotate_seconds =
+        cfg.double_or("rotate_seconds", aopts.rotate_seconds);
+    aopts.zipf_exponent = cfg.double_or("zipf", aopts.zipf_exponent);
+    try {
+      scenario = workload::AdversarialScenario::make(*scenario_name, aopts);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "; known scenarios:";
+      for (const auto& n : workload::AdversarialScenario::names()) {
+        std::cerr << " " << n;
+      }
+      std::cerr << "\n";
+      return 1;
+    }
+    run_label = "scenario " + scenario->name();
+  } else {
+    const std::string query_text = cfg.string_or(
+        "query",
+        "SELECT COUNT(*) FROM Sensors S, Gateways G, Alerts A "
+        "WHERE S.device = G.device AND G.zone = A.zone AND S.battery >= 10 "
+        "WINDOW 20");
+
+    // Catalog of available streams for the demo.
+    const std::vector<Schema> catalog = {
+        Schema("Sensors", {"device", "battery", "reading"}),
+        Schema("Gateways", {"device", "zone", "load"}),
+        Schema("Alerts", {"zone", "severity"}),
+    };
+
+    try {
+      maybe_parsed = engine::parse_query(query_text, catalog);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+    run_label = query_text;
+  }
+  const engine::QuerySpec& query =
+      scenario != nullptr ? scenario->query() : maybe_parsed->query;
+
+  engine::ExecutorOptions opts = scenario != nullptr
+                                     ? scenario->executor_options()
+                                     : engine::ExecutorOptions{};
   opts.duration = seconds_to_micros(sim_seconds);
   opts.sample_every = seconds_to_micros(sim_seconds / 6);
   opts.stem.backend =
       backend_from(cfg.string_or("backend", "amri"));
-  const std::size_t n_attrs = parsed.query.layout(0).jas.size();
+  const std::size_t n_attrs = query.layout(0).jas.size();
   const int bits = static_cast<int>(cfg.int_or("bits", 8));
   std::vector<std::uint8_t> alloc(std::max<std::size_t>(n_attrs, 1), 0);
-  for (int b = 0; b < bits; ++b) ++alloc[static_cast<std::size_t>(b) % alloc.size()];
+  for (int b = 0; b < bits; ++b) {
+    ++alloc[static_cast<std::size_t>(b) % alloc.size()];
+  }
   opts.stem.initial_config = index::IndexConfig(alloc);
   tuner::TunerOptions topts;
   topts.assessor_params.epsilon = cfg.double_or("epsilon", 0.05);
   topts.theta = cfg.double_or("theta", 0.1);
+  topts.reassess_every = cfg.size_or("reassess_every", 2000);
   topts.optimizer.bit_budget = bits;
+  apply_guardrail_flags(cfg, topts);
   opts.stem.amri_tuner = topts;
+  opts.memory_budget = cfg.size_or("memory_budget", opts.memory_budget);
   opts.stem.shards = std::max<std::size_t>(cfg.size_or("shards", 1), 1);
   opts.batch_size = std::max<std::size_t>(cfg.size_or("batch_size", 1), 1);
   const std::string engine_name = cfg.string_or("engine", "virtual");
@@ -134,14 +197,17 @@ int main(int argc, char** argv) {
   // deprecated alias; `decision_reuse` wins when both are given.
   opts.eddy.decision_reuse = std::max<std::size_t>(
       cfg.size_or("decision_reuse", cfg.size_or("routing_batch_size", 1)), 1);
-  opts.model_params.lambda_d = rate;
-  opts.model_params.lambda_r = rate * parsed.query.num_streams();
-  opts.model_params.window_units = micros_to_seconds(parsed.query.window());
-  opts.collect_rows = !parsed.agg.has_value();
+  if (scenario == nullptr) {
+    opts.model_params.lambda_d = rate;
+    opts.model_params.lambda_r = rate * query.num_streams();
+    opts.model_params.window_units = micros_to_seconds(query.window());
+  }
+  opts.collect_rows = maybe_parsed.has_value() && !maybe_parsed->agg;
 
   // Aggregate queries stream every result through an AggregateSink.
   std::optional<engine::AggregateSink> agg_sink;
-  if (parsed.agg) {
+  if (maybe_parsed.has_value() && maybe_parsed->agg) {
+    const engine::ParsedQuery& parsed = *maybe_parsed;
     agg_sink.emplace(*parsed.agg,
                      parsed.agg_column.value_or(engine::OutputColumn{0, 0}),
                      parsed.group_by);
@@ -166,14 +232,21 @@ int main(int argc, char** argv) {
     opts.trace_sample = trace_sample;
   }
 
-  engine::Executor executor(parsed.query, opts);
-  QuerySource source(parsed.query, rate, seconds_to_micros(sim_seconds),
-                     static_cast<std::uint64_t>(cfg.int_or("seed", 1)));
+  engine::Executor executor(query, opts);
+  std::unique_ptr<engine::TupleSource> source;
+  if (scenario != nullptr) {
+    source = scenario->make_source();
+  } else {
+    source = std::make_unique<QuerySource>(
+        query, rate, seconds_to_micros(sim_seconds),
+        static_cast<std::uint64_t>(cfg.int_or("seed", 1)));
+  }
 
-  std::cout << "running: " << query_text << "\n\n";
-  const auto result = executor.run(source);
+  std::cout << "running: " << run_label << "\n\n";
+  const auto result = executor.run(*source);
 
-  if (parsed.agg) {
+  if (agg_sink.has_value()) {
+    const engine::ParsedQuery& parsed = *maybe_parsed;
     if (parsed.group_by) {
       std::cout << engine::agg_func_name(*parsed.agg) << " by group (top "
                 << std::min<std::size_t>(agg_sink->group_count(), 10)
@@ -187,7 +260,7 @@ int main(int argc, char** argv) {
       std::cout << engine::agg_func_name(*parsed.agg) << " = "
                 << agg_sink->total() << "\n";
     }
-  } else {
+  } else if (opts.collect_rows) {
     std::cout << "first " << result.rows.size() << " projected rows (of "
               << result.outputs << " results):\n";
     for (std::size_t i = 0; i < result.rows.size() && i < 10; ++i) {
@@ -198,6 +271,8 @@ int main(int argc, char** argv) {
       }
       std::cout << ")\n";
     }
+  } else {
+    std::cout << "join results: " << result.outputs << "\n";
   }
 
   std::cout << "\nthroughput curve:\n";
@@ -207,8 +282,8 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nstates:\n";
   std::vector<std::string> state_names;
-  for (StreamId s = 0; s < parsed.query.num_streams(); ++s) {
-    state_names.push_back(std::string(parsed.query.schema(s).stream_name()));
+  for (StreamId s = 0; s < query.num_streams(); ++s) {
+    state_names.push_back(std::string(query.schema(s).stream_name()));
   }
   engine::make_state_table(result.states, state_names).print(std::cout);
 
@@ -217,7 +292,7 @@ int main(int argc, char** argv) {
     // (interpolated within buckets; see Histogram::percentile).
     TablePrinter probe_table(
         {"state", "probes", "p50_us", "p95_us", "p99_us", "max_us"});
-    for (StreamId s = 0; s < parsed.query.num_streams(); ++s) {
+    for (StreamId s = 0; s < query.num_streams(); ++s) {
       const auto* h = telemetry->metrics().find_histogram(
           "stem." + std::to_string(s) + ".probe.cost_us");
       if (h == nullptr || h->count() == 0) continue;

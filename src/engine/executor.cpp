@@ -696,6 +696,7 @@ RunResult Executor::run(TupleSource& source) {
     s.stored_tuples = stem->stored_tuples();
     s.probes = stem->probes_served();
     s.migrations = stem->migrations();
+    s.suppressed = stem->suppressed();
     s.migration_pause_us = stem->migration_pause_us();
     s.state_bytes = stem->state_bytes();
     s.shards = stem->shard_count();

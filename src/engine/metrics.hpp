@@ -38,6 +38,9 @@ struct StateSummary {
   std::size_t stored_tuples = 0;
   std::uint64_t probes = 0;
   std::uint64_t migrations = 0;
+  /// Tuning decisions whose migration was blocked by an enabled guardrail
+  /// (hysteresis / amortization / budgets); 0 with guardrails off.
+  std::uint64_t suppressed = 0;
   /// Total modelled virtual time this state spent paused in migrations.
   double migration_pause_us = 0.0;
   /// Final logical footprint: window store plus index structure bytes.
@@ -78,21 +81,24 @@ struct RunResult {
 
 /// Render the per-state summaries as an aligned table. `names[s]`, when
 /// provided, labels stream s (defaults to "S<s>").
-inline TablePrinter make_state_table(const std::vector<StateSummary>& states,
-                                     const std::vector<std::string>& names = {}) {
-  TablePrinter table({"state", "tuples", "probes", "migrations", "pause_ms",
-                      "mem_kib", "shards", "skew", "final index"});
+inline TablePrinter make_state_table(
+    const std::vector<StateSummary>& states,
+    const std::vector<std::string>& names = {}) {
+  TablePrinter table({"state", "tuples", "probes", "migrations", "suppr",
+                      "pause_ms", "mem_kib", "shards", "skew", "final index"});
   for (const StateSummary& s : states) {
     const std::string name = s.stream < names.size()
                                  ? names[s.stream]
                                  : "S" + std::to_string(s.stream);
     table.add_row({name,
-                   TablePrinter::fmt_int(static_cast<long long>(s.stored_tuples)),
+                   TablePrinter::fmt_int(
+                       static_cast<long long>(s.stored_tuples)),
                    TablePrinter::fmt_int(static_cast<long long>(s.probes)),
                    TablePrinter::fmt_int(static_cast<long long>(s.migrations)),
+                   TablePrinter::fmt_int(static_cast<long long>(s.suppressed)),
                    TablePrinter::fmt(s.migration_pause_us / 1000.0, 2),
-                   TablePrinter::fmt(static_cast<double>(s.state_bytes) / 1024.0,
-                                     1),
+                   TablePrinter::fmt(
+                       static_cast<double>(s.state_bytes) / 1024.0, 1),
                    TablePrinter::fmt_int(static_cast<long long>(s.shards)),
                    TablePrinter::fmt(s.shard_imbalance, 2),
                    s.final_index});

@@ -198,6 +198,7 @@ MultiRunResult MultiQueryExecutor::run(TupleSource& source) {
     s.stored_tuples = stem->stored_tuples();
     s.probes = stem->probes_served();
     s.migrations = stem->migrations();
+    s.suppressed = stem->suppressed();
     s.final_index = stem->physical_index().name();
     combined.states.push_back(std::move(s));
   }

@@ -480,6 +480,11 @@ double StemOperator::migration_pause_us() const {
          (amri_tuner_ != nullptr ? amri_tuner_->migration_pause_us() : 0.0);
 }
 
+std::uint64_t StemOperator::suppressed() const {
+  return warmup_suppressed_ +
+         (amri_tuner_ != nullptr ? amri_tuner_->suppressed() : 0);
+}
+
 void StemOperator::force_tune() {
   if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
     sharded_tune();
@@ -496,6 +501,7 @@ void StemOperator::finish_warmup() {
     // The non-adapting baselines keep the trained configuration forever.
     if (amri_tuner_ != nullptr) {
       warmup_migrations_ = amri_tuner_->migrations();
+      warmup_suppressed_ = amri_tuner_->suppressed();
       warmup_pause_us_ = amri_tuner_->migration_pause_us();
     }
     if (module_tuner_ != nullptr) warmup_migrations_ = module_tuner_->retunes();

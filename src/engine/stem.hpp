@@ -146,6 +146,11 @@ class StemOperator {
   std::uint64_t probes_served() const { return probes_; }
   std::uint64_t migrations() const;
 
+  /// Tuning decisions whose recommended migration was blocked by an
+  /// enabled guardrail (hysteresis / amortization / budgets). 0 for
+  /// non-AMRI backends and guardrails-off tuners.
+  std::uint64_t suppressed() const;
+
   /// Total modelled virtual time this state spent paused in migrations.
   double migration_pause_us() const;
 
@@ -211,6 +216,7 @@ class StemOperator {
   std::size_t tracked_stats_bytes_ = 0;
   bool continuous_tuning_ = false;
   std::uint64_t warmup_migrations_ = 0;
+  std::uint64_t warmup_suppressed_ = 0;
   double warmup_pause_us_ = 0.0;
   std::uint64_t probes_ = 0;
   std::size_t tracked_tuple_bytes_ = 0;

@@ -9,6 +9,18 @@
 
 namespace amri::tuner {
 
+namespace {
+// The selector built when TunerOptions carries no explicit guardrails:
+// disabled, dead-band = min_improvement — the legacy migration rule.
+GuardrailOptions effective_guardrails(const TunerOptions& options) {
+  if (options.guardrails.has_value()) return *options.guardrails;
+  GuardrailOptions g;
+  g.enabled = false;
+  g.benefit_deadband = options.min_improvement;
+  return g;
+}
+}  // namespace
+
 AmriTuner::AmriTuner(AttrMask universe, std::size_t num_attrs,
                      index::CostModel model, TunerOptions options,
                      MemoryTracker* memory, telemetry::Telemetry* telemetry,
@@ -19,6 +31,9 @@ AmriTuner::AmriTuner(AttrMask universe, std::size_t num_attrs,
       options_(options),
       assessor_(assessment::make_assessor(options.assessor, universe,
                                           options.assessor_params)),
+      evaluator_(make_cost_model_evaluator(model_, options.optimizer,
+                                           num_attrs)),
+      selector_(effective_guardrails(options), model_.params().hash_cost),
       telemetry_(telemetry),
       stream_(stream),
       migrator_(nullptr, telemetry, stream),
@@ -30,11 +45,17 @@ AmriTuner::AmriTuner(AttrMask universe, std::size_t num_attrs,
     assessor_->bind_telemetry(telemetry_, prefix + ".assess");
     auto& reg = telemetry_->metrics();
     decision_counter_ = &reg.counter(prefix + ".tuner.decisions");
+    suppressed_counter_ = &reg.counter(prefix + ".tuner.suppressed");
     stats_entries_gauge_ = &reg.gauge(prefix + ".assess.table_size");
     stats_bytes_gauge_ = &reg.gauge(prefix + ".assess.bytes");
     model_error_gauge_ = &reg.gauge(prefix + ".tuner.model_error");
     realized_probe_gauge_ = &reg.gauge(prefix + ".tuner.realized_probe_us");
   }
+}
+
+void AmriTuner::set_evaluator(std::unique_ptr<CandidateEvaluator> evaluator) {
+  assert(evaluator != nullptr);
+  evaluator_ = std::move(evaluator);
 }
 
 AmriTuner::~AmriTuner() {
@@ -71,18 +92,16 @@ TuneDecision AmriTuner::decide(
   since_last_decision_ = 0;
 
   decision.frequent_patterns = frequent.size();
-  const auto pattern_freqs = assessment::to_pattern_frequencies(frequent);
+  decision.previous = current;
 
-  index::OptimizerOptions oopts = options_.optimizer;
-  if (telemetry_ != nullptr) oopts.track_top_k = options_.telemetry_top_k;
-  const index::IndexOptimizer optimizer(model_, oopts);
-  auto best = optimizer.optimize(num_attrs_, pattern_freqs);
-  decision.recommended = best.config;
-  decision.recommended_cost = best.cost;
-  decision.candidates = std::move(best.top);
-  decision.current_cost = options_.optimizer.use_extended_cost
-                              ? model_.extended_cost(current, pattern_freqs)
-                              : model_.paper_cost(current, pattern_freqs);
+  const std::size_t top_k = telemetry_ != nullptr
+                                ? options_.telemetry_top_k
+                                : options_.optimizer.track_top_k;
+  Evaluation eval = evaluator_->evaluate({frequent, current}, top_k);
+  decision.recommended = eval.best;
+  decision.recommended_cost = eval.best_cost;
+  decision.candidates = std::move(eval.top);
+  decision.current_cost = eval.current_cost;
   if (telemetry_ != nullptr) {
     decision.top_patterns.assign(
         frequent.begin(),
@@ -168,6 +187,22 @@ void AmriTuner::emit_decision_event(const TuneDecision& decision,
   w.field("migrated", decision.migrated);
   w.field("migration_cost_us", decision.migration_cost_us);
 
+  // Guardrail outcome: why the recommendation fired or was suppressed,
+  // with the what-if numbers the selector weighed.
+  w.begin_object("guardrails");
+  w.field("enabled", selector_.options().enabled);
+  w.field("verdict", verdict_name(decision.verdict));
+  w.field("suppressed", decision.suppressed);
+  w.field("modelled_benefit_us", decision.modelled_benefit_us);
+  w.field("whatif_migration_cost_us", decision.whatif_migration_cost_us);
+  w.field("amortize_units", decision.amortize_units);
+  if (selector_.options().enabled) {
+    w.field("budget_spent_us", decision.budget_spent_us);
+    w.field("budget_remaining_us", decision.budget_remaining_us);
+    w.field("suppressed_total", selector_.suppressed());
+  }
+  w.end_object();
+
   // Decision timeline: close the epoch this decision ends — realized
   // per-probe cost (meter-charged virtual µs) against the prediction made
   // when it opened — then open the next one with this decision's
@@ -202,13 +237,41 @@ void AmriTuner::emit_decision_event(const TuneDecision& decision,
                    std::move(w).take());
 }
 
+bool AmriTuner::select_migration(TuneDecision& decision,
+                                 const index::IndexConfig& current,
+                                 const WhatIfContext& ctx) {
+  Evaluation eval;
+  eval.best = decision.recommended;
+  eval.best_cost = decision.recommended_cost;
+  eval.current_cost = decision.current_cost;
+  const Selection sel = selector_.select(eval, current, ctx);
+  decision.verdict = sel.verdict;
+  decision.suppressed = sel.verdict == GuardrailVerdict::kHysteresis ||
+                        sel.verdict == GuardrailVerdict::kNotAmortized ||
+                        sel.verdict == GuardrailVerdict::kTimeBudget ||
+                        sel.verdict == GuardrailVerdict::kMemoryBudget;
+  decision.modelled_benefit_us = sel.modelled_benefit_us;
+  decision.whatif_migration_cost_us = sel.migration_cost_us;
+  decision.amortize_units = sel.amortize_units;
+  decision.budget_spent_us = sel.budget_spent_us;
+  decision.budget_remaining_us = sel.budget_remaining_us;
+  return sel.migrate;
+}
+
+void AmriTuner::finish_decision(const TuneDecision& decision,
+                                const index::IndexConfig& before) {
+  if (telemetry_ != nullptr) {
+    if (decision.suppressed) suppressed_counter_->add();
+    emit_decision_event(decision, before);
+  }
+  if (options_.on_decision) options_.on_decision(stream_, decision);
+}
+
 TuneDecision AmriTuner::maybe_tune(index::BitAddressIndex& index) {
   const index::IndexConfig before = index.config();
   TuneDecision decision = recommend(before);
-  const double current = decision.current_cost;
-  const double proposed = decision.recommended_cost;
-  if (decision.recommended != index.config() &&
-      proposed < current * (1.0 - options_.min_improvement)) {
+  const WhatIfContext ctx{index.size(), index.memory_bytes()};
+  if (select_migration(decision, before, ctx)) {
     const auto report = migrator_.migrate(index, decision.recommended);
     decision.migration_cost_us = static_cast<double>(report.hashes_charged) *
                                  model_.params().hash_cost;
@@ -216,7 +279,7 @@ TuneDecision AmriTuner::maybe_tune(index::BitAddressIndex& index) {
     decision.migrated = true;
     ++migrations_;
   }
-  if (telemetry_ != nullptr) emit_decision_event(decision, before);
+  finish_decision(decision, before);
   return decision;
 }
 
@@ -234,10 +297,8 @@ TuneDecision AmriTuner::maybe_tune_sharded(index::ShardedBitIndex& index,
                                            const ExternalAssessment& external) {
   const index::IndexConfig before = index.config();
   TuneDecision decision = recommend_from(external, before);
-  const double current = decision.current_cost;
-  const double proposed = decision.recommended_cost;
-  if (decision.recommended != index.config() &&
-      proposed < current * (1.0 - options_.min_improvement)) {
+  const WhatIfContext ctx{index.size(), index.memory_bytes()};
+  if (select_migration(decision, before, ctx)) {
     const auto report = index.migrate_shards(decision.recommended, migrator_);
     // Total modelled pause is the full rebuild (identical to the
     // unsharded path); the *per-probe* stall shrinks to the largest
@@ -248,7 +309,7 @@ TuneDecision AmriTuner::maybe_tune_sharded(index::ShardedBitIndex& index,
     decision.migrated = true;
     ++migrations_;
   }
-  if (telemetry_ != nullptr) emit_decision_event(decision, before);
+  finish_decision(decision, before);
   return decision;
 }
 

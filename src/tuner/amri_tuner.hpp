@@ -1,8 +1,11 @@
 // The AMRI index tuner: the online loop that (a) feeds every search
 // request's access pattern to an assessment method, (b) periodically asks
-// the assessor for the frequent patterns, (c) runs index selection under
-// the cost model, and (d) migrates the state's bit-address index when the
-// recommended IC beats the current one by a hysteresis margin.
+// the assessor for the frequent patterns, (c) runs a candidate *evaluator*
+// (tuner/evaluator.hpp — by default the cost-model optimizer search) to
+// score ICs, and (d) hands the scored recommendation to a guardrail
+// *selector* (tuner/selector.hpp) that decides whether the migration
+// fires: benefit dead-band always, plus hysteresis / what-if amortization
+// / time and memory budgets when guardrails are enabled.
 //
 // The tuner is deliberately index-agnostic about *application*: it returns
 // recommendations, and `maybe_tune` applies one to a BitAddressIndex via
@@ -11,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -23,6 +27,8 @@
 #include "index/index_optimizer.hpp"
 #include "index/sharded_bit_index.hpp"
 #include "telemetry/telemetry.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/selector.hpp"
 
 namespace amri::tuner {
 
@@ -31,6 +37,8 @@ namespace amri::tuner {
 ///   kKeep  — continuous assessment (stable, reacts slowly to drift);
 ///   kDecay — counts aged by decay_factor (middle ground).
 enum class StatsRetention : std::uint8_t { kReset = 0, kKeep, kDecay };
+
+struct TuneDecision;
 
 struct TunerOptions {
   assessment::AssessorKind assessor =
@@ -45,6 +53,14 @@ struct TunerOptions {
   /// With telemetry attached, every decision carries the `telemetry_top_k`
   /// most frequent assessed patterns and cheapest candidate ICs.
   std::size_t telemetry_top_k = 5;
+  /// Production guardrails for the selection stage (selector.hpp). Unset
+  /// (the default) builds a disabled selector whose dead-band equals
+  /// `min_improvement` — the legacy migration rule, bit-for-bit.
+  std::optional<GuardrailOptions> guardrails;
+  /// Called after every applied decision (maybe_tune / maybe_tune_sharded)
+  /// with the owning stream and the full decision, including the guardrail
+  /// verdict. Fires whether or not telemetry is attached.
+  std::function<void(StreamId, const TuneDecision&)> on_decision;
 };
 
 struct TuneDecision {
@@ -68,6 +84,20 @@ struct TuneDecision {
   double predicted_recommended_probe_us = -1.0;
   /// Modelled migration pause paid by this decision (0 when not migrated).
   double migration_cost_us = 0.0;
+  /// The IC the state ran when this decision was taken (maybe_tune paths).
+  index::IndexConfig previous;
+  /// Selection outcome (maybe_tune paths): why the recommendation fired or
+  /// was suppressed, the what-if numbers behind it, and the time-budget
+  /// state after the decision. `suppressed` is true for the
+  /// guardrail-blocked verdicts (hysteresis / not-amortized / budget) —
+  /// migrations the legacy rule would have made.
+  GuardrailVerdict verdict = GuardrailVerdict::kNoChange;
+  bool suppressed = false;
+  double modelled_benefit_us = 0.0;
+  double whatif_migration_cost_us = 0.0;
+  double amortize_units = 0.0;
+  double budget_spent_us = 0.0;
+  double budget_remaining_us = 0.0;
 };
 
 /// Externally assessed statistics for one decision. Sharded stems collect
@@ -96,6 +126,12 @@ class AmriTuner {
 
   const TunerOptions& options() const { return options_; }
   const assessment::Assessor& assessor() const { return *assessor_; }
+  const CandidateEvaluator& evaluator() const { return *evaluator_; }
+  const GuardrailSelector& selector() const { return selector_; }
+
+  /// Swap in a custom candidate evaluator (the default is the cost-model
+  /// optimizer search). Must not be null; call before the first decision.
+  void set_evaluator(std::unique_ptr<CandidateEvaluator> evaluator);
 
   /// Ingest `weight` search requests sharing one access pattern (batched
   /// probing feeds one weighted call per per-pattern group).
@@ -156,6 +192,9 @@ class AmriTuner {
 
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t migrations() const { return migrations_; }
+  /// Decisions whose recommended migration cleared the dead-band but was
+  /// blocked by an enabled guardrail (hysteresis / amortization / budget).
+  std::uint64_t suppressed() const { return selector_.suppressed(); }
   std::uint64_t observed_requests() const { return observed_; }
 
   /// Total modelled virtual time spent paused in migrations (the hashes a
@@ -165,11 +204,22 @@ class AmriTuner {
 
  private:
   void sync_memory();
-  /// Shared decision core: optimizer run + costing over `frequent` against
+  /// Shared decision core: evaluator run over `frequent` against
   /// `current`. Increments the decision counters; retention is the
   /// caller's responsibility.
   TuneDecision decide(const std::vector<assessment::AssessedPattern>& frequent,
                       const index::IndexConfig& current);
+  /// Selection stage shared by maybe_tune / maybe_tune_sharded: run the
+  /// guardrail selector over a due decision and copy the outcome (verdict,
+  /// what-if numbers, budget state) into it. Returns true when the
+  /// migration should fire.
+  bool select_migration(TuneDecision& decision,
+                        const index::IndexConfig& current,
+                        const WhatIfContext& ctx);
+  /// Post-apply bookkeeping shared by the maybe_tune paths: decision
+  /// event, suppressed gauge, on_decision callback.
+  void finish_decision(const TuneDecision& decision,
+                       const index::IndexConfig& before);
   /// Frequency-weighted mean per-request search cost of `ic` over the
   /// frequent patterns (the prediction the decision timeline tracks).
   /// -1 when `frequent` is empty.
@@ -187,6 +237,8 @@ class AmriTuner {
   index::CostModel model_;
   TunerOptions options_;
   std::unique_ptr<assessment::Assessor> assessor_;
+  std::unique_ptr<CandidateEvaluator> evaluator_;
+  GuardrailSelector selector_;
   telemetry::Telemetry* telemetry_;
   StreamId stream_;
   index::IndexMigrator migrator_;
@@ -198,6 +250,7 @@ class AmriTuner {
   std::uint64_t migrations_ = 0;
   double migration_pause_us_ = 0.0;
   telemetry::Counter* decision_counter_ = nullptr;
+  telemetry::Counter* suppressed_counter_ = nullptr;
   telemetry::Gauge* stats_entries_gauge_ = nullptr;
   telemetry::Gauge* stats_bytes_gauge_ = nullptr;
   // Decision timeline: realized probe cost accumulated over the running

@@ -1,0 +1,33 @@
+#include "tuner/evaluator.hpp"
+
+namespace amri::tuner {
+
+Evaluation CostModelEvaluator::evaluate(const EvaluationInput& input,
+                                        std::size_t track_top_k) const {
+  const auto pattern_freqs = assessment::to_pattern_frequencies(input.frequent);
+
+  index::OptimizerOptions oopts = options_;
+  oopts.track_top_k = track_top_k;
+  const index::IndexOptimizer optimizer(model_, oopts);
+  auto best = greedy_ ? optimizer.optimize_greedy(num_attrs_, pattern_freqs)
+                      : optimizer.optimize(num_attrs_, pattern_freqs);
+
+  Evaluation eval;
+  eval.best = best.config;
+  eval.best_cost = best.cost;
+  eval.configs_evaluated = best.configs_evaluated;
+  eval.top = std::move(best.top);
+  eval.current_cost = options_.use_extended_cost
+                          ? model_.extended_cost(input.current, pattern_freqs)
+                          : model_.paper_cost(input.current, pattern_freqs);
+  return eval;
+}
+
+std::unique_ptr<CandidateEvaluator> make_cost_model_evaluator(
+    index::CostModel model, index::OptimizerOptions options,
+    std::size_t num_attrs, bool greedy) {
+  return std::make_unique<CostModelEvaluator>(std::move(model), options,
+                                              num_attrs, greedy);
+}
+
+}  // namespace amri::tuner

@@ -1,0 +1,307 @@
+#include "workload/adversarial.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "workload/bursty_source.hpp"
+#include "workload/synthetic_generator.hpp"
+
+namespace amri::workload {
+
+namespace {
+
+/// Join-attribute values drawn from one latent value per tuple: every
+/// bound attribute equals the latent plus bounded jitter, folded into its
+/// predicate's domain. Values inside a tuple (and across the predicates a
+/// route binds together) are therefore strongly correlated — the cost
+/// model's independence assumption (tuples distribute evenly over
+/// buckets) is violated, and modelled vs realized probe cost diverge.
+/// Arrival scheduling matches SyntheticGenerator (per-stream rates with
+/// jitter, merged in timestamp order).
+class CorrelatedGenerator final : public engine::TupleSource {
+ public:
+  CorrelatedGenerator(const engine::QuerySpec& query, PhaseSchedule schedule,
+                      GeneratorOptions options, std::int64_t noise)
+      : query_(query),
+        schedule_(std::move(schedule)),
+        options_(std::move(options)),
+        noise_(noise),
+        rng_(options_.seed) {
+    assert(options_.rates_per_sec.size() == query_.num_streams());
+    assert(noise_ >= 0);
+    next_arrival_.resize(query_.num_streams(), 0);
+    base_interval_.resize(query_.num_streams());
+    for (StreamId s = 0; s < query_.num_streams(); ++s) {
+      assert(options_.rates_per_sec[s] > 0.0);
+      base_interval_[s] = seconds_to_micros(1.0 / options_.rates_per_sec[s]);
+      if (base_interval_[s] < 1) base_interval_[s] = 1;
+      next_arrival_[s] = static_cast<TimeMicros>(
+          rng_.below(static_cast<std::uint64_t>(base_interval_[s]) + 1));
+    }
+    pred_of_.resize(query_.num_streams());
+    for (StreamId s = 0; s < query_.num_streams(); ++s) {
+      pred_of_[s].assign(query_.schema(s).num_attrs(),
+                         std::numeric_limits<std::size_t>::max());
+    }
+    const auto& preds = query_.predicates();
+    for (std::size_t p = 0; p < preds.size(); ++p) {
+      pred_of_[preds[p].left_stream][preds[p].left_attr] = p;
+      pred_of_[preds[p].right_stream][preds[p].right_attr] = p;
+    }
+  }
+
+  std::optional<Tuple> next() override {
+    StreamId chosen = 0;
+    for (StreamId s = 1; s < query_.num_streams(); ++s) {
+      if (next_arrival_[s] < next_arrival_[chosen]) chosen = s;
+    }
+    const TimeMicros ts = next_arrival_[chosen];
+    if (options_.end > 0 && ts >= options_.end) return std::nullopt;
+
+    Tuple t;
+    t.stream = chosen;
+    t.ts = ts;
+    t.seq = seq_++;
+    const Schema& schema = query_.schema(chosen);
+    const auto latent = static_cast<std::int64_t>(rng_.below(1u << 20));
+    for (AttrId a = 0; a < schema.num_attrs(); ++a) {
+      const std::size_t p = pred_of_[chosen][a];
+      if (p == std::numeric_limits<std::size_t>::max()) {
+        t.values.push_back(static_cast<Value>(rng_.below(100)));
+        continue;
+      }
+      const std::int64_t domain = schedule_.domain_at(ts, p);
+      const std::int64_t jitter =
+          static_cast<std::int64_t>(
+              rng_.below(static_cast<std::uint64_t>(2 * noise_ + 1))) -
+          noise_;
+      const std::int64_t folded =
+          ((latent + jitter) % domain + domain) % domain;
+      t.values.push_back(static_cast<Value>(folded));
+    }
+
+    const auto base = static_cast<double>(base_interval_[chosen]);
+    const double j = 1.0 + options_.jitter * (2.0 * rng_.uniform01() - 1.0);
+    auto step = static_cast<TimeMicros>(base * j);
+    if (step < 1) step = 1;
+    next_arrival_[chosen] = ts + step;
+    return t;
+  }
+
+ private:
+  const engine::QuerySpec& query_;
+  PhaseSchedule schedule_;
+  GeneratorOptions options_;
+  std::int64_t noise_;
+  std::vector<TimeMicros> next_arrival_;
+  std::vector<TimeMicros> base_interval_;
+  std::vector<std::vector<std::size_t>> pred_of_;
+  Rng rng_;
+  TupleSeq seq_ = 0;
+};
+
+/// Bounded-lag reordering: each inner tuple is delayed by a uniform lag in
+/// [0, max_delay] and delivered in lag order. The engine requires
+/// non-decreasing timestamps, so delivery re-stamps ts (and seq) to the
+/// delayed clock — the adversarial effect is that every tuple's *values*
+/// were drawn for an instant up to max_delay earlier than the timestamp
+/// the router and windows see, so the assessed workload lags and aliases
+/// the drift schedule.
+class OutOfOrderSource final : public engine::TupleSource {
+ public:
+  OutOfOrderSource(std::unique_ptr<engine::TupleSource> inner,
+                   double max_delay_seconds, std::uint64_t seed)
+      : inner_(std::move(inner)),
+        max_delay_(seconds_to_micros(max_delay_seconds)),
+        rng_(seed),
+        pending_(inner_->next()) {}
+
+  std::optional<Tuple> next() override {
+    // Buffer inner tuples until the earliest delivery can no longer be
+    // preempted: any future arrival's delivery is at least its generation
+    // time, which now exceeds the heap top's delivery time.
+    while (pending_.has_value() &&
+           (heap_.empty() || pending_->ts <= heap_.top().delivery)) {
+      Delayed d;
+      d.delivery =
+          pending_->ts +
+          static_cast<TimeMicros>(
+              rng_.below(static_cast<std::uint64_t>(max_delay_) + 1));
+      d.tuple = std::move(*pending_);
+      heap_.push(std::move(d));
+      pending_ = inner_->next();
+    }
+    if (heap_.empty()) return std::nullopt;
+    Tuple t = heap_.top().tuple;
+    const TimeMicros delivery = heap_.top().delivery;
+    heap_.pop();
+    t.ts = delivery;
+    t.seq = seq_++;
+    return t;
+  }
+
+ private:
+  struct Delayed {
+    TimeMicros delivery = 0;
+    Tuple tuple;
+  };
+  struct LaterDelivery {
+    bool operator()(const Delayed& a, const Delayed& b) const {
+      return a.delivery != b.delivery ? a.delivery > b.delivery
+                                      : a.tuple.seq > b.tuple.seq;
+    }
+  };
+
+  std::unique_ptr<engine::TupleSource> inner_;
+  TimeMicros max_delay_;
+  Rng rng_;
+  std::optional<Tuple> pending_;
+  std::priority_queue<Delayed, std::vector<Delayed>, LaterDelivery> heap_;
+  TupleSeq seq_ = 0;
+};
+
+std::size_t complete_join_predicates(std::size_t streams) {
+  return streams * (streams - 1) / 2;
+}
+
+}  // namespace
+
+const std::vector<std::string>& AdversarialScenario::names() {
+  static const std::vector<std::string> kNames = {
+      "rotating_hot_set", "bursty_diurnal", "correlated_join",
+      "out_of_order",     "many_way",       "oom_cliff",
+  };
+  return kNames;
+}
+
+AdversarialScenario::AdversarialScenario(std::string name,
+                                         AdversarialOptions options,
+                                         std::size_t streams,
+                                         PhaseSchedule schedule)
+    : name_(std::move(name)),
+      options_(options),
+      streams_(streams),
+      query_(engine::make_complete_join_query(
+          streams, seconds_to_micros(options.window_seconds))),
+      schedule_(std::move(schedule)) {}
+
+std::unique_ptr<AdversarialScenario> AdversarialScenario::make(
+    const std::string& name, AdversarialOptions options) {
+  const std::size_t streams =
+      name == "many_way" ? options.many_way_streams : 4;
+  // rotating_hot_set rotates on a period comparable to a tuning epoch;
+  // the regime-driven scenarios drift on a slower clock so the stress
+  // comes from arrivals, not the schedule.
+  const double phase_seconds =
+      (name == "rotating_hot_set" || name == "many_way")
+          ? options.rotate_seconds
+          : options.rotate_seconds * 6.0;
+  PhaseSchedule schedule = PhaseSchedule::rotating(
+      complete_join_predicates(streams), options.num_phases,
+      seconds_to_micros(phase_seconds), options.hot_domain,
+      options.cold_domain);
+
+  const auto& known = names();
+  if (std::find(known.begin(), known.end(), name) == known.end()) {
+    throw std::invalid_argument("unknown adversarial scenario: " + name);
+  }
+  // Private constructor: unreachable from std::make_unique.
+  return std::unique_ptr<AdversarialScenario>(
+      new AdversarialScenario(  // amri-lint: allow(AMRI002)
+          name, options, streams, std::move(schedule)));
+}
+
+std::unique_ptr<engine::TupleSource> AdversarialScenario::make_source(
+    std::uint64_t seed_offset) const {
+  const TimeMicros end = options_.generate_seconds > 0.0
+                             ? seconds_to_micros(options_.generate_seconds)
+                             : 0;
+  const std::uint64_t seed = options_.seed + seed_offset;
+
+  if (name_ == "rotating_hot_set") {
+    BurstyOptions b;
+    b.base_rates_per_sec.assign(streams_, options_.rate_per_sec);
+    b.burst_multiplier = 1.0;  // pure Zipf skew; the rotation is the attack
+    b.zipf_exponent = options_.zipf_exponent;
+    b.end = end;
+    b.seed = seed;
+    return std::make_unique<BurstySource>(query_, schedule_, b);
+  }
+  if (name_ == "bursty_diurnal") {
+    BurstyOptions b;
+    b.base_rates_per_sec.assign(streams_, options_.rate_per_sec);
+    b.burst_multiplier = options_.burst_multiplier;
+    b.mean_calm_seconds = options_.mean_calm_seconds;
+    b.mean_burst_seconds = options_.mean_burst_seconds;
+    b.zipf_exponent = options_.zipf_exponent;
+    b.diurnal_period_seconds = options_.diurnal_period_seconds;
+    b.diurnal_amplitude = options_.diurnal_amplitude;
+    b.end = end;
+    b.seed = seed;
+    return std::make_unique<BurstySource>(query_, schedule_, b);
+  }
+  if (name_ == "correlated_join") {
+    GeneratorOptions g;
+    g.rates_per_sec.assign(streams_, options_.rate_per_sec);
+    g.end = end;
+    g.seed = seed;
+    return std::make_unique<CorrelatedGenerator>(query_, schedule_, g,
+                                                 options_.correlation_noise);
+  }
+  if (name_ == "out_of_order") {
+    GeneratorOptions g;
+    g.rates_per_sec.assign(streams_, options_.rate_per_sec);
+    g.end = end;
+    g.seed = seed;
+    auto inner = std::make_unique<SyntheticGenerator>(query_, schedule_, g);
+    return std::make_unique<OutOfOrderSource>(
+        std::move(inner), options_.max_delay_seconds, seed ^ 0x00ffULL);
+  }
+  if (name_ == "many_way") {
+    GeneratorOptions g;
+    g.rates_per_sec.assign(streams_, options_.rate_per_sec);
+    g.end = end;
+    g.seed = seed;
+    return std::make_unique<SyntheticGenerator>(query_, schedule_, g);
+  }
+  // oom_cliff
+  BurstyOptions b;
+  b.base_rates_per_sec.assign(streams_, options_.rate_per_sec);
+  b.burst_multiplier = options_.burst_multiplier;
+  b.mean_calm_seconds = options_.mean_calm_seconds;
+  b.mean_burst_seconds = options_.mean_burst_seconds;
+  b.zipf_exponent = options_.zipf_exponent;
+  b.end = end;
+  b.seed = seed;
+  return std::make_unique<BurstySource>(query_, schedule_, b);
+}
+
+engine::ExecutorOptions AdversarialScenario::executor_options() const {
+  engine::ExecutorOptions eopts;
+  eopts.model_params.lambda_d = options_.rate_per_sec;
+  eopts.model_params.lambda_r =
+      options_.rate_per_sec * static_cast<double>(streams_);
+  eopts.model_params.window_units = options_.window_seconds;
+  eopts.model_params.hash_cost = eopts.costs.hash_cost_us;
+  eopts.model_params.compare_cost = eopts.costs.compare_cost_us;
+  eopts.model_params.bucket_cost = eopts.costs.bucket_visit_cost_us;
+  if (name_ == "oom_cliff") {
+    // Budget just above the calm-state footprint (~200 B/tuple across
+    // window stores + indexes): calm traffic fits, bursts fall off the
+    // cliff.
+    eopts.memory_budget =
+        options_.oom_budget_bytes != 0
+            ? options_.oom_budget_bytes
+            : static_cast<std::size_t>(options_.rate_per_sec *
+                                       static_cast<double>(streams_) *
+                                       options_.window_seconds * 200.0 * 1.8);
+  }
+  return eopts;
+}
+
+}  // namespace amri::workload

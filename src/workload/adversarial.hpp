@@ -1,0 +1,105 @@
+// The adversarial scenario library: named workloads engineered to stress
+// the tuner far beyond the paper's gentle selectivity drift. Each scenario
+// is a fully wired (query, schedule, source factory) bundle addressable by
+// name from amri_sim (`--scenario <name>`), the bench harness, and the
+// golden tests, and is a pure function of its options + seed (stream
+// digests pinned in tests/workload/test_adversarial_scenarios.cpp).
+//
+//   rotating_hot_set — Zipf-skewed values whose hot predicate rotates on a
+//       period comparable to the tuning epoch: every reassessment sees a
+//       different dominant access pattern, so an unguarded tuner migrates
+//       on nearly every decision (the thrash driver).
+//   bursty_diurnal   — Markov calm/burst regimes on top of a sinusoidal
+//       diurnal rate curve (bursty_source.hpp): load and selectivity both
+//       fluctuate, stressing budget-aware selection under backlog.
+//   correlated_join  — join-attribute values drawn from one latent value
+//       per tuple, violating the cost model's independence assumption:
+//       modelled and realized probe cost diverge (model_error visible on
+//       the decision timeline).
+//   out_of_order     — arrivals delayed by a bounded random lag and
+//       delivered in lag order: each tuple's values were drawn for an
+//       earlier instant than its delivery timestamp, so the assessed
+//       workload lags and aliases the drift schedule.
+//   many_way         — a 6-way complete join (5 join attributes per state,
+//       31 possible access patterns): the optimizer's search space and the
+//       assessors' pattern lattice both explode.
+//   oom_cliff        — bursty arrivals under a memory budget just above
+//       the calm-state footprint: bursts push the window stores over the
+//       cliff (the paper's out-of-memory failures) while the memory
+//       guardrail vetoes directory-growing migrations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.hpp"
+#include "engine/query.hpp"
+#include "engine/tuple_source.hpp"
+#include "workload/phase_schedule.hpp"
+
+namespace amri::workload {
+
+struct AdversarialOptions {
+  double rate_per_sec = 50.0;     ///< per-stream calm arrival rate
+  double window_seconds = 20.0;   ///< sliding window length
+  std::uint64_t seed = 0x5eedULL;
+  double generate_seconds = 0.0;  ///< 0 = unbounded source
+  // rotating_hot_set / many_way drift
+  double rotate_seconds = 5.0;    ///< hot-predicate rotation period
+  std::size_t num_phases = 64;
+  std::int64_t hot_domain = 15;
+  std::int64_t cold_domain = 60;
+  double zipf_exponent = 0.9;     ///< value skew (Zipf-like)
+  // bursty_diurnal / oom_cliff regimes
+  double burst_multiplier = 6.0;
+  double mean_calm_seconds = 12.0;
+  double mean_burst_seconds = 4.0;
+  double diurnal_period_seconds = 40.0;
+  double diurnal_amplitude = 0.6;
+  // correlated_join
+  std::int64_t correlation_noise = 2;  ///< |value jitter| around the latent
+  // out_of_order
+  double max_delay_seconds = 2.0;      ///< bounded reorder lag
+  // many_way
+  std::size_t many_way_streams = 6;
+  // oom_cliff: hard memory budget; 0 = auto (≈1.8× the calm footprint)
+  std::size_t oom_budget_bytes = 0;
+};
+
+class AdversarialScenario {
+ public:
+  /// All scenario names, in registration order (the bench matrix order).
+  static const std::vector<std::string>& names();
+
+  /// Build scenario `name` (must be one of names(); throws otherwise).
+  static std::unique_ptr<AdversarialScenario> make(
+      const std::string& name, AdversarialOptions options = {});
+
+  const std::string& name() const { return name_; }
+  const AdversarialOptions& options() const { return options_; }
+  const engine::QuerySpec& query() const { return query_; }
+  const PhaseSchedule& schedule() const { return schedule_; }
+
+  /// New deterministic source over this scenario; the scenario must
+  /// outlive it. `seed_offset` decorrelates repeated runs.
+  std::unique_ptr<engine::TupleSource> make_source(
+      std::uint64_t seed_offset = 0) const;
+
+  /// Executor options pre-filled with the scenario's workload parameters
+  /// (cost-model lambdas, window; the oom_cliff memory budget). Backend /
+  /// tuner configuration stays with the caller.
+  engine::ExecutorOptions executor_options() const;
+
+ private:
+  AdversarialScenario(std::string name, AdversarialOptions options,
+                      std::size_t streams, PhaseSchedule schedule);
+
+  std::string name_;
+  AdversarialOptions options_;
+  std::size_t streams_;
+  engine::QuerySpec query_;
+  PhaseSchedule schedule_;
+};
+
+}  // namespace amri::workload

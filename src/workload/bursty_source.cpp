@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <numbers>
 
 namespace amri::workload {
 
@@ -14,6 +15,7 @@ BurstySource::BurstySource(const engine::QuerySpec& query,
       rng_(options_.seed) {
   assert(options_.base_rates_per_sec.size() == query_.num_streams());
   assert(options_.burst_multiplier >= 1.0);
+  assert(options_.diurnal_amplitude >= 0.0 && options_.diurnal_amplitude < 1.0);
   next_arrival_.resize(query_.num_streams(), 0);
   for (StreamId s = 0; s < query_.num_streams(); ++s) {
     next_arrival_[s] = static_cast<TimeMicros>(rng_.below(10000));
@@ -80,8 +82,13 @@ std::optional<Tuple> BurstySource::next() {
     t.values.push_back(draw_value(domain));
   }
 
-  const double rate = options_.base_rates_per_sec[chosen] *
-                      (in_burst_ ? options_.burst_multiplier : 1.0);
+  double rate = options_.base_rates_per_sec[chosen] *
+                (in_burst_ ? options_.burst_multiplier : 1.0);
+  if (options_.diurnal_period_seconds > 0.0) {
+    const double phase = 2.0 * std::numbers::pi * micros_to_seconds(ts) /
+                         options_.diurnal_period_seconds;
+    rate *= 1.0 + options_.diurnal_amplitude * std::sin(phase);
+  }
   TimeMicros step = seconds_to_micros(1.0 / rate);
   // Poisson-ish jitter.
   step = static_cast<TimeMicros>(

@@ -24,6 +24,11 @@ struct BurstyOptions {
   double mean_calm_seconds = 20.0; ///< expected calm-regime dwell
   double mean_burst_seconds = 5.0; ///< expected burst-regime dwell
   double zipf_exponent = 0.8;      ///< value skew inside each domain
+  /// Diurnal rate modulation on top of the Markov regime: the arrival
+  /// rate is scaled by 1 + amplitude·sin(2π·t / period). 0 period (the
+  /// default) disables it; amplitude must stay in [0, 1).
+  double diurnal_period_seconds = 0.0;
+  double diurnal_amplitude = 0.5;
   TimeMicros end = 0;              ///< 0 = unbounded
   std::uint64_t seed = 0x5eedULL;
 };

@@ -45,10 +45,18 @@ SCHEMA = "amri-bench-v1"
 # d'etre), the assessment microbench (tuner hot path), the sharded-state
 # microbench (probe churn / fan-out / migration across shard counts), the
 # batched-pipeline microbench (probe_batch amortisation, batch x shards),
-# and the wall-pipeline microbench (wall-clock engine mode: prefetch kernel
-# ablation plus end-to-end churn across engine/overlap/prefetch).
+# the wall-pipeline microbench (wall-clock engine mode: prefetch kernel
+# ablation plus end-to-end churn across engine/overlap/prefetch), and the
+# adversarial scenario matrix (every named scenario x guardrails off/on;
+# migrations, suppressions, end-state probe cost).
 DEFAULT_BENCHES = ["micro_index_ops", "micro_assessment", "micro_sharded_stem",
-                   "micro_batch_pipeline", "micro_wall_pipeline"]
+                   "micro_batch_pipeline", "micro_wall_pipeline",
+                   "adversarial_suite"]
+
+# Per-binary extra key=value args appended after the smoke-scale defaults
+# (Config is last-wins, so these override).  adversarial_suite's headline
+# numbers (migration-cut ratio) are calibrated at rate=80.
+SCENARIO_EXTRA_ARGS = {"adversarial_suite": ["rate=80"]}
 
 # google-benchmark encodes named args into the bench name ("BM_X/shards:4",
 # "BM_Y/engine:1/overlap:0/prefetch:1/batch:64").  Each matching arg is
@@ -76,8 +84,12 @@ def bench_argv(binary: str, bench_name: str, json_path: str,
             argv.append("--benchmark_enable_random_interleaving=true")
             argv.append("--benchmark_report_aggregates_only=true")
         return argv
-    # Scenario binaries: smoke-scale run so the smoke job stays fast.
-    return [binary, f"json={json_path}", "sim_seconds=10", "rate=50"]
+    # Scenario binaries: smoke-scale run by default so the smoke job stays
+    # fast; --scenario-sim-seconds raises the scale for committed
+    # trajectory entries (docs/benchmarking.md).
+    return ([binary, f"json={json_path}",
+             f"sim_seconds={args.scenario_sim_seconds}", "rate=50"]
+            + SCENARIO_EXTRA_ARGS.get(bench_name, []))
 
 
 def load_records(json_path: str) -> list:
@@ -269,6 +281,9 @@ def main() -> int:
                         help="--benchmark_filter regex for gbench binaries")
     parser.add_argument("--min-time", type=float, default=0.05,
                         help="--benchmark_min_time seconds (plain double)")
+    parser.add_argument("--scenario-sim-seconds", type=float, default=10,
+                        help="sim_seconds passed to scenario (non-gbench) "
+                             "binaries; raise for committed trajectory runs")
     parser.add_argument("--repetitions", type=int, default=1,
                         help="gbench repetitions (>1 adds interleaving and "
                              "aggregate-only reporting)")
