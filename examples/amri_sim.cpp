@@ -24,7 +24,14 @@
 // the trace ring (oldest events drop past it).
 // `--scenario <name>` swaps the parsed query for a named adversarial
 // workload (src/workload/adversarial.hpp): rotating_hot_set,
-// bursty_diurnal, correlated_join, out_of_order, many_way, oom_cliff.
+// bursty_diurnal, correlated_join, out_of_order, many_way, oom_cliff,
+// multi_query. `--queries N` runs N overlapping SPJ templates through ONE
+// set of shared per-stream states (MultiQueryExecutor over the
+// multi_query scenario, implied when no scenario is named): the shared
+// index serves the union workload, the tuner merges per-query
+// assessments, and the report adds a per-query output table. All engine
+// knobs (`--shards`, `--batch-size`, `--engine`, `--guardrails`, …) apply
+// unchanged in multi-query mode.
 // `--guardrails 1` enables the tuner's production guardrails;
 // `--tuner-deadband`, `--tuner-hysteresis-epochs`, `--tuner-horizon`,
 // `--tuner-budget-time-us` and `--tuner-budget-mem-bytes` tune them (see
@@ -37,6 +44,7 @@
 #include "common/table_printer.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/executor.hpp"
+#include "engine/multi_query.hpp"
 #include "engine/query_parser.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
@@ -110,13 +118,27 @@ int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const double rate = cfg.double_or("rate", 80.0);
   const double sim_seconds = cfg.double_or("sim_seconds", 60.0);
+  const std::size_t num_queries =
+      std::max<std::size_t>(cfg.size_or("queries", 1), 1);
 
   // `--scenario <name>` bypasses the query parser: the adversarial
   // library supplies the query, the drift schedule, and the source.
+  // `--queries N` (N > 1) implies the multi_query scenario — the only
+  // bundle that carries several templates over one stream set.
   std::unique_ptr<workload::AdversarialScenario> scenario;
   std::optional<engine::ParsedQuery> maybe_parsed;
   std::string run_label;
-  if (const auto scenario_name = cfg.get_string("scenario")) {
+  std::optional<std::string> scenario_name = cfg.get_string("scenario");
+  if (num_queries > 1) {
+    if (scenario_name.has_value() && *scenario_name != "multi_query") {
+      std::cerr << "--queries " << num_queries
+                << " requires the multi_query scenario (got '"
+                << *scenario_name << "')\n";
+      return 1;
+    }
+    scenario_name = "multi_query";
+  }
+  if (scenario_name.has_value()) {
     workload::AdversarialOptions aopts;
     aopts.rate_per_sec = rate;
     aopts.seed = static_cast<std::uint64_t>(cfg.int_or("seed", 1));
@@ -124,6 +146,7 @@ int main(int argc, char** argv) {
     aopts.rotate_seconds =
         cfg.double_or("rotate_seconds", aopts.rotate_seconds);
     aopts.zipf_exponent = cfg.double_or("zipf", aopts.zipf_exponent);
+    aopts.num_queries = num_queries > 1 ? num_queries : aopts.num_queries;
     try {
       scenario = workload::AdversarialScenario::make(*scenario_name, aopts);
     } catch (const std::invalid_argument& e) {
@@ -232,7 +255,6 @@ int main(int argc, char** argv) {
     opts.trace_sample = trace_sample;
   }
 
-  engine::Executor executor(query, opts);
   std::unique_ptr<engine::TupleSource> source;
   if (scenario != nullptr) {
     source = scenario->make_source();
@@ -242,8 +264,51 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cfg.int_or("seed", 1)));
   }
 
-  std::cout << "running: " << run_label << "\n\n";
-  const auto result = executor.run(*source);
+  std::cout << "running: " << run_label;
+  if (num_queries > 1) std::cout << " (" << num_queries << " queries)";
+  std::cout << "\n\n";
+
+  // The executors outlive the whole report tail: telemetry keeps a pointer
+  // to the executor-owned virtual clock (trace export stamps the write
+  // time), so destroying the executor before write_trace_file would
+  // dangle it.
+  engine::RunResult result;
+  std::vector<std::uint64_t> per_query_outputs;
+  std::optional<engine::Executor> executor;
+  std::optional<engine::MultiQueryExecutor> mq_executor;
+  if (num_queries > 1) {
+    mq_executor.emplace(scenario->queries(), opts);
+    auto mr = mq_executor->run(*source);
+    result = std::move(mr.combined);
+    per_query_outputs = std::move(mr.per_query_outputs);
+  } else {
+    executor.emplace(query, opts);
+    result = executor->run(*source);
+  }
+
+  if (num_queries > 1) {
+    // Per-query outputs from the shared-state run: one row per template,
+    // with its join predicates for orientation.
+    TablePrinter query_table({"query", "join", "outputs"});
+    for (std::size_t qi = 0; qi < per_query_outputs.size(); ++qi) {
+      const engine::QuerySpec& q = scenario->queries()[qi];
+      std::string join;
+      for (const auto& p : q.predicates()) {
+        if (!join.empty()) join += " AND ";
+        join += std::string(q.schema(p.left_stream).stream_name()) + "." +
+                std::string(q.schema(p.left_stream).attr_name(p.left_attr)) +
+                "=" +
+                std::string(q.schema(p.right_stream).stream_name()) + "." +
+                std::string(
+                    q.schema(p.right_stream).attr_name(p.right_attr));
+      }
+      query_table.add_row({"q" + std::to_string(qi), join,
+                           std::to_string(per_query_outputs[qi])});
+    }
+    std::cout << "per-query outputs (" << result.outputs << " total):\n";
+    query_table.print(std::cout);
+    std::cout << "\n";
+  }
 
   if (agg_sink.has_value()) {
     const engine::ParsedQuery& parsed = *maybe_parsed;
@@ -277,8 +342,11 @@ int main(int argc, char** argv) {
 
   std::cout << "\nthroughput curve:\n";
   for (const auto& s : result.samples) {
-    std::cout << "  t=" << micros_to_seconds(s.t) << "s  outputs=" << s.outputs
-              << "\n";
+    std::cout << "  t=" << micros_to_seconds(s.t) << "s  outputs=" << s.outputs;
+    for (std::size_t qi = 0; qi < s.per_query_outputs.size(); ++qi) {
+      std::cout << "  q" << qi << "=" << s.per_query_outputs[qi];
+    }
+    std::cout << "\n";
   }
   std::cout << "\nstates:\n";
   std::vector<std::string> state_names;

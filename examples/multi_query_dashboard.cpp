@@ -2,8 +2,13 @@
 // two market streams, each joining on a different attribute — so the
 // shared per-stream state must answer three disjoint access-pattern
 // families with a single bit-address index (paper §II's multi-query
-// claim). Watch the tuner allocate bits across ALL queries' attributes.
+// claim). Watch the tuner allocate bits across ALL queries' attributes,
+// and each query's progress curve build up sample by sample
+// (Sample::per_query_outputs — the same series a real dashboard would
+// plot offline).
+#include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "engine/multi_query.hpp"
 #include "workload/distributions.hpp"
@@ -86,9 +91,26 @@ int main() {
             << "\n\n";
   const auto r = executor.run(source);
 
-  std::cout << "per-query joined pairs over "
-            << micros_to_seconds(executor.clock().now()) << "s:\n";
+  // Per-query progress curves: every sample carries cumulative outputs
+  // attributed to each query, so one run yields all three series.
   const char* labels[] = {"Q0 symbol", "Q1 venue ", "Q2 sector"};
+  std::uint64_t peak = 1;
+  for (const auto& s : r.combined.samples) {
+    for (const std::uint64_t v : s.per_query_outputs) peak = std::max(peak, v);
+  }
+  std::cout << "per-query progress (cumulative joined pairs per sample):\n";
+  for (const auto& s : r.combined.samples) {
+    std::cout << "  t=" << micros_to_seconds(s.t) << "s\n";
+    for (std::size_t q = 0; q < s.per_query_outputs.size(); ++q) {
+      const std::uint64_t v = s.per_query_outputs[q];
+      const auto bar = static_cast<std::size_t>(40 * v / peak);
+      std::cout << "    " << labels[q] << " |" << std::string(bar, '#')
+                << std::string(40 - bar, ' ') << "| " << v << "\n";
+    }
+  }
+
+  std::cout << "\nper-query joined pairs over "
+            << micros_to_seconds(executor.clock().now()) << "s:\n";
   for (std::size_t q = 0; q < r.per_query_outputs.size(); ++q) {
     std::cout << "  " << labels[q] << ": " << r.per_query_outputs[q] << "\n";
   }

@@ -39,12 +39,21 @@ struct BatchVisibility {
     }
   }
 
-  /// May the partial rooted at batch index `root` see match `m`? True for
+  /// May the partial rooted at batch order `root` see match `m`? True for
   /// every tuple outside the current batch (earlier batches, fully
   /// inserted) and for batch members that arrived before the root.
   bool visible_to(const Tuple* m, std::size_t root) const {
     const auto it = order.find(m);
     return it == order.end() || it->second < root;
+  }
+
+  /// Batch order of `stored`, or `fallback` when it is not a member of the
+  /// horizon. Multi-query routing passes per-query sub-arrays of the batch
+  /// whose local indices are NOT batch orders; the router resolves each
+  /// root's true order here so the horizon stays in full-batch coordinates.
+  std::uint32_t order_of(const Tuple* stored, std::uint32_t fallback) const {
+    const auto it = order.find(stored);
+    return it != order.end() ? it->second : fallback;
   }
 };
 

@@ -19,10 +19,11 @@ EddyRouter::EddyRouter(const QuerySpec& query, std::vector<StemOperator*> stems,
   assert(stems_.size() == query_.num_streams());
   if (telemetry_ != nullptr) {
     auto& reg = telemetry_->metrics();
-    decisions_counter_ = &reg.counter("eddy.decisions");
-    results_counter_ = &reg.counter("eddy.results");
-    truncated_counter_ = &reg.counter("eddy.partials_truncated");
-    route_change_counter_ = &reg.counter("eddy.route_changes");
+    const std::string& prefix = options_.metrics_prefix;
+    decisions_counter_ = &reg.counter(prefix + ".decisions");
+    results_counter_ = &reg.counter(prefix + ".results");
+    truncated_counter_ = &reg.counter(prefix + ".partials_truncated");
+    route_change_counter_ = &reg.counter(prefix + ".route_changes");
   }
 }
 
@@ -224,7 +225,12 @@ std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
   // truncation valve keeps its exact sequential threshold.
   struct BatchPartial {
     std::uint32_t done = 0;
-    std::uint32_t root = 0;  ///< index into the batch
+    std::uint32_t root = 0;  ///< index into the routed array
+    /// The root's order within the visibility horizon. Equal to `root` when
+    /// the routed array IS the batch (single-query wall mode); resolved via
+    /// BatchVisibility::order_of when a per-query sub-array is routed, so
+    /// the seq horizon keeps full-batch coordinates.
+    std::uint32_t vis_order = 0;
     SmallVector<const Tuple*, 8> members;
   };
 
@@ -238,6 +244,10 @@ std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
     BatchPartial root;
     root.done = done[i];
     root.root = static_cast<std::uint32_t>(i);
+    root.vis_order =
+        visibility != nullptr
+            ? visibility->order_of(stored[i], static_cast<std::uint32_t>(i))
+            : static_cast<std::uint32_t>(i);
     root.members.resize(query_.num_streams(), nullptr);
     root.members[stored[i]->stream] = stored[i];
     frontier.push_back(std::move(root));
@@ -419,7 +429,7 @@ std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
           // were already performed and charged by the probe above.
           std::size_t kept = 0;
           for (const Tuple* m : matches) {
-            if (visibility->visible_to(m, p.root)) matches[kept++] = m;
+            if (visibility->visible_to(m, p.vis_order)) matches[kept++] = m;
           }
           matches.resize(kept);
         }
@@ -434,6 +444,7 @@ std::uint64_t EddyRouter::route_batch(const Tuple* const* stored,
           BatchPartial next;
           next.done = p.done | (std::uint32_t{1} << target);
           next.root = p.root;
+          next.vis_order = p.vis_order;
           next.members = p.members;
           next.members[target] = m;
           next_level.push_back(std::move(next));

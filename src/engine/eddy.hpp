@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct EddyOptions {
   /// `--batch-size` — how many arrivals move through the pipeline together
   /// — is unambiguous; this knob only caches the policy choice.)
   std::size_t decision_reuse = 1;
+  /// Registry prefix for this router's counters ("<prefix>.decisions",
+  /// ".results", ".partials_truncated", ".route_changes"). Multi-query
+  /// executors label each query's eddy ("q0.eddy", "q1.eddy", …) so the
+  /// metrics stay per-query attributable; the single-query default keeps
+  /// the legacy names.
+  std::string metrics_prefix = "eddy";
 };
 
 /// A complete join result: one stored tuple per stream.

@@ -1,728 +1,104 @@
 #include "engine/executor.hpp"
 
-#include <cassert>
-#include <chrono>
-#include <thread>
-#include <deque>
+#include <utility>
+#include <vector>
 
-#include "common/tuple_batch.hpp"
-#include "telemetry/json.hpp"
+#include "engine/run_loop.hpp"
 
 namespace amri::engine {
 
-Executor::Executor(const QuerySpec& query, ExecutorOptions options)
-    : query_(query),
-      options_(options),
-      meter_(&clock_, options.costs),
-      memory_(options.memory_budget) {
-  if (options_.telemetry != nullptr) {
-    options_.telemetry->attach_clock(&clock_);
+namespace {
+
+// The single-query routing sink: WHERE admission against the one QuerySpec
+// and routing through the one eddy. Result handling replicates the
+// pre-unification Executor::run exactly — the row cap is re-checked per
+// append and on_result fires for every complete join result (warm-up
+// included), so single-query runs through the shared core stay bit-for-bit
+// identical.
+class SingleQuerySink final : public RoutingSink {
+ public:
+  SingleQuerySink(const QuerySpec& query, EddyRouter& eddy,
+                  const ExecutorOptions& options)
+      : query_(query), eddy_(eddy), options_(options) {}
+
+  bool admit(const Tuple& arrival, CostMeter& meter,
+             std::vector<std::uint64_t>* detached_accepts) override {
+    (void)detached_accepts;  // one query: admission IS the accept set
+    return query_.selection(arrival.stream).matches(arrival, &meter);
   }
-  const index::CostModel model(options_.model_params);
-  if (options_.stem.shards > 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.fanout_threads);
-    options_.stem.pool = pool_.get();
+
+  std::uint64_t route_one(const Tuple* stored, bool measured) override {
+    const bool want_rows = options_.collect_rows && measured &&
+                           rows_.size() < options_.max_collected_rows;
+    if (want_rows || options_.on_result) {
+      std::vector<JoinResult> sink;
+      const std::uint64_t produced = eddy_.route(stored, &sink);
+      deliver(sink, want_rows);
+      return produced;
+    }
+    return eddy_.route(stored);
   }
-  if (options_.engine == EngineMode::kWall) {
-    if (options_.wall_probe_prefetch) options_.stem.probe_prefetch = true;
-    // Trace spans are emitted inline on the drain path, so sampling keeps
-    // the drain on the driver thread (overlap off). A single-core host
-    // gets no overlap either: the worker would just timeshare the driver's
-    // core, paying context switches for zero concurrency.
-    const bool cores_for_overlap =
-        options_.wall_overlap_force || std::thread::hardware_concurrency() > 1;
-    if (options_.wall_overlap && options_.trace_sample == 0 &&
-        cores_for_overlap) {
-      overlap_pool_ = std::make_unique<ThreadPool>(1);
+
+  std::uint64_t route_batch(const Tuple* const* stored,
+                            const std::uint32_t* done, std::size_t first,
+                            std::size_t n, std::size_t span_root,
+                            const BatchVisibility* visibility) override {
+    (void)first;  // one query: every admitted slot routes through eddy_
+    const bool want_rows =
+        options_.collect_rows && rows_.size() < options_.max_collected_rows;
+    const bool want_sink = want_rows || options_.on_result != nullptr;
+    batch_sink_.clear();
+    const std::uint64_t produced = eddy_.route_batch(
+        stored, done, n, want_sink ? &batch_sink_ : nullptr,
+        span_root == kNoSpanRoot ? EddyRouter::kNoSpanRoot : span_root,
+        visibility);
+    deliver(batch_sink_, want_rows);
+    return produced;
+  }
+
+  void take_rows(
+      std::vector<SmallVector<Value, kInlineAttrs>>& rows) override {
+    rows = std::move(rows_);
+  }
+
+ private:
+  void deliver(const std::vector<JoinResult>& results, bool want_rows) {
+    for (const JoinResult& jr : results) {
+      if (options_.on_result) options_.on_result(jr);
+      if (want_rows && rows_.size() < options_.max_collected_rows) {
+        rows_.push_back(query_.projection().apply(jr.members));
+      }
     }
   }
+
+  const QuerySpec& query_;
+  EddyRouter& eddy_;
+  const ExecutorOptions& options_;
+  std::vector<JoinResult> batch_sink_;  ///< reused per-call result arena
+  std::vector<SmallVector<Value, kInlineAttrs>> rows_;
+};
+
+}  // namespace
+
+Executor::Executor(const QuerySpec& query, ExecutorOptions options)
+    : query_(query), options_(std::move(options)), rt_(options_) {
+  const index::CostModel model(options_.model_params);
   stems_.reserve(query_.num_streams());
   std::vector<StemOperator*> stem_ptrs;
   for (StreamId s = 0; s < query_.num_streams(); ++s) {
     stems_.push_back(std::make_unique<StemOperator>(
-        s, query_.layout(s), query_.window(), options_.stem, model, &meter_,
-        &memory_, options_.telemetry));
+        s, query_.layout(s), query_.window(), options_.stem, model,
+        &rt_.meter, &rt_.memory, options_.telemetry));
     stem_ptrs.push_back(stems_.back().get());
   }
   eddy_ = std::make_unique<EddyRouter>(query_, std::move(stem_ptrs),
-                                       options_.eddy, &meter_,
+                                       options_.eddy, &rt_.meter,
                                        options_.telemetry);
-  if (options_.telemetry != nullptr) {
-    auto& reg = options_.telemetry->metrics();
-    profiler_ = options_.telemetry->profiler();
-    if (profiler_ != nullptr) {
-      run_wall_gauge_ = &reg.gauge("profile.run.wall_us");
-    }
-    if (options_.trace_sample > 0) {
-      span_latency_hist_ = &reg.histogram(
-          "span.latency_us",
-          telemetry::Histogram::exponential_bounds(0.5, 2.0, 22));
-    }
-    if (pool_ != nullptr) {
-      // The pool lives in the common layer and cannot depend on telemetry,
-      // so its generic hooks are bound to registry instruments here.
-      auto* wait_hist = &reg.histogram(
-          "pool.queue_wait_us",
-          telemetry::Histogram::exponential_bounds(0.1, 2.0, 20));
-      auto* contention = &reg.counter("pool.contention");
-      ThreadPool::Hooks hooks;
-      hooks.on_dequeue = [wait_hist](double us) { wait_hist->observe(us); };
-      hooks.on_contention = [contention] { contention->add(); };
-      pool_->set_hooks(std::move(hooks));
-    }
-  }
-}
-
-void Executor::emit_oom_event() {
-  if (options_.telemetry == nullptr) return;
-  telemetry::JsonWriter w;
-  w.begin_object();
-  w.field("total_bytes", static_cast<std::uint64_t>(memory_.total()));
-  w.field("budget_bytes", static_cast<std::uint64_t>(memory_.budget()));
-  w.begin_array("by_category");
-  for (std::size_t c = 0; c < static_cast<std::size_t>(MemCategory::kCount);
-       ++c) {
-    const auto cat = static_cast<MemCategory>(c);
-    telemetry::JsonWriter cw;
-    cw.begin_object();
-    cw.field("category", mem_category_name(cat));
-    cw.field("bytes", static_cast<std::uint64_t>(memory_.category(cat)));
-    cw.end_object();
-    w.value_raw(std::move(cw).take());
-  }
-  w.end_array();
-  w.end_object();
-  options_.telemetry->emit(telemetry::EventKind::kOom, 0, std::move(w).take());
-}
-
-void Executor::sync_queue_memory(std::size_t backlog) {
-  const std::size_t now = backlog * (sizeof(Tuple) + 16);
-  if (now > tracked_queue_bytes_) {
-    memory_.allocate(MemCategory::kQueue, now - tracked_queue_bytes_);
-  } else if (now < tracked_queue_bytes_) {
-    memory_.release(MemCategory::kQueue, tracked_queue_bytes_ - now);
-  }
-  tracked_queue_bytes_ = now;
 }
 
 RunResult Executor::run(TupleSource& source) {
-  RunResult result;
-  const TimeMicros warmup_end = options_.warmup;
-  const TimeMicros measure_end = options_.warmup + options_.duration;
-  telemetry::Telemetry* const tel = options_.telemetry;
-  const auto run_wall_t0 = std::chrono::steady_clock::now();
-
-  // Span sampling: every trace_sample-th drained arrival gets a span id
-  // that downstream producers (eddy hops, sharded fan-out) pick up via
-  // Telemetry::active_span().
-  const std::size_t trace_sample = tel != nullptr ? options_.trace_sample : 0;
-  std::uint64_t drained_arrivals = 0;
-  auto emit_span_stage = [&](std::uint64_t id, StreamId stream,
-                             const char* stage, auto&& extra) {
-    telemetry::JsonWriter w;
-    w.begin_object();
-    w.field("span", id);
-    w.field("stage", stage);
-    w.field("wall_ns", tel->wall_ns());
-    extra(w);
-    w.end_object();
-    tel->emit(telemetry::EventKind::kSpan, stream, std::move(w).take());
-  };
-  auto no_extra = [](telemetry::JsonWriter&) {};
-
-  std::deque<Tuple> pending;
-  TupleBatch batch;                   // batched-drain arenas; capacity
-  std::vector<const Tuple*> stored_run;  // persists across batches
-  std::vector<JoinResult> batch_sink;
-  // A sampled arrival awaiting its batch's routing: its span was begun (and
-  // the "arrival" stage emitted) at drain time, then suspended. Every
-  // sampled arrival of a batch is tracked — the batched and tuple-at-a-time
-  // paths trace the same Nth drained arrivals.
-  struct PendingSpan {
-    std::size_t index = 0;  ///< arrival's index within the batch
-    std::uint64_t id = 0;
-    std::chrono::steady_clock::time_point start{};
-  };
-  std::vector<PendingSpan> batch_spans;
-  // Wall-mode arenas: batch-order stored pointers and the sequence horizon
-  // handed to route_batch, plus the overlap double buffer the worker
-  // thread drains into while the driver routes. The worker only ever runs
-  // between its submit and the wait_idle at the end of the same iteration;
-  // the driver does not touch `pending` or `prefetched` in that window, so
-  // ownership alternates with pool-mutex synchronisation in between.
-  std::vector<const Tuple*> wall_stored;
-  BatchVisibility wall_visibility;
-  struct PrefetchedBatch {
-    TupleBatch batch;
-    CostMeter meter;  ///< detached — counts the worker's WHERE comparisons
-    std::uint64_t filtered = 0;
-    double drain_wall_us = 0.0;
-  };
-  PrefetchedBatch prefetched;
-  bool have_prefetched = false;
-  std::optional<Tuple> lookahead = source.next();
-  bool warmup_done = (options_.warmup == 0);
-  std::uint64_t outputs_total = 0;
-  std::uint64_t outputs_offset = 0;
-  std::uint64_t arrivals_measured = 0;
-  TimeMicros next_sample = warmup_end + options_.sample_every;
-  bool backpressure_armed = true;
-
-  if (tel != nullptr) {
-    telemetry::JsonWriter w;
-    w.begin_object();
-    w.field("warmup_us", static_cast<std::uint64_t>(options_.warmup));
-    w.field("duration_us", static_cast<std::uint64_t>(options_.duration));
-    w.field("streams", static_cast<std::uint64_t>(query_.num_streams()));
-    w.field("memory_budget",
-            static_cast<std::uint64_t>(options_.memory_budget));
-    w.end_object();
-    tel->emit(telemetry::EventKind::kRunStart, 0, std::move(w).take());
-  }
-
-  if (warmup_done) {
-    // No training phase: stems keep their construction-time configuration.
-  }
-
-  auto take_sample = [&](TimeMicros at) {
-    telemetry::ScopedPhase sample_scope(profiler_, telemetry::Phase::kSample);
-    Sample s;
-    s.t = at - warmup_end;
-    s.outputs = outputs_total - outputs_offset;
-    s.memory_bytes = memory_.total();
-    s.backlog = pending.size();
-    if (tel != nullptr) {
-      for (const auto& stem : stems_) {
-        StateSample ss;
-        ss.stream = stem->stream();
-        ss.stored_tuples = stem->stored_tuples();
-        ss.probes = stem->probes_served();
-        ss.migrations = stem->migrations();
-        const index::IndexConfig* ic = stem->current_config();
-        ss.index_config =
-            ic != nullptr ? ic->to_string() : stem->physical_index().name();
-        s.states.push_back(std::move(ss));
-      }
-      telemetry::JsonWriter w;
-      w.begin_object();
-      w.field("t", static_cast<std::int64_t>(s.t));
-      w.field("outputs", s.outputs);
-      w.field("memory_bytes", static_cast<std::uint64_t>(s.memory_bytes));
-      w.field("backlog", static_cast<std::uint64_t>(s.backlog));
-      w.begin_array("states");
-      for (const StateSample& ss : s.states) {
-        telemetry::JsonWriter sw;
-        sw.begin_object();
-        sw.field("stream", static_cast<std::uint64_t>(ss.stream));
-        sw.field("tuples", static_cast<std::uint64_t>(ss.stored_tuples));
-        sw.field("probes", ss.probes);
-        sw.field("migrations", ss.migrations);
-        sw.field("ic", ss.index_config);
-        sw.end_object();
-        w.value_raw(std::move(sw).take());
-      }
-      w.end_array();
-      w.end_object();
-      tel->emit(telemetry::EventKind::kSample, 0, std::move(w).take());
-    }
-    result.samples.push_back(std::move(s));
-  };
-
-  auto check_backpressure = [&] {
-    if (tel == nullptr || options_.backpressure_threshold == 0) return;
-    if (backpressure_armed &&
-        pending.size() >= options_.backpressure_threshold) {
-      backpressure_armed = false;
-      telemetry::JsonWriter w;
-      w.begin_object();
-      w.field("backlog", static_cast<std::uint64_t>(pending.size()));
-      w.field("threshold",
-              static_cast<std::uint64_t>(options_.backpressure_threshold));
-      w.end_object();
-      tel->emit(telemetry::EventKind::kBackpressure, 0, std::move(w).take());
-    } else if (!backpressure_armed &&
-               pending.size() <= options_.backpressure_threshold / 2) {
-      backpressure_armed = true;
-    }
-  };
-
-  auto finish_warmup = [&] {
-    for (auto& stem : stems_) stem->finish_warmup();
-    outputs_offset = outputs_total;
-    warmup_done = true;
-    take_sample(warmup_end);  // measurement-start baseline (t = 0)
-  };
-
-  // Drain up to `want` backlog arrivals into `batch`: WHERE selection is
-  // applied (filtered arrivals are counted and, if sampled, traced), and
-  // every sampled surviving arrival records a PendingSpan so its span can
-  // resume when the batch routes. Shared by the batched virtual path and
-  // the wall path.
-  auto drain_batch = [&](std::size_t want) {
-    for (std::size_t i = 0; i < want; ++i) {
-      const Tuple arrival = pending.front();
-      pending.pop_front();
-      const bool sampled =
-          trace_sample != 0 && (++drained_arrivals % trace_sample) == 0;
-      if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
-        ++result.arrivals_filtered;
-        if (sampled) {
-          const std::uint64_t id = tel->begin_span();
-          emit_span_stage(id, arrival.stream, "arrival",
-                          [&](telemetry::JsonWriter& w) {
-                            w.field("backlog", static_cast<std::uint64_t>(
-                                                   pending.size()));
-                          });
-          emit_span_stage(id, arrival.stream, "filtered", no_extra);
-          tel->end_span();
-        }
-        continue;
-      }
-      if (sampled) {
-        PendingSpan ps;
-        ps.index = batch.size();
-        ps.id = tel->begin_span();
-        ps.start = std::chrono::steady_clock::now();
-        emit_span_stage(ps.id, arrival.stream, "arrival",
-                        [&](telemetry::JsonWriter& w) {
-                          w.field("backlog",
-                                  static_cast<std::uint64_t>(pending.size()));
-                        });
-        tel->end_span();  // suspended until the owning batch routes
-        batch_spans.push_back(ps);
-      }
-      batch.push(arrival);
-    }
-    sync_queue_memory(pending.size());
-  };
-
-  while (clock_.now() < measure_end) {
-    {
-      telemetry::ScopedPhase drain_scope(profiler_, telemetry::Phase::kDrain);
-      // Pull every arrival whose timestamp has passed into the backlog.
-      while (lookahead.has_value() && lookahead->ts <= clock_.now()) {
-        pending.push_back(*lookahead);
-        lookahead = source.next();
-      }
-      sync_queue_memory(pending.size());
-      check_backpressure();
-      if (memory_.exhausted()) break;
-
-      if (pending.empty() && !have_prefetched) {
-        if (!lookahead.has_value()) break;  // source exhausted, system idle
-        if (lookahead->ts >= measure_end) {
-          clock_.advance_to(measure_end);
-          break;
-        }
-        clock_.advance_to(lookahead->ts);  // idle until the next arrival
-        continue;
-      }
-    }
-
-    // Wall-clock engine (post-warm-up only, so the warm-up boundary below
-    // stays on the tuple-at-a-time path): adopt the worker-drained batch or
-    // drain inline, insert the whole mixed-stream batch up front, route it
-    // as ONE partition under the per-root sequence horizon, and overlap the
-    // next drain with the routing.
-    if (options_.engine == EngineMode::kWall && warmup_done) {
-      const std::size_t batch_cap =
-          std::max<std::size_t>(options_.batch_size, 1);
-      batch.clear();
-      batch_spans.clear();
-      if (have_prefetched) {
-        // Adopt: merge the worker's WHERE-selection charges (counted on a
-        // detached meter) and filtered total, and attribute its drain wall
-        // time as off-thread overlap.
-        std::swap(batch, prefetched.batch);
-        have_prefetched = false;
-        if (prefetched.meter.compares() > 0) {
-          meter_.charge_compare(prefetched.meter.compares());
-        }
-        result.arrivals_filtered += prefetched.filtered;
-        if (profiler_ != nullptr && prefetched.drain_wall_us > 0.0) {
-          profiler_->record_offthread(telemetry::Phase::kDrain,
-                                      prefetched.drain_wall_us);
-        }
-        sync_queue_memory(pending.size());
-      } else {
-        telemetry::ScopedPhase drain_scope(profiler_,
-                                           telemetry::Phase::kDrain);
-        drain_batch(std::min(batch_cap, pending.size()));
-      }
-      if (batch.empty()) continue;  // whole drain was filtered out
-
-      {
-        telemetry::ScopedPhase expiry_scope(profiler_,
-                                            telemetry::Phase::kExpiry);
-        for (auto& stem : stems_) stem->expire(clock_.now());
-      }
-
-      // Insert the whole batch, run by run (per-stream arrival order is
-      // preserved — each STeM holds one stream, and runs appear in batch
-      // order), collecting batch-order stored pointers for the horizon.
-      wall_stored.resize(batch.size());
-      {
-        telemetry::ScopedPhase insert_scope(profiler_,
-                                            telemetry::Phase::kInsert);
-        for (std::size_t a = 0; a < batch.size();) {
-          const std::size_t b = batch.run_end(a);
-          stored_run.clear();
-          stems_[batch.tuples[a].stream]->insert_batch(
-              batch.tuples.data() + a, b - a, stored_run);
-          std::copy(stored_run.begin(), stored_run.end(),
-                    wall_stored.begin() + static_cast<std::ptrdiff_t>(a));
-          a = b;
-        }
-      }
-      wall_visibility.assign(wall_stored.data(), batch.size());
-
-      const bool batch_has_span = !batch_spans.empty();
-      if (batch_has_span) {
-        tel->resume_span(batch_spans.front().id);
-        for (const PendingSpan& ps : batch_spans) {
-          emit_span_stage(ps.id, batch.tuples[ps.index].stream, "insert",
-                          [&](telemetry::JsonWriter& w) {
-                            w.field("batch", static_cast<std::uint64_t>(
-                                                 batch.size()));
-                          });
-        }
-      }
-
-      // Kick the overlap worker: it pops and WHERE-filters the NEXT batch
-      // from the backlog while the driver routes this one. The backlog
-      // only ever holds due arrivals, so the worker needs no clock view;
-      // its selection comparisons go to the detached local meter. The
-      // driver does not touch `pending` or `prefetched` again until the
-      // wait_idle below.
-      bool worker_outstanding = false;
-      if (overlap_pool_ != nullptr && !pending.empty()) {
-        prefetched.batch.clear();
-        prefetched.filtered = 0;
-        prefetched.meter.reset_counts();
-        prefetched.drain_wall_us = 0.0;
-        const std::size_t want = std::min(batch_cap, pending.size());
-        overlap_pool_->submit([this, &pending, &prefetched, want] {
-          const auto t0 = std::chrono::steady_clock::now();
-          for (std::size_t i = 0; i < want; ++i) {
-            const Tuple arrival = pending.front();
-            pending.pop_front();
-            if (!query_.selection(arrival.stream)
-                     .matches(arrival, &prefetched.meter)) {
-              ++prefetched.filtered;
-              continue;
-            }
-            prefetched.batch.push(arrival);
-          }
-          prefetched.drain_wall_us =
-              std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - t0)
-                  .count();
-        });
-        worker_outstanding = true;
-      }
-
-      const bool want_rows = options_.collect_rows &&
-                             result.rows.size() < options_.max_collected_rows;
-      const bool want_sink = want_rows || options_.on_result != nullptr;
-      batch_sink.clear();
-      std::uint64_t produced = 0;
-      {
-        telemetry::ScopedPhase route_scope(profiler_,
-                                           telemetry::Phase::kRoute);
-        produced = eddy_->route_batch(
-            wall_stored.data(), batch.done.data(), batch.size(),
-            want_sink ? &batch_sink : nullptr,
-            batch_has_span ? batch_spans.front().index
-                           : EddyRouter::kNoSpanRoot,
-            &wall_visibility);
-        for (const JoinResult& jr : batch_sink) {
-          if (options_.on_result) options_.on_result(jr);
-          if (want_rows && result.rows.size() < options_.max_collected_rows) {
-            result.rows.push_back(query_.projection().apply(jr.members));
-          }
-        }
-      }
-      outputs_total += produced;
-      if (batch_has_span) {
-        for (const PendingSpan& ps : batch_spans) {
-          const auto latency_ns =
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - ps.start)
-                  .count();
-          emit_span_stage(ps.id, batch.tuples[ps.index].stream, "done",
-                          [&](telemetry::JsonWriter& w) {
-                            w.field("latency_ns",
-                                    static_cast<std::uint64_t>(latency_ns));
-                            w.field("run_results", produced);
-                            w.field("batched", true);
-                          });
-          span_latency_hist_->observe(static_cast<double>(latency_ns) /
-                                      1000.0);
-        }
-        tel->end_span();
-      }
-      arrivals_measured += batch.size();
-
-      if (worker_outstanding) {
-        telemetry::ScopedPhase wait_scope(profiler_,
-                                          telemetry::Phase::kOverlapWait);
-        overlap_pool_->wait_idle();
-        have_prefetched = true;
-      }
-
-      if (memory_.exhausted()) break;
-      while (clock_.now() >= next_sample && next_sample <= measure_end) {
-        take_sample(next_sample);
-        next_sample += options_.sample_every;
-      }
-      continue;
-    }
-
-    // Batched drain (post-warm-up only, so the warm-up boundary below is
-    // always hit on the tuple-at-a-time path): pull up to batch_size ready
-    // arrivals, expire every window once, then batch-insert and
-    // batch-route each consecutive same-stream run.
-    if (options_.batch_size > 1 && warmup_done) {
-      batch.clear();
-      batch_spans.clear();
-      {
-        telemetry::ScopedPhase drain_scope(profiler_,
-                                           telemetry::Phase::kDrain);
-        drain_batch(std::min(options_.batch_size, pending.size()));
-      }
-      if (batch.empty()) continue;  // whole drain was filtered out
-
-      {
-        telemetry::ScopedPhase expiry_scope(profiler_,
-                                            telemetry::Phase::kExpiry);
-        for (auto& stem : stems_) stem->expire(clock_.now());
-      }
-      const bool want_rows = options_.collect_rows &&
-                             result.rows.size() < options_.max_collected_rows;
-      const bool want_sink = want_rows || options_.on_result != nullptr;
-      batch_sink.clear();
-      {
-        telemetry::ScopedPhase route_scope(profiler_,
-                                           telemetry::Phase::kRoute);
-        // Spans are listed in batch-index order; walk them run by run.
-        std::size_t span_cursor = 0;
-        for (std::size_t a = 0; a < batch.size();) {
-          const std::size_t b = batch.run_end(a);
-          const StreamId s = batch.tuples[a].stream;
-          stored_run.clear();
-          const std::size_t span_lo = span_cursor;
-          while (span_cursor < batch_spans.size() &&
-                 batch_spans[span_cursor].index < b) {
-            ++span_cursor;
-          }
-          const bool run_has_span = span_lo < span_cursor;
-          // The eddy attaches hop events to one active span per call; the
-          // run's first sampled arrival carries it. Every sampled arrival
-          // still gets its own insert/done stages and latency observation.
-          if (run_has_span) tel->resume_span(batch_spans[span_lo].id);
-          {
-            telemetry::ScopedPhase insert_scope(profiler_,
-                                                telemetry::Phase::kInsert);
-            stems_[s]->insert_batch(batch.tuples.data() + a, b - a,
-                                    stored_run);
-          }
-          for (std::size_t k = span_lo; k < span_cursor; ++k) {
-            emit_span_stage(batch_spans[k].id, s, "insert",
-                            [&](telemetry::JsonWriter& w) {
-                              w.field("batch",
-                                      static_cast<std::uint64_t>(b - a));
-                            });
-          }
-          const std::uint64_t produced = eddy_->route_batch(
-              stored_run.data(), batch.done.data() + a, b - a,
-              want_sink ? &batch_sink : nullptr,
-              run_has_span ? batch_spans[span_lo].index - a
-                           : EddyRouter::kNoSpanRoot);
-          outputs_total += produced;
-          for (std::size_t k = span_lo; k < span_cursor; ++k) {
-            const auto latency =
-                std::chrono::steady_clock::now() - batch_spans[k].start;
-            const auto latency_ns =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(latency)
-                    .count();
-            emit_span_stage(batch_spans[k].id, s, "done",
-                            [&](telemetry::JsonWriter& w) {
-                              w.field("latency_ns", static_cast<std::uint64_t>(
-                                                        latency_ns));
-                              w.field("run_results", produced);
-                              w.field("batched", true);
-                            });
-            span_latency_hist_->observe(static_cast<double>(latency_ns) /
-                                        1000.0);
-          }
-          if (run_has_span) tel->end_span();
-          a = b;
-        }
-        for (const JoinResult& jr : batch_sink) {
-          if (options_.on_result) options_.on_result(jr);
-          if (want_rows && result.rows.size() < options_.max_collected_rows) {
-            result.rows.push_back(query_.projection().apply(jr.members));
-          }
-        }
-      }
-      arrivals_measured += batch.size();
-
-      if (memory_.exhausted()) break;
-      while (clock_.now() >= next_sample && next_sample <= measure_end) {
-        take_sample(next_sample);
-        next_sample += options_.sample_every;
-      }
-      continue;
-    }
-
-    const Tuple arrival = pending.front();
-    pending.pop_front();
-    sync_queue_memory(pending.size());
-
-    // Warm-up boundary: apply trained configurations exactly once.
-    if (!warmup_done && clock_.now() >= warmup_end) finish_warmup();
-
-    const bool sampled =
-        trace_sample != 0 && (++drained_arrivals % trace_sample) == 0;
-    std::chrono::steady_clock::time_point span_start{};
-    std::uint64_t span_id = 0;
-    if (sampled) {
-      span_start = std::chrono::steady_clock::now();
-      span_id = tel->begin_span();
-      emit_span_stage(span_id, arrival.stream, "arrival",
-                      [&](telemetry::JsonWriter& w) {
-                        w.field("backlog",
-                                static_cast<std::uint64_t>(pending.size()));
-                      });
-    }
-
-    // WHERE-clause selection: filtered tuples are neither stored nor
-    // routed (the paper's S of SPJ happens before the join network).
-    if (!query_.selection(arrival.stream).matches(arrival, &meter_)) {
-      if (warmup_done) ++result.arrivals_filtered;
-      if (sampled) {
-        emit_span_stage(span_id, arrival.stream, "filtered", no_extra);
-        tel->end_span();
-      }
-      continue;
-    }
-
-    // Expire all windows to the current time, store, then route.
-    {
-      telemetry::ScopedPhase expiry_scope(profiler_,
-                                          telemetry::Phase::kExpiry);
-      for (auto& stem : stems_) stem->expire(clock_.now());
-    }
-    const Tuple* stored;
-    {
-      telemetry::ScopedPhase insert_scope(profiler_,
-                                          telemetry::Phase::kInsert);
-      stored = stems_[arrival.stream]->insert(arrival);
-    }
-    if (sampled) {
-      emit_span_stage(span_id, arrival.stream, "insert", no_extra);
-    }
-    const bool want_rows = options_.collect_rows && warmup_done &&
-                           result.rows.size() < options_.max_collected_rows;
-    std::uint64_t produced = 0;
-    {
-      telemetry::ScopedPhase route_scope(profiler_, telemetry::Phase::kRoute);
-      if (want_rows || options_.on_result) {
-        std::vector<JoinResult> sink;
-        produced = eddy_->route(stored, &sink);
-        for (const JoinResult& jr : sink) {
-          if (options_.on_result) options_.on_result(jr);
-          if (want_rows && result.rows.size() < options_.max_collected_rows) {
-            result.rows.push_back(query_.projection().apply(jr.members));
-          }
-        }
-      } else {
-        produced = eddy_->route(stored);
-      }
-    }
-    outputs_total += produced;
-    if (sampled) {
-      const auto latency_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - span_start)
-              .count();
-      emit_span_stage(span_id, arrival.stream, "done",
-                      [&](telemetry::JsonWriter& w) {
-                        w.field("latency_ns",
-                                static_cast<std::uint64_t>(latency_ns));
-                        w.field("run_results", produced);
-                        w.field("batched", false);
-                      });
-      span_latency_hist_->observe(static_cast<double>(latency_ns) / 1000.0);
-      tel->end_span();
-    }
-    if (warmup_done) ++arrivals_measured;
-
-    if (memory_.exhausted()) break;
-
-    while (warmup_done && clock_.now() >= next_sample &&
-           next_sample <= measure_end) {
-      take_sample(next_sample);
-      next_sample += options_.sample_every;
-    }
-  }
-
-  if (!warmup_done) finish_warmup();
-
-  const TimeMicros end_now = std::min(clock_.now(), measure_end);
-  if (memory_.exhausted()) {
-    result.died_at = end_now - warmup_end;
-    if (tel != nullptr) emit_oom_event();
-  } else {
-    result.completed = clock_.now() >= measure_end || !lookahead.has_value();
-  }
-  take_sample(end_now >= warmup_end ? end_now : warmup_end);
-
-  result.outputs = outputs_total - outputs_offset;
-  result.arrivals = arrivals_measured;
-  result.arrivals_dropped = pending.size();
-  if (have_prefetched) {
-    // Wall overlap: the worker had already popped these arrivals off the
-    // backlog when the run ended; they were never routed (their selection
-    // charges were never merged either), so they count as dropped.
-    result.arrivals_dropped += prefetched.batch.size() + prefetched.filtered;
-  }
-  result.peak_memory = memory_.peak();
-  result.charged_us = meter_.charged_us();
-  result.routing_decisions = meter_.routes();
-  for (const auto& stem : stems_) {
-    StateSummary s;
-    s.stream = stem->stream();
-    s.stored_tuples = stem->stored_tuples();
-    s.probes = stem->probes_served();
-    s.migrations = stem->migrations();
-    s.suppressed = stem->suppressed();
-    s.migration_pause_us = stem->migration_pause_us();
-    s.state_bytes = stem->state_bytes();
-    s.shards = stem->shard_count();
-    s.shard_imbalance = stem->shard_imbalance();
-    s.final_index = stem->physical_index().name();
-    result.states.push_back(std::move(s));
-  }
-  if (tel != nullptr) {
-    telemetry::JsonWriter w;
-    w.begin_object();
-    w.field("outputs", result.outputs);
-    w.field("arrivals", result.arrivals);
-    w.field("dropped", result.arrivals_dropped);
-    w.field("completed", result.completed);
-    w.field("died", result.died_at.has_value());
-    w.field("peak_memory", static_cast<std::uint64_t>(result.peak_memory));
-    w.field("charged_us", result.charged_us);
-    w.end_object();
-    tel->emit(telemetry::EventKind::kRunEnd, 0, std::move(w).take());
-  }
-  if (run_wall_gauge_ != nullptr) {
-    run_wall_gauge_->set(std::chrono::duration<double, std::micro>(
-                             std::chrono::steady_clock::now() - run_wall_t0)
-                             .count());
-  }
-  return result;
+  SingleQuerySink sink(query_, *eddy_, options_);
+  return run_pipeline(options_, rt_, stems_, sink, source);
 }
 
 }  // namespace amri::engine

@@ -15,35 +15,15 @@
 #include <memory>
 #include <vector>
 
-#include "common/cost_meter.hpp"
-#include "common/memory_tracker.hpp"
-#include "common/thread_pool.hpp"
-#include "common/virtual_clock.hpp"
 #include "engine/eddy.hpp"
 #include "engine/metrics.hpp"
 #include "engine/query.hpp"
+#include "engine/run_loop.hpp"
 #include "engine/stem.hpp"
 #include "engine/tuple_source.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace amri::engine {
-
-/// How the executor moves arrivals through the pipeline.
-enum class EngineMode : std::uint8_t {
-  /// Cost-metered virtual-clock execution (the paper's reproduction):
-  /// strictly phased drain → expiry → insert → route, bit-for-bit
-  /// deterministic for a given batch size.
-  kVirtual = 0,
-  /// Wall-clock mode: same modelled costs and virtual clock, but the hot
-  /// path is organised for hardware speed — whole mixed-stream batches are
-  /// inserted up front and routed as one partition under a per-root
-  /// sequence horizon (BatchVisibility), the grouped probe kernel runs
-  /// with software prefetch, and next-batch drain overlaps current-batch
-  /// routing on a worker thread. Join results match virtual mode exactly;
-  /// modelled probe-work counters may exceed it (the horizon filters
-  /// matches after the comparisons were charged).
-  kWall,
-};
 
 struct ExecutorOptions {
   TimeMicros duration = seconds_to_micros(60);  ///< measured run length
@@ -128,34 +108,20 @@ class Executor {
     return stems_;
   }
   const EddyRouter& eddy() const { return *eddy_; }
-  const VirtualClock& clock() const { return clock_; }
-  const MemoryTracker& memory() const { return memory_; }
-  const CostMeter& meter() const { return meter_; }
+  const VirtualClock& clock() const { return rt_.clock; }
+  const MemoryTracker& memory() const { return rt_.memory; }
+  const CostMeter& meter() const { return rt_.meter; }
 
  private:
-  void sync_queue_memory(std::size_t backlog);
-  void emit_oom_event();
-
   const QuerySpec& query_;
   ExecutorOptions options_;
-  VirtualClock clock_;
-  CostMeter meter_;
-  MemoryTracker memory_;
-  /// Shared fan-out pool, created only when the stems are sharded.
-  /// Declared before stems_ so it outlives every probe path.
-  std::unique_ptr<ThreadPool> pool_;
-  /// Single-thread pool for wall-mode drain/route overlap (double
-  /// buffering, not fan-out — deliberately separate from pool_ so overlap
-  /// drains never queue behind sharded probe fan-outs). Null unless
-  /// engine == kWall and overlap is enabled.
-  std::unique_ptr<ThreadPool> overlap_pool_;
+  /// The shared run-loop state (clock/meter/memory/pools/instruments).
+  /// Constructed before stems_ — its construction finalises options_
+  /// (fan-out pool, wall prefetch) and its pools must outlive every stem
+  /// probe path.
+  PipelineRuntime rt_;
   std::vector<std::unique_ptr<StemOperator>> stems_;
   std::unique_ptr<EddyRouter> eddy_;
-  std::size_t tracked_queue_bytes_ = 0;
-  /// Observability handles, resolved once at construction (null detached).
-  telemetry::Profiler* profiler_ = nullptr;
-  telemetry::Histogram* span_latency_hist_ = nullptr;  ///< span.latency_us
-  telemetry::Gauge* run_wall_gauge_ = nullptr;         ///< profile.run.wall_us
 };
 
 }  // namespace amri::engine

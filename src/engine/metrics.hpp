@@ -31,6 +31,10 @@ struct Sample {
   /// Per-state snapshots, indexed by StreamId. Populated only when the run
   /// has telemetry attached (ExecutorOptions::telemetry); empty otherwise.
   std::vector<StateSample> states;
+  /// Multi-query runs only: cumulative join results attributed to each
+  /// query at this sample (same measured-phase delta convention as
+  /// `outputs`; `outputs` is their sum). Empty for single-query runs.
+  std::vector<std::uint64_t> per_query_outputs;
 };
 
 struct StateSummary {

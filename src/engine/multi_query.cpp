@@ -2,17 +2,169 @@
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/run_loop.hpp"
 
 namespace amri::engine {
+
+namespace {
+
+// The multi-query routing sink. Admission evaluates EVERY query's WHERE
+// selection in query order (each one charged — every query logically
+// inspects every arrival on its streams) and records the accept set as a
+// per-slot bitmask; an arrival enters the shared state if any query
+// accepts it. Routing walks the queries in order: the tuple path routes
+// the last-admitted arrival through each accepting query's eddy, and the
+// batch paths carve each query's accepted sub-array out of the admitted
+// slots and route it as one call. Before a query routes, its index is
+// installed as the active attribution target on every shared STeM so probe
+// statistics land in that query's assessor cells.
+class MultiQuerySink final : public RoutingSink {
+ public:
+  MultiQuerySink(const std::vector<QuerySpec>& queries,
+                 std::vector<std::unique_ptr<EddyRouter>>& eddies,
+                 const std::vector<std::unique_ptr<StemOperator>>& stems,
+                 const ExecutorOptions& options)
+      : queries_(queries), eddies_(eddies), stems_(stems), options_(options) {
+    per_query_.assign(queries_.size(), 0);
+  }
+
+  bool wants_per_query() const override { return true; }
+
+  bool admit(const Tuple& arrival, CostMeter& meter,
+             std::vector<std::uint64_t>* detached_accepts) override {
+    std::uint64_t mask = 0;
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      if (queries_[qi].selection(arrival.stream).matches(arrival, &meter)) {
+        mask |= std::uint64_t{1} << qi;
+      }
+    }
+    if (mask == 0) return false;
+    if (detached_accepts != nullptr) {
+      // Wall overlap worker: const query state only; the accept set is
+      // adopted with its batch.
+      detached_accepts->push_back(mask);
+    } else {
+      accepts_.push_back(mask);
+      last_accepts_ = mask;
+    }
+    return true;
+  }
+
+  void begin_batch() override { accepts_.clear(); }
+
+  void adopt_accepts(std::vector<std::uint64_t>& accepts) override {
+    accepts_.swap(accepts);
+  }
+
+  std::uint64_t route_one(const Tuple* stored, bool measured) override {
+    std::uint64_t total = 0;
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      if ((last_accepts_ >> qi & 1) == 0) continue;
+      set_active_query(qi);
+      const bool want_rows = options_.collect_rows && measured &&
+                             rows_.size() < options_.max_collected_rows;
+      std::uint64_t produced;
+      if (want_rows || options_.on_result) {
+        result_sink_.clear();
+        produced = eddies_[qi]->route(stored, &result_sink_);
+        deliver(qi, want_rows);
+      } else {
+        produced = eddies_[qi]->route(stored);
+      }
+      total += produced;
+      per_query_[qi] += produced;
+    }
+    return total;
+  }
+
+  std::uint64_t route_batch(const Tuple* const* stored,
+                            const std::uint32_t* done, std::size_t first,
+                            std::size_t n, std::size_t span_root,
+                            const BatchVisibility* visibility) override {
+    std::uint64_t total = 0;
+    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+      // Carve query qi's sub-array out of the admitted slots. With a wall
+      // horizon attached, each sub-array root keeps its true full-batch
+      // order (BatchVisibility::order_of via the eddy), so visibility
+      // filtering is unaffected by the carving; matches held for other
+      // queries only are rejected by qi's selection re-verification.
+      sub_stored_.clear();
+      sub_done_.clear();
+      std::size_t sub_root = EddyRouter::kNoSpanRoot;
+      for (std::size_t j = 0; j < n; ++j) {
+        if ((accepts_[first + j] >> qi & 1) == 0) continue;
+        if (j == span_root) sub_root = sub_stored_.size();
+        sub_stored_.push_back(stored[j]);
+        sub_done_.push_back(done[j]);
+      }
+      if (sub_stored_.empty()) continue;
+      set_active_query(qi);
+      const bool want_rows =
+          options_.collect_rows && rows_.size() < options_.max_collected_rows;
+      const bool want_sink = want_rows || options_.on_result != nullptr;
+      result_sink_.clear();
+      const std::uint64_t produced = eddies_[qi]->route_batch(
+          sub_stored_.data(), sub_done_.data(), sub_stored_.size(),
+          want_sink ? &result_sink_ : nullptr, sub_root, visibility);
+      if (want_sink) deliver(qi, want_rows);
+      total += produced;
+      per_query_[qi] += produced;
+    }
+    return total;
+  }
+
+  void per_query_outputs(std::vector<std::uint64_t>& out) const override {
+    out.insert(out.end(), per_query_.begin(), per_query_.end());
+  }
+
+  void take_rows(
+      std::vector<SmallVector<Value, kInlineAttrs>>& rows) override {
+    rows = std::move(rows_);
+  }
+
+ private:
+  void set_active_query(std::size_t qi) {
+    for (const auto& stem : stems_) stem->set_active_query(qi);
+  }
+
+  void deliver(std::size_t qi, bool want_rows) {
+    for (const JoinResult& jr : result_sink_) {
+      if (options_.on_result) options_.on_result(jr);
+      if (want_rows && rows_.size() < options_.max_collected_rows) {
+        rows_.push_back(queries_[qi].projection().apply(jr.members));
+      }
+    }
+  }
+
+  const std::vector<QuerySpec>& queries_;
+  std::vector<std::unique_ptr<EddyRouter>>& eddies_;
+  const std::vector<std::unique_ptr<StemOperator>>& stems_;
+  const ExecutorOptions& options_;
+  /// Accept bitmask per admitted slot of the live batch (bit qi = query qi
+  /// accepted); parallel to the core's TupleBatch.
+  std::vector<std::uint64_t> accepts_;
+  std::uint64_t last_accepts_ = 0;  ///< tuple path: the one admitted arrival
+  std::vector<std::uint64_t> per_query_;  ///< cumulative outputs by query
+  // Reusable per-call arenas (capacity persists across batches).
+  std::vector<const Tuple*> sub_stored_;
+  std::vector<std::uint32_t> sub_done_;
+  std::vector<JoinResult> result_sink_;
+  std::vector<SmallVector<Value, kInlineAttrs>> rows_;
+};
+
+}  // namespace
 
 MultiQueryExecutor::MultiQueryExecutor(std::vector<QuerySpec> queries,
                                        ExecutorOptions options)
     : queries_(std::move(queries)),
-      options_(options),
-      meter_(&clock_, options.costs),
-      memory_(options.memory_budget) {
+      options_(std::move(options)),
+      rt_(options_) {
   assert(!queries_.empty());
+  assert(queries_.size() <= 64 && "accept sets are 64-bit masks");
   const std::size_t k = queries_[0].num_streams();
   const TimeMicros window = queries_[0].window();
   for (const QuerySpec& q : queries_) {
@@ -38,7 +190,9 @@ MultiQueryExecutor::MultiQueryExecutor(std::vector<QuerySpec> queries,
     // used by the per-query eddies.
   }
 
-  // Shared STeMs sized for the union JAS.
+  // Shared STeMs sized for the union JAS, with one assessor set per query
+  // so the shared tuner can attribute and merge per-query demand.
+  options_.stem.queries = queries_.size();
   const index::CostModel model(options_.model_params);
   std::vector<StemOperator*> stem_ptrs;
   for (StreamId s = 0; s < k; ++s) {
@@ -54,14 +208,19 @@ MultiQueryExecutor::MultiQueryExecutor(std::vector<QuerySpec> queries,
       stem_opts.initial_config = index::IndexConfig(bits);
     }
     stems_.push_back(std::make_unique<StemOperator>(
-        s, shared_layouts_[s], window, stem_opts, model, &meter_, &memory_));
+        s, shared_layouts_[s], window, stem_opts, model, &rt_.meter,
+        &rt_.memory, options_.telemetry));
     stem_ptrs.push_back(stems_.back().get());
   }
 
-  // One eddy per query, probing the shared stems through position maps.
-  for (const QuerySpec& q : queries_) {
-    auto eddy = std::make_unique<EddyRouter>(q, stem_ptrs, options_.eddy,
-                                             &meter_);
+  // One eddy per query, probing the shared stems through position maps,
+  // with per-query labeled routing metrics.
+  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
+    const QuerySpec& q = queries_[qi];
+    EddyOptions eddy_opts = options_.eddy;
+    eddy_opts.metrics_prefix = "q" + std::to_string(qi) + ".eddy";
+    auto eddy = std::make_unique<EddyRouter>(q, stem_ptrs, eddy_opts,
+                                             &rt_.meter, options_.telemetry);
     std::vector<std::vector<std::uint8_t>> maps(k);
     for (StreamId s = 0; s < k; ++s) {
       const auto& query_jas = q.layout(s).jas;
@@ -77,130 +236,18 @@ MultiQueryExecutor::MultiQueryExecutor(std::vector<QuerySpec> queries,
   }
 }
 
-void MultiQueryExecutor::sync_queue_memory(std::size_t backlog) {
-  const std::size_t now = backlog * (sizeof(Tuple) + 16);
-  if (now > tracked_queue_bytes_) {
-    memory_.allocate(MemCategory::kQueue, now - tracked_queue_bytes_);
-  } else if (now < tracked_queue_bytes_) {
-    memory_.release(MemCategory::kQueue, tracked_queue_bytes_ - now);
-  }
-  tracked_queue_bytes_ = now;
-}
-
 MultiRunResult MultiQueryExecutor::run(TupleSource& source) {
+  MultiQuerySink sink(queries_, eddies_, stems_, options_);
   MultiRunResult result;
-  result.per_query_outputs.assign(queries_.size(), 0);
-  RunResult& combined = result.combined;
-
-  const TimeMicros warmup_end = options_.warmup;
-  const TimeMicros measure_end = options_.warmup + options_.duration;
-  std::deque<Tuple> pending;
-  std::optional<Tuple> lookahead = source.next();
-  bool warmup_done = (options_.warmup == 0);
-  std::uint64_t outputs_total = 0;
-  std::uint64_t outputs_offset = 0;
-  std::vector<std::uint64_t> per_query_offset(queries_.size(), 0);
-  TimeMicros next_sample = warmup_end + options_.sample_every;
-
-  auto take_sample = [&](TimeMicros at) {
-    Sample s;
-    s.t = at - warmup_end;
-    s.outputs = outputs_total - outputs_offset;
-    s.memory_bytes = memory_.total();
-    s.backlog = pending.size();
-    combined.samples.push_back(s);
-  };
-
-  auto finish_warmup = [&] {
-    for (auto& stem : stems_) stem->finish_warmup();
-    outputs_offset = outputs_total;
-    per_query_offset = result.per_query_outputs;
-    warmup_done = true;
-    take_sample(warmup_end);
-  };
-
-  while (clock_.now() < measure_end) {
-    while (lookahead.has_value() && lookahead->ts <= clock_.now()) {
-      pending.push_back(*lookahead);
-      lookahead = source.next();
-    }
-    sync_queue_memory(pending.size());
-    if (memory_.exhausted()) break;
-
-    if (pending.empty()) {
-      if (!lookahead.has_value()) break;
-      if (lookahead->ts >= measure_end) {
-        clock_.advance_to(measure_end);
-        break;
-      }
-      clock_.advance_to(lookahead->ts);
-      continue;
-    }
-
-    const Tuple arrival = pending.front();
-    pending.pop_front();
-    sync_queue_memory(pending.size());
-    if (!warmup_done && clock_.now() >= warmup_end) finish_warmup();
-
-    // Selections are per query: a tuple enters the shared state if ANY
-    // query accepts it; each query only routes tuples it accepts.
-    bool accepted_by_any = false;
-    SmallVector<std::uint8_t, 8> accepts;
-    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-      const bool ok =
-          queries_[qi].selection(arrival.stream).matches(arrival, &meter_);
-      accepts.push_back(ok ? 1 : 0);
-      accepted_by_any = accepted_by_any || ok;
-    }
-    if (!accepted_by_any) {
-      if (warmup_done) ++combined.arrivals_filtered;
-      continue;
-    }
-
-    for (auto& stem : stems_) stem->expire(clock_.now());
-    const Tuple* stored = stems_[arrival.stream]->insert(arrival);
-    for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-      if (accepts[qi] == 0) continue;
-      const std::uint64_t produced = eddies_[qi]->route(stored);
-      outputs_total += produced;
-      result.per_query_outputs[qi] += produced;
-    }
-    if (warmup_done) ++combined.arrivals;
-    if (memory_.exhausted()) break;
-
-    while (warmup_done && clock_.now() >= next_sample &&
-           next_sample <= measure_end) {
-      take_sample(next_sample);
-      next_sample += options_.sample_every;
-    }
-  }
-
-  if (!warmup_done) finish_warmup();
-  const TimeMicros end_now = std::min(clock_.now(), measure_end);
-  if (memory_.exhausted()) {
-    combined.died_at = end_now - warmup_end;
+  result.combined = run_pipeline(options_, rt_, stems_, sink, source);
+  // The core always takes a final sample; its per-query deltas are the
+  // measured-phase attribution.
+  if (!result.combined.samples.empty() &&
+      result.combined.samples.back().per_query_outputs.size() ==
+          queries_.size()) {
+    result.per_query_outputs = result.combined.samples.back().per_query_outputs;
   } else {
-    combined.completed = clock_.now() >= measure_end || !lookahead.has_value();
-  }
-  take_sample(end_now >= warmup_end ? end_now : warmup_end);
-
-  combined.outputs = outputs_total - outputs_offset;
-  for (std::size_t qi = 0; qi < queries_.size(); ++qi) {
-    result.per_query_outputs[qi] -= per_query_offset[qi];
-  }
-  combined.arrivals_dropped = pending.size();
-  combined.peak_memory = memory_.peak();
-  combined.charged_us = meter_.charged_us();
-  combined.routing_decisions = meter_.routes();
-  for (const auto& stem : stems_) {
-    StateSummary s;
-    s.stream = stem->stream();
-    s.stored_tuples = stem->stored_tuples();
-    s.probes = stem->probes_served();
-    s.migrations = stem->migrations();
-    s.suppressed = stem->suppressed();
-    s.final_index = stem->physical_index().name();
-    combined.states.push_back(std::move(s));
+    result.per_query_outputs.assign(queries_.size(), 0);
   }
   return result;
 }

@@ -6,8 +6,21 @@
 // multi-query workload diversity that motivates AMRI's single versatile
 // index.
 //
+// Built on the shared run-loop core (engine/run_loop.hpp): a multi-query
+// routing sink admits arrivals against every query's WHERE selection,
+// records per-arrival accept sets, and routes each query's sub-array
+// through that query's eddy. Multi-query runs therefore inherit the full
+// single-query feature matrix — sharded states, the batched pipeline, the
+// wall-clock engine, telemetry (per-query labeled metrics, trace spans,
+// profiler phases, per-query sample deltas) and the guardrailed tuner.
+// Each query gets its own assessor set on the shared STeM
+// (StemOptions::queries); tuning epochs merge the per-query snapshots so
+// ONE shared tuner scores candidate ICs against the union workload, with
+// per-query request shares attached to every decision.
+//
 // Constraints (asserted): all queries span the same stream universe and
-// share the window length (the paper's default-window-length template).
+// share the window length (the paper's default-window-length template),
+// and at most 64 queries share an executor (accept sets are bitmasks).
 #pragma once
 
 #include <memory>
@@ -18,8 +31,11 @@
 namespace amri::engine {
 
 struct MultiRunResult {
-  RunResult combined;                          ///< totals across queries
-  std::vector<std::uint64_t> per_query_outputs;
+  /// Totals across queries. Every sample additionally carries the
+  /// per-query output deltas (Sample::per_query_outputs), so dashboards
+  /// can plot each query's throughput curve from one run.
+  RunResult combined;
+  std::vector<std::uint64_t> per_query_outputs;  ///< measured-phase, by query
 };
 
 class MultiQueryExecutor {
@@ -39,8 +55,10 @@ class MultiQueryExecutor {
   }
   const QuerySpec& query(std::size_t i) const { return queries_[i]; }
   std::size_t num_queries() const { return queries_.size(); }
-  const VirtualClock& clock() const { return clock_; }
-  const MemoryTracker& memory() const { return memory_; }
+  const EddyRouter& eddy(std::size_t i) const { return *eddies_[i]; }
+  const VirtualClock& clock() const { return rt_.clock; }
+  const MemoryTracker& memory() const { return rt_.memory; }
+  const CostMeter& meter() const { return rt_.meter; }
 
   /// The shared (union) join attribute set of stream `s`.
   const index::JoinAttributeSet& shared_jas(StreamId s) const {
@@ -48,17 +66,16 @@ class MultiQueryExecutor {
   }
 
  private:
-  void sync_queue_memory(std::size_t backlog);
-
   std::vector<QuerySpec> queries_;
   ExecutorOptions options_;
-  VirtualClock clock_;
-  CostMeter meter_;
-  MemoryTracker memory_;
+  /// The shared run-loop state (clock/meter/memory/pools/instruments).
+  /// Constructed before stems_ — its construction finalises options_
+  /// (fan-out pool, wall prefetch) and its pools must outlive every stem
+  /// probe path.
+  PipelineRuntime rt_;
   std::vector<StateLayout> shared_layouts_;  ///< union JAS per stream
   std::vector<std::unique_ptr<StemOperator>> stems_;
   std::vector<std::unique_ptr<EddyRouter>> eddies_;  ///< one per query
-  std::size_t tracked_queue_bytes_ = 0;
 };
 
 }  // namespace amri::engine

@@ -1,5 +1,6 @@
 #include "engine/stem.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 #include <utility>
@@ -54,22 +55,10 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
         sharded_index_ = idx.get();
         index_ = std::move(idx);
         if (options_.probe_prefetch) sharded_index_->set_prefetch(true);
-        // One assessor per shard, merged at tuning epochs so index
-        // selection still sees the one logical request stream.
-        shard_assessors_.reserve(options_.shards);
-        for (std::size_t i = 0; i < options_.shards; ++i) {
-          shard_assessors_.push_back(assessment::make_assessor(
-              topts.assessor, layout_.jas.universe(), topts.assessor_params));
-        }
         if (telemetry_ != nullptr) {
-          const std::string prefix = "stem." + std::to_string(stream_);
-          sharded_index_->bind_telemetry(telemetry_, prefix + ".index",
-                                         stream_);
-          for (std::size_t i = 0; i < shard_assessors_.size(); ++i) {
-            shard_assessors_[i]->bind_telemetry(
-                telemetry_,
-                prefix + ".shard." + std::to_string(i) + ".assess");
-          }
+          sharded_index_->bind_telemetry(
+              telemetry_, "stem." + std::to_string(stream_) + ".index",
+              stream_);
         }
       } else {
         auto idx = std::make_unique<index::BitAddressIndex>(
@@ -80,6 +69,40 @@ StemOperator::StemOperator(StreamId stream, const StateLayout& layout,
         if (telemetry_ != nullptr) {
           bit_index_->bind_telemetry(
               telemetry_, "stem." + std::to_string(stream_) + ".index");
+        }
+      }
+      // Sharded and/or multi-query states keep an external assessor grid
+      // (query-major: one cell per query × shard), merged at tuning epochs
+      // so index selection still sees the one logical request stream.
+      shard_slots_ = options_.shards > 1 ? options_.shards : 1;
+      if (options_.shards > 1 || options_.queries > 1) {
+        const std::size_t queries = std::max<std::size_t>(options_.queries, 1);
+        shard_assessors_.reserve(queries * shard_slots_);
+        for (std::size_t q = 0; q < queries; ++q) {
+          for (std::size_t i = 0; i < shard_slots_; ++i) {
+            shard_assessors_.push_back(assessment::make_assessor(
+                topts.assessor, layout_.jas.universe(), topts.assessor_params));
+          }
+        }
+        if (options_.queries > 1) {
+          epoch_query_requests_.assign(options_.queries, 0);
+        }
+        if (telemetry_ != nullptr) {
+          const std::string prefix = "stem." + std::to_string(stream_);
+          for (std::size_t q = 0; q < queries; ++q) {
+            // Single-query sharded grids keep the legacy
+            // "stem.N.shard.I.assess" names; multi-query cells are
+            // per-query labeled.
+            const std::string qpart =
+                options_.queries > 1 ? ".q" + std::to_string(q) : "";
+            for (std::size_t i = 0; i < shard_slots_; ++i) {
+              const std::string spart = options_.shards > 1
+                                            ? ".shard." + std::to_string(i)
+                                            : "";
+              shard_assessors_[q * shard_slots_ + i]->bind_telemetry(
+                  telemetry_, prefix + qpart + spart + ".assess");
+            }
+          }
         }
       }
       // Static backends also carry a tuner so the warm-up phase can train
@@ -263,19 +286,26 @@ index::ProbeStats StemOperator::probe(const index::ProbeKey& key,
       if (amri_tuner_ != nullptr) amri_tuner_->note_probe_cost(cost);
     }
   }
-  if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
-    // Attribute the request to the shard that served it; fan-outs touch
-    // every shard, so they round-robin deterministically (the merged
-    // assessment is shard-attribution-invariant anyway).
-    const std::size_t target = sharded_index_->target_shard(key);
-    const std::size_t slot = target < shard_assessors_.size()
-                                 ? target
-                                 : fanout_rr_++ % shard_assessors_.size();
-    shard_assessors_[slot]->observe(key.mask);
+  if (amri_tuner_ != nullptr && !shard_assessors_.empty()) {
+    // External grid attribution: the request lands in the active query's
+    // row, at the shard that served it; fan-outs touch every shard, so
+    // they round-robin deterministically (the merged assessment is
+    // shard-attribution-invariant anyway).
+    std::size_t shard_slot = 0;
+    if (sharded_index_ != nullptr) {
+      const std::size_t target = sharded_index_->target_shard(key);
+      shard_slot =
+          target < shard_slots_ ? target : fanout_rr_++ % shard_slots_;
+    }
+    shard_assessors_[active_query_ * shard_slots_ + shard_slot]->observe(
+        key.mask);
+    if (!epoch_query_requests_.empty()) {
+      ++epoch_query_requests_[active_query_];
+    }
     amri_tuner_->note_request();
     sync_stats_memory();
     if (continuous_tuning_ && amri_tuner_->tuning_due()) {
-      sharded_tune();
+      merged_tune();
     }
   } else if (amri_tuner_ != nullptr) {
     amri_tuner_->observe_request(key.mask);
@@ -352,23 +382,27 @@ void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
       if (amri_tuner_ != nullptr) amri_tuner_->note_probe_cost(total, n);
     }
   }
-  if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
-    // Weighted assessment: one observe per (shard slot, access pattern)
-    // group. Slots are computed with the exact sequential attribution
-    // sequence (target shard, else the deterministic round-robin), so the
-    // merged assessment matches n single probes bit-for-bit for the
-    // additive assessors.
+  if (amri_tuner_ != nullptr && !shard_assessors_.empty()) {
+    // Weighted assessment: one observe per (grid slot, access pattern)
+    // group in the active query's row. Shard slots are computed with the
+    // exact sequential attribution sequence (target shard, else the
+    // deterministic round-robin), so the merged assessment matches n
+    // single probes bit-for-bit for the additive assessors.
     struct SlotObs {
       std::size_t slot;
       AttrMask mask;
       std::uint64_t weight;
     };
     SmallVector<SlotObs, 16> groups;
+    const std::size_t row = active_query_ * shard_slots_;
     for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t target = sharded_index_->target_shard(keys[i]);
-      const std::size_t slot = target < shard_assessors_.size()
-                                   ? target
-                                   : fanout_rr_++ % shard_assessors_.size();
+      std::size_t shard_slot = 0;
+      if (sharded_index_ != nullptr) {
+        const std::size_t target = sharded_index_->target_shard(keys[i]);
+        shard_slot =
+            target < shard_slots_ ? target : fanout_rr_++ % shard_slots_;
+      }
+      const std::size_t slot = row + shard_slot;
       bool found = false;
       for (SlotObs& o : groups) {
         if (o.slot == slot && o.mask == keys[i].mask) {
@@ -382,10 +416,13 @@ void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
     for (const SlotObs& o : groups) {
       shard_assessors_[o.slot]->observe(o.mask, o.weight);
     }
+    if (!epoch_query_requests_.empty()) {
+      epoch_query_requests_[active_query_] += n;
+    }
     amri_tuner_->note_request(n);
     sync_stats_memory();
     if (continuous_tuning_ && amri_tuner_->tuning_due()) {
-      sharded_tune();
+      merged_tune();
     }
   } else if (amri_tuner_ != nullptr || module_tuner_ != nullptr) {
     struct MaskObs {
@@ -426,8 +463,9 @@ void StemOperator::probe_chunk(const index::ProbeKey* keys, std::size_t n,
   }
 }
 
-void StemOperator::sharded_tune() {
-  assert(sharded_index_ != nullptr && amri_tuner_ != nullptr);
+void StemOperator::merged_tune() {
+  assert(!shard_assessors_.empty() && amri_tuner_ != nullptr);
+  assert(sharded_index_ != nullptr || bit_index_ != nullptr);
   telemetry::ScopedPhase tune_scope(profiler_, telemetry::Phase::kTunerEpoch);
   tuner::ExternalAssessment external;
   {
@@ -444,7 +482,19 @@ void StemOperator::sharded_tune() {
       external.approx_bytes += a->approx_bytes();
     }
   }
-  amri_tuner_->maybe_tune_sharded(*sharded_index_, external);
+  if (!epoch_query_requests_.empty()) {
+    // Per-query attribution for the decision timeline, then roll the epoch.
+    for (std::size_t q = 0; q < epoch_query_requests_.size(); ++q) {
+      external.per_query.push_back(
+          tuner::QueryShare{q, epoch_query_requests_[q]});
+      epoch_query_requests_[q] = 0;
+    }
+  }
+  if (sharded_index_ != nullptr) {
+    amri_tuner_->maybe_tune_sharded(*sharded_index_, external);
+  } else {
+    amri_tuner_->maybe_tune_external(*bit_index_, external);
+  }
 
   // Statistics retention, mirrored from AmriTuner::recommend() onto the
   // per-shard assessors this stem owns.
@@ -486,8 +536,8 @@ std::uint64_t StemOperator::suppressed() const {
 }
 
 void StemOperator::force_tune() {
-  if (amri_tuner_ != nullptr && sharded_index_ != nullptr) {
-    sharded_tune();
+  if (amri_tuner_ != nullptr && !shard_assessors_.empty()) {
+    merged_tune();
   } else if (amri_tuner_ != nullptr && bit_index_ != nullptr) {
     amri_tuner_->maybe_tune(*bit_index_);
   } else if (module_tuner_ != nullptr && module_index_ != nullptr) {

@@ -62,6 +62,15 @@ struct StemOptions {
   /// the grouped probe kernel (wall-mode executors turn this on). A pure
   /// hardware hint — modelled costs and probe results are identical.
   bool probe_prefetch = false;
+  /// Queries sharing this state (multi-query executors; bit-address
+  /// backends only). Above 1 the STeM keeps one assessor per
+  /// (query, shard) cell — set_active_query() attributes each probe to the
+  /// routing query — and every tuning epoch merges the whole grid
+  /// (assessment/snapshot.hpp) so one shared tuner scores candidate ICs
+  /// against the union workload, with per-query request shares attached to
+  /// the decision. 1 (the default) keeps the single-query paths
+  /// bit-for-bit untouched.
+  std::size_t queries = 1;
 };
 
 class StemOperator {
@@ -98,6 +107,12 @@ class StemOperator {
 
   /// Expire tuples older than `now - window`.
   void expire(TimeMicros now);
+
+  /// Multi-query mode (StemOptions::queries > 1): attribute subsequent
+  /// probes to query `qi`'s assessors. The multi-query routing sink sets
+  /// this before routing each query's partials; single-query stems never
+  /// call it (query 0 is the default attribution).
+  void set_active_query(std::size_t qi) { active_query_ = qi; }
 
   /// Probe for matches; feeds the access pattern to the tuner (if any) and
   /// applies due tuning decisions. Matches are appended to `out`.
@@ -185,11 +200,12 @@ class StemOperator {
   /// decision at the chunk end.
   void probe_chunk(const index::ProbeKey* keys, std::size_t n,
                    std::vector<const Tuple*>* outs, index::ProbeStats* stats);
-  /// Sharded tuning epoch: merge the per-shard assessor snapshots into one
-  /// logical assessment, run selection, migrate shard-by-shard when the
-  /// improvement clears the margin, then apply statistics retention to
-  /// every shard assessor.
-  void sharded_tune();
+  /// Merged tuning epoch (sharded and/or multi-query): merge the whole
+  /// assessor grid's snapshots into one logical assessment, run selection
+  /// (with per-query request attribution when queries > 1), migrate when
+  /// the improvement clears the margin, then apply statistics retention to
+  /// every grid assessor.
+  void merged_tune();
   telemetry::Histogram* pattern_histogram(AttrMask mask);
 
   StreamId stream_;
@@ -205,10 +221,19 @@ class StemOperator {
   index::AccessModuleSet* module_index_ = nullptr;   ///< non-owning view
   std::unique_ptr<tuner::AmriTuner> amri_tuner_;
   std::unique_ptr<tuner::HashModuleTuner> module_tuner_;
-  /// Sharded mode: one assessor per shard (the tuner's own assessor is
-  /// bypassed). Targeted probes are attributed to the target shard's
-  /// assessor; fan-out probes round-robin deterministically.
+  /// Sharded and/or multi-query mode: the external assessor grid (the
+  /// tuner's own assessor is bypassed), laid out query-major —
+  /// slot = query * shard_slots + shard. Targeted probes are attributed to
+  /// the target shard's assessor; fan-out probes round-robin
+  /// deterministically. Empty for plain single-query unsharded stems.
   std::vector<std::unique_ptr<assessment::Assessor>> shard_assessors_;
+  /// Shard cells per query in the grid (max(shards, 1)).
+  std::size_t shard_slots_ = 1;
+  /// The query currently routing (multi-query mode; see set_active_query).
+  std::size_t active_query_ = 0;
+  /// Requests attributed to each query since the last merged decision
+  /// (multi-query mode only) — the decision timeline's per-query shares.
+  std::vector<std::uint64_t> epoch_query_requests_;
   /// Scratch for expire()'s batched erase (pointer run into window_store_);
   /// a member so steady-state expiry never reallocates.
   std::vector<const Tuple*> expiry_scratch_;

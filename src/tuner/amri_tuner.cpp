@@ -180,6 +180,20 @@ void AmriTuner::emit_decision_event(const TuneDecision& decision,
     w.value_raw(std::move(cw).take());
   }
   w.end_array();
+  if (!decision.query_shares.empty()) {
+    // Multi-query attribution: which query drove the union workload this
+    // epoch (merged per-query assessor requests behind the decision).
+    w.begin_array("per_query");
+    for (const QueryShare& qs : decision.query_shares) {
+      telemetry::JsonWriter qw;
+      qw.begin_object();
+      qw.field("query", static_cast<std::uint64_t>(qs.query));
+      qw.field("requests", qs.requests);
+      qw.end_object();
+      w.value_raw(std::move(qw).take());
+    }
+    w.end_array();
+  }
   w.field("current_ic", current.to_string());
   w.field("current_cost", decision.current_cost);
   w.field("chosen_ic", decision.recommended.to_string());
@@ -286,6 +300,7 @@ TuneDecision AmriTuner::maybe_tune(index::BitAddressIndex& index) {
 TuneDecision AmriTuner::recommend_from(const ExternalAssessment& external,
                                        const index::IndexConfig& current) {
   TuneDecision decision = decide(external.frequent, current);
+  decision.query_shares = external.per_query;
   if (telemetry_ != nullptr) {
     stats_entries_gauge_->set(static_cast<double>(external.table_size));
     stats_bytes_gauge_->set(static_cast<double>(external.approx_bytes));
@@ -303,6 +318,23 @@ TuneDecision AmriTuner::maybe_tune_sharded(index::ShardedBitIndex& index,
     // Total modelled pause is the full rebuild (identical to the
     // unsharded path); the *per-probe* stall shrinks to the largest
     // single-shard rebuild, ~1/N of the window.
+    decision.migration_cost_us = static_cast<double>(report.hashes_charged) *
+                                 model_.params().hash_cost;
+    migration_pause_us_ += decision.migration_cost_us;
+    decision.migrated = true;
+    ++migrations_;
+  }
+  finish_decision(decision, before);
+  return decision;
+}
+
+TuneDecision AmriTuner::maybe_tune_external(index::BitAddressIndex& index,
+                                            const ExternalAssessment& external) {
+  const index::IndexConfig before = index.config();
+  TuneDecision decision = recommend_from(external, before);
+  const WhatIfContext ctx{index.size(), index.memory_bytes()};
+  if (select_migration(decision, before, ctx)) {
+    const auto report = migrator_.migrate(index, decision.recommended);
     decision.migration_cost_us = static_cast<double>(report.hashes_charged) *
                                  model_.params().hash_cost;
     migration_pause_us_ += decision.migration_cost_us;

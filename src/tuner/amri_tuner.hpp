@@ -63,6 +63,14 @@ struct TunerOptions {
   std::function<void(StreamId, const TuneDecision&)> on_decision;
 };
 
+/// One query's share of the requests behind a merged assessment epoch:
+/// multi-query stems attribute every probe to the routing query, so the
+/// decision timeline can show which query drove the union workload.
+struct QueryShare {
+  std::size_t query = 0;
+  std::uint64_t requests = 0;
+};
+
 struct TuneDecision {
   bool due = false;                 ///< a reassessment happened
   bool migrated = false;            ///< the IC actually changed
@@ -93,6 +101,10 @@ struct TuneDecision {
   /// migrations the legacy rule would have made.
   GuardrailVerdict verdict = GuardrailVerdict::kNoChange;
   bool suppressed = false;
+  /// Per-query request attribution copied from the ExternalAssessment that
+  /// produced this decision (multi-query stems; empty otherwise). Emitted
+  /// on the tuner_decision timeline.
+  std::vector<QueryShare> query_shares;
   double modelled_benefit_us = 0.0;
   double whatif_migration_cost_us = 0.0;
   double amortize_units = 0.0;
@@ -100,13 +112,17 @@ struct TuneDecision {
   double budget_remaining_us = 0.0;
 };
 
-/// Externally assessed statistics for one decision. Sharded stems collect
-/// per-shard assessor snapshots, merge them (assessment/snapshot.hpp), and
-/// hand the thresholded answer here so the tuner sees one logical state.
+/// Externally assessed statistics for one decision. Sharded and
+/// multi-query stems collect per-shard / per-query assessor snapshots,
+/// merge them (assessment/snapshot.hpp), and hand the thresholded answer
+/// here so the tuner sees one logical state.
 struct ExternalAssessment {
   std::vector<assessment::AssessedPattern> frequent;
   std::size_t table_size = 0;    ///< merged retained entries (gauges)
   std::size_t approx_bytes = 0;  ///< merged statistics footprint (gauges)
+  /// Per-query request attribution for the closing epoch (multi-query
+  /// stems only; empty keeps single-query decision events unchanged).
+  std::vector<QueryShare> per_query;
 };
 
 class AmriTuner {
@@ -189,6 +205,13 @@ class AmriTuner {
   /// 1/N of the window.
   TuneDecision maybe_tune_sharded(index::ShardedBitIndex& index,
                                   const ExternalAssessment& external);
+
+  /// maybe_tune() driven by an external (merged per-query) assessment
+  /// instead of the tuner's own assessor — the unsharded counterpart of
+  /// maybe_tune_sharded, used by multi-query stems whose shared state runs
+  /// a single BitAddressIndex.
+  TuneDecision maybe_tune_external(index::BitAddressIndex& index,
+                                   const ExternalAssessment& external);
 
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t migrations() const { return migrations_; }

@@ -169,51 +169,107 @@ std::size_t complete_join_predicates(std::size_t streams) {
   return streams * (streams - 1) / 2;
 }
 
+/// Shared two-stream schemas for the multi_query scenario: `attrs` join
+/// attributes a0..a<attrs-1> on each side, paired positionally.
+std::vector<Schema> multi_query_schemas(std::size_t attrs) {
+  std::vector<std::string> names;
+  names.reserve(attrs);
+  for (std::size_t a = 0; a < attrs; ++a) {
+    names.push_back("a" + std::to_string(a));
+  }
+  return {Schema("Left", names), Schema("Right", names)};
+}
+
+/// The union generator query: one predicate per shared attribute, so the
+/// synthetic generator draws every attribute from its predicate's
+/// (rotating) domain.
+engine::QuerySpec multi_query_union(std::size_t attrs, TimeMicros window) {
+  std::vector<engine::JoinPredicate> preds;
+  for (std::size_t a = 0; a < attrs; ++a) {
+    preds.push_back({0, static_cast<AttrId>(a), 1, static_cast<AttrId>(a)});
+  }
+  return engine::QuerySpec(multi_query_schemas(attrs), std::move(preds),
+                           window);
+}
+
+/// The overlapping templates: query i joins attributes {i, i+1}, so each
+/// neighbouring pair of queries shares one attribute and the union JAS is
+/// `n_queries + 1` attributes wide.
+std::vector<engine::QuerySpec> multi_query_templates(std::size_t n_queries,
+                                                     TimeMicros window) {
+  const std::size_t attrs = n_queries + 1;
+  const auto schemas = multi_query_schemas(attrs);
+  std::vector<engine::QuerySpec> queries;
+  queries.reserve(n_queries);
+  for (std::size_t qi = 0; qi < n_queries; ++qi) {
+    std::vector<engine::JoinPredicate> preds = {
+        {0, static_cast<AttrId>(qi), 1, static_cast<AttrId>(qi)},
+        {0, static_cast<AttrId>(qi + 1), 1, static_cast<AttrId>(qi + 1)}};
+    queries.emplace_back(schemas, std::move(preds), window);
+  }
+  return queries;
+}
+
 }  // namespace
 
 const std::vector<std::string>& AdversarialScenario::names() {
   static const std::vector<std::string> kNames = {
       "rotating_hot_set", "bursty_diurnal", "correlated_join",
       "out_of_order",     "many_way",       "oom_cliff",
+      "multi_query",
   };
   return kNames;
 }
 
-AdversarialScenario::AdversarialScenario(std::string name,
-                                         AdversarialOptions options,
-                                         std::size_t streams,
-                                         PhaseSchedule schedule)
+AdversarialScenario::AdversarialScenario(
+    std::string name, AdversarialOptions options, std::size_t streams,
+    PhaseSchedule schedule, engine::QuerySpec query,
+    std::vector<engine::QuerySpec> queries)
     : name_(std::move(name)),
       options_(options),
       streams_(streams),
-      query_(engine::make_complete_join_query(
-          streams, seconds_to_micros(options.window_seconds))),
-      schedule_(std::move(schedule)) {}
+      query_(std::move(query)),
+      schedule_(std::move(schedule)),
+      queries_(std::move(queries)) {}
 
 std::unique_ptr<AdversarialScenario> AdversarialScenario::make(
     const std::string& name, AdversarialOptions options) {
+  const bool multi = name == "multi_query";
   const std::size_t streams =
-      name == "many_way" ? options.many_way_streams : 4;
-  // rotating_hot_set rotates on a period comparable to a tuning epoch;
+      multi ? 2 : (name == "many_way" ? options.many_way_streams : 4);
+  // One drifting domain per generator predicate: the pairwise complete
+  // join's, or (multi_query) one per shared attribute.
+  const std::size_t predicates = multi ? options.num_queries + 1
+                                       : complete_join_predicates(streams);
+  // rotating_hot_set (and multi_query, whose attack is the shifting
+  // dominant template) rotates on a period comparable to a tuning epoch;
   // the regime-driven scenarios drift on a slower clock so the stress
   // comes from arrivals, not the schedule.
   const double phase_seconds =
-      (name == "rotating_hot_set" || name == "many_way")
+      (name == "rotating_hot_set" || name == "many_way" || multi)
           ? options.rotate_seconds
           : options.rotate_seconds * 6.0;
   PhaseSchedule schedule = PhaseSchedule::rotating(
-      complete_join_predicates(streams), options.num_phases,
-      seconds_to_micros(phase_seconds), options.hot_domain,
-      options.cold_domain);
+      predicates, options.num_phases, seconds_to_micros(phase_seconds),
+      options.hot_domain, options.cold_domain);
 
   const auto& known = names();
   if (std::find(known.begin(), known.end(), name) == known.end()) {
     throw std::invalid_argument("unknown adversarial scenario: " + name);
   }
+  const TimeMicros window = seconds_to_micros(options.window_seconds);
+  engine::QuerySpec query = multi
+                                ? multi_query_union(predicates, window)
+                                : engine::make_complete_join_query(streams,
+                                                                   window);
+  std::vector<engine::QuerySpec> queries =
+      multi ? multi_query_templates(options.num_queries, window)
+            : std::vector<engine::QuerySpec>{query};
   // Private constructor: unreachable from std::make_unique.
   return std::unique_ptr<AdversarialScenario>(
       new AdversarialScenario(  // amri-lint: allow(AMRI002)
-          name, options, streams, std::move(schedule)));
+          name, options, streams, std::move(schedule), std::move(query),
+          std::move(queries)));
 }
 
 std::unique_ptr<engine::TupleSource> AdversarialScenario::make_source(
@@ -262,7 +318,10 @@ std::unique_ptr<engine::TupleSource> AdversarialScenario::make_source(
     return std::make_unique<OutOfOrderSource>(
         std::move(inner), options_.max_delay_seconds, seed ^ 0x00ffULL);
   }
-  if (name_ == "many_way") {
+  if (name_ == "many_way" || name_ == "multi_query") {
+    // multi_query generates against the union template: every shared
+    // attribute follows its own (rotating) domain, so each overlapping
+    // query template sees its own selectivity drift.
     GeneratorOptions g;
     g.rates_per_sec.assign(streams_, options_.rate_per_sec);
     g.end = end;

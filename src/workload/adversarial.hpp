@@ -1,3 +1,5 @@
+#pragma once
+
 // The adversarial scenario library: named workloads engineered to stress
 // the tuner far beyond the paper's gentle selectivity drift. Each scenario
 // is a fully wired (query, schedule, source factory) bundle addressable by
@@ -27,7 +29,13 @@
 //       the calm-state footprint: bursts push the window stores over the
 //       cliff (the paper's out-of-memory failures) while the memory
 //       guardrail vetoes directory-growing migrations.
-#pragma once
+//   multi_query      — N overlapping-JAS query templates over two shared
+//       streams (query i joins attributes {i, i+1}, so neighbours share
+//       one attribute): the shared index serves the union of all queries'
+//       access patterns while the rotating hot predicate shifts which
+//       query dominates — the paper's multi-query workload diversity,
+//       weaponised. queries() returns the per-query templates for
+//       MultiQueryExecutor; query() is the union generator query.
 
 #include <memory>
 #include <string>
@@ -63,6 +71,8 @@ struct AdversarialOptions {
   double max_delay_seconds = 2.0;      ///< bounded reorder lag
   // many_way
   std::size_t many_way_streams = 6;
+  // multi_query: overlapping two-stream templates sharing one state pair
+  std::size_t num_queries = 3;
   // oom_cliff: hard memory budget; 0 = auto (≈1.8× the calm footprint)
   std::size_t oom_budget_bytes = 0;
 };
@@ -81,6 +91,11 @@ class AdversarialScenario {
   const engine::QuerySpec& query() const { return query_; }
   const PhaseSchedule& schedule() const { return schedule_; }
 
+  /// Per-query routing templates for MultiQueryExecutor. multi_query
+  /// returns its `num_queries` overlapping templates; every other
+  /// scenario returns a singleton holding query().
+  const std::vector<engine::QuerySpec>& queries() const { return queries_; }
+
   /// New deterministic source over this scenario; the scenario must
   /// outlive it. `seed_offset` decorrelates repeated runs.
   std::unique_ptr<engine::TupleSource> make_source(
@@ -93,13 +108,19 @@ class AdversarialScenario {
 
  private:
   AdversarialScenario(std::string name, AdversarialOptions options,
-                      std::size_t streams, PhaseSchedule schedule);
+                      std::size_t streams, PhaseSchedule schedule,
+                      engine::QuerySpec query,
+                      std::vector<engine::QuerySpec> queries);
 
   std::string name_;
   AdversarialOptions options_;
   std::size_t streams_;
+  /// The generator (and single-executor) query: for multi_query this is
+  /// the union template joining every shared attribute, so the source
+  /// draws every attribute from its predicate's drifting domain.
   engine::QuerySpec query_;
   PhaseSchedule schedule_;
+  std::vector<engine::QuerySpec> queries_;  ///< per-query templates
 };
 
 }  // namespace amri::workload

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "engine/executor.hpp"
+#include "engine/multi_query.hpp"
 #include "tuner/amri_tuner.hpp"
 
 namespace amri::workload {
@@ -123,6 +124,11 @@ constexpr Golden kGolden[] = {
     {"oom_cliff", 0xd7f6365c6e80750aULL, 4,
      "bit_address[A:4 B:4 C:0]|bit_address[A:0 B:5 C:3]|"
      "bit_address[A:4 B:4 C:0]|bit_address[A:4 B:4 C:0]"},
+    // Two shared states (union of 3 overlapping templates, 4 attributes);
+    // the 6 s golden run stays below the first reassessment epoch, so the
+    // pinned fingerprint is the evenly spread initial configuration.
+    {"multi_query", 0x31fbdda6ab099fcdULL, 0,
+     "bit_address[A:2 B:2 C:2 D:2]|bit_address[A:2 B:2 C:2 D:2]"},
 };
 
 TEST(AdversarialScenarios, NamesMatchGoldenTableAndUnknownThrows) {
@@ -171,6 +177,37 @@ TEST(AdversarialScenarios, OutOfOrderDeliveryIsTimestampMonotone) {
     last = t->ts;
     last_seq = t->seq;
   }
+}
+
+TEST(AdversarialScenarios, MultiQueryTemplatesOverlap) {
+  AdversarialOptions o = golden_options();
+  o.num_queries = 4;
+  const auto scenario = AdversarialScenario::make("multi_query", o);
+  // Query i joins attributes {i, i+1}: 4 templates over 5 shared
+  // attributes, every neighbouring pair sharing exactly one.
+  const auto& queries = scenario->queries();
+  ASSERT_EQ(queries.size(), 4u);
+  EXPECT_EQ(scenario->query().layout(0).jas.size(), 5u);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto& preds = queries[qi].predicates();
+    ASSERT_EQ(preds.size(), 2u);
+    EXPECT_EQ(preds[0].left_attr, static_cast<AttrId>(qi));
+    EXPECT_EQ(preds[1].left_attr, static_cast<AttrId>(qi + 1));
+  }
+  // Every other scenario exposes its single query through queries().
+  const auto single =
+      AdversarialScenario::make("rotating_hot_set", golden_options());
+  ASSERT_EQ(single->queries().size(), 1u);
+  EXPECT_EQ(single->queries()[0].predicates().size(),
+            single->query().predicates().size());
+
+  // The bundle drives a shared-state multi-query run end to end.
+  auto eopts = scenario->executor_options();
+  eopts.duration = seconds_to_micros(4.0);
+  engine::MultiQueryExecutor ex(queries, eopts);
+  const auto source = scenario->make_source();
+  const auto r = ex.run(*source);
+  EXPECT_EQ(r.per_query_outputs.size(), queries.size());
 }
 
 TEST(AdversarialScenarios, DiurnalModulationChangesBurstyDigest) {

@@ -46,23 +46,29 @@ SCHEMA = "amri-bench-v1"
 # microbench (probe churn / fan-out / migration across shard counts), the
 # batched-pipeline microbench (probe_batch amortisation, batch x shards),
 # the wall-pipeline microbench (wall-clock engine mode: prefetch kernel
-# ablation plus end-to-end churn across engine/overlap/prefetch), and the
+# ablation plus end-to-end churn across engine/overlap/prefetch), the
 # adversarial scenario matrix (every named scenario x guardrails off/on;
-# migrations, suppressions, end-state probe cost).
+# migrations, suppressions, end-state probe cost), and the multi-query
+# ablation (queries x shards x batch grid over shared states plus the
+# shared-vs-independent peak-memory comparison).
 DEFAULT_BENCHES = ["micro_index_ops", "micro_assessment", "micro_sharded_stem",
                    "micro_batch_pipeline", "micro_wall_pipeline",
-                   "adversarial_suite"]
+                   "adversarial_suite", "ablation_multiquery"]
 
 # Per-binary extra key=value args appended after the smoke-scale defaults
 # (Config is last-wins, so these override).  adversarial_suite's headline
 # numbers (migration-cut ratio) are calibrated at rate=80.
-SCENARIO_EXTRA_ARGS = {"adversarial_suite": ["rate=80"]}
+SCENARIO_EXTRA_ARGS = {"adversarial_suite": ["rate=80"],
+                       # Smoke runs cap the query sweep; the committed
+                       # trajectory raises it with --scenario-sim-seconds.
+                       "ablation_multiquery": ["max_queries=3"]}
 
 # google-benchmark encodes named args into the bench name ("BM_X/shards:4",
 # "BM_Y/engine:1/overlap:0/prefetch:1/batch:64").  Each matching arg is
 # lifted into a same-named queryable record field.
 _ARG_RES = [(field, re.compile(rf"/{field}:(\d+)(?:/|$)"))
-            for field in ("shards", "batch", "engine", "overlap", "prefetch")]
+            for field in ("queries", "shards", "batch", "engine", "overlap",
+                          "prefetch")]
 
 
 def is_gbench(bench_name: str) -> bool:
@@ -233,6 +239,22 @@ def self_test() -> int:
         check(wall[1].get("prefetch") == 0 and wall[1].get("batch") == 256
               and "engine" not in wall[1] and "overlap" not in wall[1],
               "kernel-ablation name lifts only its own axes")
+
+        # Multi-query axis: the ablation_multiquery grid emits
+        # "queries:Q/shards:S/batch:B" names; the comparison records carry
+        # only the queries axis.
+        mq_raw = [
+            {"bench": "abl_multiquery/queries:3/shards:2/batch:8",
+             "metric": "peak_memory_bytes", "value": 90.0},
+            {"bench": "abl_multiquery/shared_vs_independent/queries:5",
+             "metric": "shared_over_independent_memory", "value": 0.4},
+        ]
+        mq = attach_shards(prefix_records(mq_raw, "ablation_multiquery"))
+        check(mq[0].get("queries") == 3 and mq[0].get("shards") == 2
+              and mq[0].get("batch") == 8,
+              "queries/shards/batch all lifted from a multi-query grid name")
+        check(mq[1].get("queries") == 5 and "shards" not in mq[1],
+              "shared-vs-independent name lifts only the queries axis")
 
         out = os.path.join(tmpdir, "BENCH_2000-01-01.json")
         agg = aggregate(records, "2000-01-01", "testhost")
